@@ -1,0 +1,76 @@
+"""E10 — HLS raises the abstraction level (paper III-B, Recommendation 4).
+
+Paper claims reproduced: high-level synthesis multiplies designer output —
+a few lines of Python expand to many RTL lines and hundreds of gates —
+and resource-constrained scheduling trades latency for area on demand.
+"""
+
+from conftest import once, print_table
+
+from repro.analytics import measure_hls_productivity
+from repro.hls import compile_function, run_hls_module
+from repro.pdk import get_pdk
+
+
+def poly5(x, c0, c1, c2, c3, c4):
+    acc = c4
+    acc = acc * x + c3
+    acc = acc * x + c2
+    acc = acc * x + c1
+    acc = acc * x + c0
+    return acc
+
+
+def dot4(a0, a1, a2, a3, b0, b1, b2, b3):
+    return a0 * b0 + a1 * b1 + a2 * b2 + a3 * b3
+
+
+def test_e10_abstraction_ratio(benchmark):
+    library = get_pdk("edu130").library
+
+    def run():
+        return [
+            measure_hls_productivity(fn, library, width=16)
+            for fn in (poly5, dot4)
+        ]
+
+    records = once(benchmark, run)
+    rows = [
+        {
+            "function": r.function,
+            "hls_lines": r.hls_lines,
+            "rtl_lines": r.rtl_lines,
+            "gates": r.gate_count,
+            "rtl_per_hls": round(r.rtl_lines_per_hls_line, 1),
+            "gates_per_hls": round(r.gates_per_hls_line, 1),
+            "latency": r.latency_cycles,
+        }
+        for r in records
+    ]
+    print_table("E10: HLS abstraction multiplier", rows)
+    for record in records:
+        assert record.rtl_lines_per_hls_line > 2.0
+        assert record.gates_per_hls_line > 20.0
+
+
+def test_e10_resource_latency_tradeoff(benchmark):
+    args = {f"a{i}": 10 + i for i in range(4)}
+    args.update({f"b{i}": 3 + i for i in range(4)})
+    golden = dot4(**args) & 0xFFFF
+
+    def run():
+        rows = []
+        for muls in (1, 2, 4):
+            hls = compile_function(dot4, resources={"mul": muls}, width=16)
+            assert run_hls_module(hls, args) == golden
+            rows.append(
+                {"multipliers": muls, "latency": hls.latency,
+                 "fu_mul": hls.fu_instances["mul"]}
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("E10b: scheduling under multiplier budgets", rows)
+    latencies = [row["latency"] for row in rows]
+    assert latencies == sorted(latencies, reverse=True)
+    assert rows[0]["fu_mul"] == 1

@@ -1,0 +1,39 @@
+"""E1 — Semiconductor value-chain shares (paper Section I).
+
+Paper claims reproduced: design and fabrication are the two largest
+value-chain segments (30% / 34% of added value); Europe contributes 10% /
+8% to them while holding 40% of equipment and 20% of materials.
+"""
+
+from conftest import once, print_table
+
+from repro.analytics import (
+    design_gap_table,
+    europe_value_capture,
+    largest_segments,
+    segment,
+    uplift_per_segment,
+)
+
+
+def test_e1_value_chain_table(benchmark):
+    rows = once(benchmark, design_gap_table)
+
+    # Paper's headline numbers are encoded exactly.
+    assert segment("chip_design").value_share == 0.30
+    assert segment("fabrication").value_share == 0.34
+    assert segment("chip_design").europe_share == 0.10
+    assert segment("fabrication").europe_share == 0.08
+    # Design and fabrication are the two largest segments.
+    assert set(largest_segments(2)) == {"chip_design", "fabrication"}
+    # Europe's strengths are upstream (equipment/materials).
+    assert segment("equipment").europe_share == 0.40
+    assert segment("materials").europe_share == 0.20
+
+    print_table("E1: value chain (shares and gap to a 20% EU position)", rows)
+    capture = europe_value_capture()
+    print(f"  Europe's overall value capture: {capture:.1%}")
+    uplift = uplift_per_segment(0.05)
+    best = max(uplift, key=uplift.get)
+    print(f"  biggest +5% uplift lever: {best} (+{uplift[best]:.2%} overall)")
+    assert best in ("fabrication", "chip_design")

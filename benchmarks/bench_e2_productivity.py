@@ -1,0 +1,64 @@
+"""E2 — The abstraction gap (paper Sections I and III-B).
+
+Paper claims reproduced:
+* "A single line of RTL code typically generates only 5 to 20 gates" —
+  measured by synthesizing real designs and dividing mapped gates by
+  emitted RTL lines.
+* "A single line of Python code can generate thousands of assembly
+  instructions" — measured on the stack-VM compiler with a vector
+  one-liner.
+"""
+
+from conftest import once, print_table
+
+from repro.analytics import (
+    abstraction_gap,
+    max_line_expansion,
+    measure_gates_per_line,
+)
+from repro.pdk import get_pdk
+
+VECTOR_PROGRAM = "vadd(c, a, b, 1000)"
+
+
+def test_e2_gates_per_rtl_line(benchmark, reference_designs):
+    library = get_pdk("edu130").library
+    records = once(
+        benchmark, lambda: measure_gates_per_line(reference_designs, library)
+    )
+    rows = [
+        {
+            "design": r.design,
+            "rtl_lines": r.rtl_lines,
+            "gates": r.gate_count,
+            "gates_per_line": round(r.gates_per_line, 2),
+        }
+        for r in records
+    ]
+    print_table("E2a: gates per RTL line (paper band: 5-20)", rows)
+    for record in records:
+        assert 0.5 < record.gates_per_line < 40.0
+
+
+def test_e2_software_expansion(benchmark, reference_designs):
+    library = get_pdk("edu130").library
+    gap = once(
+        benchmark,
+        lambda: abstraction_gap(reference_designs, library, VECTOR_PROGRAM),
+    )
+    expansion = max_line_expansion(VECTOR_PROGRAM)
+    print_table(
+        "E2b: hardware vs software line expansion",
+        [
+            {
+                "gates_per_rtl_line": gap.gates_per_rtl_line,
+                "instr_per_py_line": gap.instructions_per_python_line,
+                "max_single_line": expansion,
+                "sw_hw_ratio": round(gap.ratio, 1),
+            }
+        ],
+    )
+    # "Thousands of assembly instructions" from one Python line:
+    assert expansion >= 1000
+    # The software side out-expands the hardware side by a large factor.
+    assert gap.ratio > 10

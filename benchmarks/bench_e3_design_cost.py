@@ -1,0 +1,50 @@
+"""E3 — Design cost vs technology node (paper Section III-C).
+
+Paper claim reproduced: production-ready design costs range "from $5
+million for a 130 nm chip to $725 million for a 2 nm chip"; the fitted
+power law also lands in the industry-folklore band at in-between nodes.
+"""
+
+import pytest
+from conftest import once, print_table
+
+from repro.analytics import (
+    affordable_node_nm,
+    cost_table,
+    design_cost,
+    design_cost_usd,
+)
+
+
+def test_e3_cost_curve(benchmark):
+    rows = once(benchmark, cost_table)
+    print_table("E3: design cost per node (paper anchors: 130nm=$5M, 2nm=$725M)", rows)
+
+    assert design_cost_usd(130.0) == pytest.approx(5e6, rel=1e-9)
+    assert design_cost_usd(2.0) == pytest.approx(725e6, rel=1e-9)
+    costs = [row["cost_musd"] for row in rows]
+    assert costs == sorted(costs)  # strictly harder toward advanced nodes
+
+    budget = 5e5  # a typical funded academic project, EUR~USD
+    node = affordable_node_nm(budget)
+    print(f"  a 500k academic budget affords a full design only at "
+          f">= {node:.0f} nm — the paper's accessibility point")
+    assert node > 100.0
+
+
+def test_e3_cost_breakdown_shift(benchmark):
+    breakdown = once(benchmark, lambda: (design_cost(130.0), design_cost(2.0)))
+    old, new = breakdown
+    rows = []
+    for name in old.breakdown_usd:
+        rows.append(
+            {
+                "category": name,
+                "share_130nm": round(old.breakdown_usd[name] / old.total_usd, 3),
+                "share_2nm": round(new.breakdown_usd[name] / new.total_usd, 3),
+            }
+        )
+    print_table("E3b: cost-category shift toward advanced nodes", rows)
+    shares = {r["category"]: r for r in rows}
+    assert shares["verification"]["share_2nm"] > shares["verification"]["share_130nm"]
+    assert shares["software"]["share_2nm"] > shares["software"]["share_130nm"]

@@ -1,0 +1,52 @@
+"""E5 — Tape-out turnaround vs academic calendars (paper I, III-C).
+
+Paper claim reproduced: "the turn-around times from design to packaged
+chips also exceed typical course lengths, thesis or research project
+durations" — no node returns packaged silicon within a semester course,
+and the shuttle calendar adds waiting time on top.
+"""
+
+from conftest import once, print_table
+
+from repro.analytics import course_fit_table
+from repro.core import ShuttleProgram, ShuttleProject
+from repro.pdk import get_pdk
+
+
+def test_e5_course_fit(benchmark):
+    rows = once(benchmark, course_fit_table)
+    table = [
+        {
+            "pdk": r.pdk,
+            "timebox": r.timebox,
+            "timebox_days": r.timebox_days,
+            "turnaround": r.turnaround_days,
+            "fits": r.fits,
+            "overshoot": r.overshoot_days,
+        }
+        for r in rows
+    ]
+    print_table("E5: fab+packaging turnaround vs academic time boxes", table)
+
+    semester = [r for r in rows if r.timebox == "semester_course"]
+    assert all(not r.fits for r in semester)  # the paper's claim
+    phd = [r for r in rows if r.timebox == "phd_project_phase"]
+    assert all(r.fits for r in phd)  # but research phases can absorb it
+
+
+def test_e5_shuttle_calendar_adds_wait(benchmark):
+    def book():
+        program = ShuttleProgram(get_pdk("edu130"), runs_per_year=4)
+        return program, program.submit(
+            ShuttleProject("thesis_chip", "student", 1.0), ready_day=10
+        )
+
+    program, quote = once(benchmark, book)
+    wait = quote.launch_day - 10
+    total = quote.chips_back_day - 10
+    print(f"\n  design ready day 10 -> launch day {quote.launch_day} "
+          f"(wait {wait} d) -> chips day {quote.chips_back_day} "
+          f"(total {total} d)")
+    # Quarterly shuttles add up to ~3 months on top of fab time.
+    assert wait > 0
+    assert total > get_pdk("edu130").terms.total_turnaround_days

@@ -1,0 +1,66 @@
+"""E6 — Availability vs enablement effort (paper Section III-D, Rec 4/7).
+
+Paper claims reproduced: the work is dominated by *enablement* (making
+tools/PDKs usable), not *availability* (obtaining them); flow templates
+(Recommendation 4) cut that effort substantially and a centralized hub
+(Recommendation 7) cuts it further.
+"""
+
+from conftest import once, print_table
+
+from repro.core import (
+    annual_effort_hours,
+    availability_vs_enablement,
+    backend_coverage,
+    effort_breakdown,
+    get_template,
+)
+
+
+def test_e6_effort_by_strategy(benchmark):
+    def compute():
+        return {
+            strategy: annual_effort_hours(strategy)
+            for strategy in ("manual", "templates", "hub")
+        }
+
+    totals = once(benchmark, compute)
+    rows = [
+        {"strategy": name, "hours_per_year": hours,
+         "fte": round(hours / 1600.0, 2)}
+        for name, hours in totals.items()
+    ]
+    print_table("E6: annual enablement effort per research group", rows)
+
+    assert totals["hub"] < totals["templates"] < totals["manual"]
+    # Templates alone remove a large share; the hub removes most of it.
+    assert totals["templates"] < 0.7 * totals["manual"]
+    assert totals["hub"] < 0.3 * totals["manual"]
+
+
+def test_e6_availability_vs_enablement_split(benchmark):
+    split = once(benchmark, availability_vs_enablement)
+    print_table("E6b: availability vs enablement share", [split])
+    # The paper's point: mere availability is the small part.
+    assert split["enablement_share"] > 0.7
+
+    breakdown = effort_breakdown("manual")
+    top = max(breakdown, key=breakdown.get)
+    print(f"  largest manual sink: {top} ({breakdown[top]} h/yr)")
+    assert top in ("flow_scripting", "student_retraining",
+                   "tool_technology_config")
+
+
+def test_e6_template_coverage(benchmark):
+    coverage = once(
+        benchmark,
+        lambda: {
+            name: round(backend_coverage(get_template(name)), 3)
+            for name in ("digital_asic", "fpga_prototyping",
+                         "beginner_tinytapeout")
+        },
+    )
+    rows = [{"template": k, "backend_coverage": v} for k, v in coverage.items()]
+    print_table("E6c: backend step coverage per flow template", rows)
+    assert coverage["digital_asic"] == 1.0
+    assert coverage["fpga_prototyping"] < 1.0

@@ -1,0 +1,95 @@
+"""E8 — Target-group-oriented enablement (paper Recommendation 8).
+
+Paper claims reproduced: one size does not fit all — the tier policies
+route beginners to the locked 180 nm pathway, intermediates to the open
+PDK + open flow combination, and only advanced users (who can clear the
+Section III-C gauntlet) to commercial nodes; legal friction is zero on
+open nodes and substantial on the commercial one.
+"""
+
+from conftest import build_counter, once, print_table
+
+from repro.core import (
+    AccessTier,
+    EnablementHub,
+    HubError,
+    ResidencyStatus,
+    User,
+    access_friction,
+    policy_for,
+)
+from repro.pdk import get_pdk, list_pdks
+
+
+def test_e8_tier_matrix(benchmark):
+    def compute():
+        rows = []
+        for tier in AccessTier:
+            policy = policy_for(tier)
+            rows.append(
+                {
+                    "tier": tier.value,
+                    "pdks": ",".join(policy.allowed_pdks),
+                    "presets": ",".join(policy.allowed_presets),
+                    "max_mm2": policy.max_die_area_mm2,
+                    "subsidized": policy.shuttle_subsidized,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, compute)
+    print_table("E8: tier policy matrix (Recommendation 8)", rows)
+
+    beginner = policy_for(AccessTier.BEGINNER)
+    advanced = policy_for(AccessTier.ADVANCED)
+    assert len(beginner.allowed_pdks) < len(advanced.allowed_pdks)
+    assert beginner.shuttle_subsidized and not advanced.shuttle_subsidized
+
+
+def test_e8_friction_by_node(benchmark):
+    def compute():
+        fresh = User(name="student", institution="uni")
+        restricted = User(name="visitor", institution="uni",
+                          residency=ResidencyStatus.RESTRICTED)
+        rows = []
+        for name in list_pdks():
+            pdk = get_pdk(name)
+            rows.append(
+                {
+                    "pdk": name,
+                    "open": pdk.is_open,
+                    "friction_fresh": access_friction(fresh, pdk),
+                    "friction_restricted": access_friction(restricted, pdk),
+                }
+            )
+        return rows
+
+    rows = once(benchmark, compute)
+    print_table("E8b: administrative friction per node (hurdle count)", rows)
+    by_name = {r["pdk"]: r for r in rows}
+    assert by_name["edu130"]["friction_fresh"] == 0
+    assert by_name["edu180"]["friction_fresh"] == 0
+    assert by_name["edu045"]["friction_fresh"] >= 3
+    # Export control hits restricted users only on the commercial node.
+    assert (by_name["edu045"]["friction_restricted"]
+            > by_name["edu045"]["friction_fresh"])
+
+
+def test_e8_hub_enforces_tiers(benchmark):
+    def run():
+        hub = EnablementHub()
+        hub.enroll(User(name="pupil", institution="school"),
+                   AccessTier.BEGINNER)
+        record = hub.run_design("pupil", build_counter(4), "edu180",
+                                clock_period_ps=20_000.0)
+        blocked = False
+        try:
+            hub.run_design("pupil", build_counter(4), "edu045")
+        except HubError:
+            blocked = True
+        return record, blocked
+
+    record, blocked = once(benchmark, run)
+    print(f"\n  beginner flow on edu180: {record.result.summary()}")
+    assert record.result.ok
+    assert blocked  # the commercial node is out of the beginner pathway

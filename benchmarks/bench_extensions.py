@@ -1,0 +1,200 @@
+"""Extension experiments beyond the E1-E12 core set.
+
+* **X1 analog sizing** — Section III-B's "analog sizing cannot be easily
+  automated": measure the search effort per target gain.
+* **X2 scan-chain DFT** — test-infrastructure overhead and the coverage
+  it buys (Section III-C's testability concern).
+* **X3 memory generator** — the compiled-SRAM datasheet across nodes,
+  the "memory generator" enablement artifact of Section III-D.
+* **X4 outreach portfolios** — cost-effectiveness of Recommendation 1-3
+  program portfolios feeding the workforce model.
+"""
+
+from conftest import build_counter, once, print_table
+
+from repro.analog import size_common_source
+from repro.analytics import simulate_pipeline
+from repro.core.outreach import (
+    PROGRAMS,
+    best_value_programs,
+    portfolio_cost,
+    portfolio_to_interventions,
+)
+from repro.pdk import get_pdk, sweep_table
+from repro.synth import (
+    check_equivalence,
+    coverage_estimate,
+    insert_scan_chain,
+    synthesize,
+)
+
+
+def test_x1_analog_sizing_effort(benchmark):
+    def run():
+        rows = []
+        for target in (2.0, 4.0, 6.0, 8.0):
+            design = size_common_source(target_gain=target)
+            rows.append(
+                {
+                    "target_gain": target,
+                    "w_over_l": round(design.w_over_l, 2),
+                    "id_ua": round(design.drain_current * 1e6, 1),
+                    "achieved": round(design.gain, 2),
+                    "search_steps": design.iterations,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("X1: common-source sizing effort per gain target", rows)
+    for row in rows:
+        assert abs(row["achieved"] - row["target_gain"]) / row["target_gain"] < 0.06
+        assert row["search_steps"] > 1  # sizing is a search (III-B)
+    widths = [row["w_over_l"] for row in rows]
+    assert widths == sorted(widths)  # more gain needs more device
+
+
+def test_x2_scan_chain_overhead(benchmark):
+    def run():
+        rows = []
+        for width in (4, 8, 16):
+            module = build_counter(width)
+            mapped = synthesize(module, get_pdk("edu130").library).mapped
+            before_coverage = coverage_estimate(mapped, scanned=False)
+            report = insert_scan_chain(mapped)
+            equivalent = check_equivalence(module, mapped, cycles=30).passed
+            rows.append(
+                {
+                    "flops": report.chain_length,
+                    "area_overhead_pct": round(100 * report.area_overhead, 1),
+                    "coverage_before": before_coverage,
+                    "coverage_after": coverage_estimate(mapped, scanned=True),
+                    "functional_equiv": equivalent,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("X2: scan-chain cost vs stuck-at coverage", rows)
+    for row in rows:
+        assert row["functional_equiv"]
+        assert row["coverage_after"] > row["coverage_before"]
+        assert 0 < row["area_overhead_pct"] < 60
+
+
+def test_x3_memory_generator_datasheet(benchmark):
+    def run():
+        rows = []
+        for pdk_name in ("edu180", "edu130", "edu045"):
+            node = get_pdk(pdk_name).node
+            for macro in sweep_table(node, ((64, 16), (1024, 32))):
+                rows.append(
+                    {
+                        "node": pdk_name,
+                        "config": macro.name,
+                        "area_um2": macro.area_um2,
+                        "access_ps": macro.access_time_ps,
+                        "kb_per_mm2": round(macro.bit_density_kb_per_mm2, 1),
+                    }
+                )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("X3: compiled-SRAM datasheet across nodes", rows)
+    by_key = {(r["node"], r["config"]): r for r in rows}
+    # Density improves monotonically toward advanced nodes.
+    assert (by_key[("edu045", "sram_1024x32")]["kb_per_mm2"]
+            > by_key[("edu130", "sram_1024x32")]["kb_per_mm2"]
+            > by_key[("edu180", "sram_1024x32")]["kb_per_mm2"])
+
+
+def test_x4_outreach_portfolio_value(benchmark):
+    def run():
+        portfolios = {
+            "best_value_trio": best_value_programs(count=3),
+            "contest_only": ["olympiad_contest"],
+            "everything": [p.name for p in PROGRAMS],
+        }
+        rows = []
+        for name, programs in portfolios.items():
+            interventions = portfolio_to_interventions(programs)
+            result = simulate_pipeline(interventions=interventions)
+            rows.append(
+                {
+                    "portfolio": name,
+                    "annual_cost_keur": round(portfolio_cost(programs) / 1e3),
+                    "final_gap": round(result.final_gap),
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("X4: outreach portfolios vs 2036 designer gap", rows)
+    by_name = {r["portfolio"]: r for r in rows}
+    # Broad low-barrier programs beat the top-performer contest (Rec 1).
+    assert (by_name["best_value_trio"]["final_gap"]
+            < by_name["contest_only"]["final_gap"])
+    assert by_name["everything"]["final_gap"] == min(
+        r["final_gap"] for r in rows
+    )
+
+
+def test_x5_chiplet_crossover(benchmark):
+    from repro.analytics.chiplets import (
+        chiplet_cost,
+        comparison_table,
+        crossover_area_mm2,
+        monolithic_cost,
+    )
+
+    def run():
+        return comparison_table(), crossover_area_mm2(n_chiplets=4)
+
+    rows, crossover = once(benchmark, run)
+    print_table("X5: monolithic vs 4-chiplet cost (III-D)", rows)
+    print(f"  crossover: chiplets win above ~{crossover:.0f} mm2 of logic")
+    assert rows[0]["winner"] == "monolithic"
+    assert rows[-1]["winner"] == "chiplet"
+    assert 50 < crossover < 800
+    # The chiplet advantage grows with system size (yield economics).
+    ratios = [r["mono_cost"] / r["chiplet_cost"] for r in rows]
+    assert ratios == sorted(ratios)
+    # But disintegration is not free: silicon area goes up.
+    assert chiplet_cost(400.0, 4).total_silicon_mm2 > monolithic_cost(
+        400.0
+    ).total_silicon_mm2
+
+
+def test_x6_rram_nonidealities(benchmark):
+    import numpy as np
+
+    from repro.analog.rram import RramDeviceModel, mvm_error
+
+    weights = np.random.default_rng(11).uniform(0, 1, (16, 8))
+    inputs = np.random.default_rng(12).uniform(0, 1, 16)
+
+    def run():
+        rows = []
+        for levels in (2, 4, 16, 64):
+            for sigma in (0.0, 0.2):
+                device = RramDeviceModel(levels=levels,
+                                         variation_sigma=sigma)
+                rows.append(
+                    {
+                        "levels": levels,
+                        "variation": sigma,
+                        "rms_error": round(
+                            mvm_error(weights, inputs, device, seed=5), 4
+                        ),
+                    }
+                )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("X6: RRAM crossbar MVM error vs device quality", rows)
+    ideal = {r["levels"]: r["rms_error"] for r in rows
+             if r["variation"] == 0.0}
+    assert ideal[64] < ideal[4] < ideal[2]
+    noisy = {r["levels"]: r["rms_error"] for r in rows
+             if r["variation"] == 0.2}
+    assert noisy[64] > ideal[64]

@@ -1,0 +1,70 @@
+"""Engine performance benchmarks: how fast the flow itself runs.
+
+Not a paper experiment — these time the toolkit's own hot paths (RTL
+simulation, synthesis, placement, routing, GDS export) so regressions in
+the engines are visible.  Unlike the experiment benches these use real
+repeated measurement rounds.
+"""
+
+from conftest import build_alu_design, build_counter, build_mac_pipe
+
+from repro.core import OPEN, run_flow
+from repro.layout import build_chip_gds, write_gds
+from repro.pdk import get_pdk
+from repro.pnr import implement
+from repro.sim import Simulator
+from repro.synth import lower, optimize, synthesize
+
+
+def test_perf_rtl_simulation(benchmark):
+    sim = Simulator(build_counter(16))
+    sim.set("en", 1)
+    benchmark(sim.step, 100)
+
+
+def test_perf_lower_and_optimize(benchmark):
+    module = build_alu_design()
+
+    def run():
+        return optimize(lower(module))
+
+    netlist, _ = benchmark(run)
+    assert netlist.gates
+
+
+def test_perf_synthesis(benchmark):
+    library = get_pdk("edu130").library
+    module = build_mac_pipe()
+    result = benchmark(synthesize, module, library)
+    assert result.mapped.cells
+
+
+def test_perf_backend(benchmark):
+    pdk = get_pdk("edu130")
+    mapped = synthesize(build_alu_design(), pdk.library).mapped
+    design = benchmark.pedantic(
+        implement, args=(mapped, pdk), rounds=3, iterations=1
+    )
+    assert design.routing.nets
+
+
+def test_perf_gds_export(benchmark):
+    pdk = get_pdk("edu130")
+    mapped = synthesize(build_counter(), pdk.library).mapped
+    design = implement(mapped, pdk)
+
+    def export():
+        return write_gds(build_chip_gds(design))
+
+    data = benchmark(export)
+    assert len(data) > 100
+
+
+def test_perf_full_flow(benchmark):
+    module = build_counter()
+    pdk = get_pdk("edu130")
+    result = benchmark.pedantic(
+        lambda: run_flow(module, pdk, preset=OPEN),
+        rounds=3, iterations=1,
+    )
+    assert result.ok

@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every ``bench_e*.py`` module reproduces one experiment from
+EXPERIMENTS.md: it computes the experiment's table/series, asserts the
+qualitative shape the paper claims (who wins, which direction), prints
+the rows, and times the computation via pytest-benchmark.
+
+Run everything:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hdl import ModuleBuilder, mux
+
+
+def once(benchmark, fn):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Uniform experiment-table printer."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    print("  " + " | ".join(f"{k:>16s}" for k in keys))
+    for row in rows:
+        print("  " + " | ".join(f"{str(row[k]):>16s}" for k in keys))
+
+
+def build_counter(width: int = 8):
+    b = ModuleBuilder(f"counter{width}")
+    en = b.input("en", 1)
+    count = b.register("count", width)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    return b.build()
+
+
+def build_accumulator(width: int = 12):
+    b = ModuleBuilder(f"accum{width}")
+    d = b.input("d", width)
+    acc = b.register("acc", width)
+    acc.next = (acc + d).trunc(width)
+    b.output("q", acc)
+    return b.build()
+
+
+def build_alu_design():
+    b = ModuleBuilder("alu_ish")
+    a = b.input("a", 8)
+    c = b.input("c", 8)
+    op = b.input("op", 2)
+    add = (a + c).trunc(8)
+    sub = (a - c).trunc(8)
+    logic = mux(op[0], a & c, a | c)
+    arith = mux(op[0], sub, add)
+    b.output("y", mux(op[1], logic, arith))
+    return b.build()
+
+
+def build_mac_pipe():
+    b = ModuleBuilder("mac_pipe")
+    a = b.input("a", 8)
+    w = b.input("w", 8)
+    product = b.register("product", 16)
+    product.next = a * w
+    acc = b.register("acc", 16)
+    acc.next = (acc + product).trunc(16)
+    b.output("y", acc)
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def reference_designs():
+    """The small design suite used by synthesis-based experiments."""
+    return [build_counter(), build_accumulator(), build_alu_design()]

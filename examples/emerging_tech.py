@@ -1,0 +1,72 @@
+"""Emerging technologies: chiplets and RRAM (paper Sections I, III-D).
+
+The paper's introduction names the frontier where universities can lead:
+"novel computing paradigms like neuromorphic computing, new devices like
+resistive RAM (RRAM), integration techniques like chiplets".  This
+example runs both models: the chiplet-vs-monolithic yield economics that
+drive 2.5D integration, and an RRAM crossbar computing a small neural
+layer with realistic device non-idealities.
+
+Run:  python examples/emerging_tech.py
+"""
+
+import numpy as np
+
+from repro.analog import RramCrossbar, RramDeviceModel
+from repro.analytics import (
+    chiplet_cost,
+    comparison_table,
+    crossover_area_mm2,
+    die_yield,
+)
+
+
+def chiplet_story() -> None:
+    print("=== chiplets: why mix-and-match wins at scale (III-D) ===\n")
+    print(f"{'system mm2':>10s} {'mono yield':>11s} {'mono $':>9s} "
+          f"{'chiplet $':>10s} {'winner':>11s}")
+    for row in comparison_table():
+        print(f"{row['system_mm2']:10.0f} {row['mono_yield']:11.3f} "
+              f"{row['mono_cost']:9.2f} {row['chiplet_cost']:10.2f} "
+              f"{row['winner']:>11s}")
+    crossover = crossover_area_mm2(n_chiplets=4)
+    print(f"\ncrossover at ~{crossover:.0f} mm2: beyond it, known-good-die "
+          "yield pays for the interposer and D2D overhead.")
+    print(f"(an 800 mm2 monolithic die yields only "
+          f"{die_yield(800):.0%}; a 220 mm2 chiplet yields "
+          f"{die_yield(220):.0%})")
+    split = chiplet_cost(800.0, 4)
+    print(f"4-chiplet 800 mm2 system: {split.good_unit_cost:.2f} USD/good "
+          f"unit, detail: {split.detail}")
+
+
+def rram_story() -> None:
+    print("\n=== RRAM crossbar: one analog MAC per device (Section I) ===\n")
+    rng = np.random.default_rng(42)
+    weights = rng.uniform(0, 1, (16, 8))  # a 16->8 neural layer
+    inputs = rng.uniform(0, 1, 16)
+    exact = weights.T @ inputs
+
+    print(f"{'levels':>7s} {'variation':>10s} {'stuck %':>8s} "
+          f"{'rms error':>10s} {'energy pJ':>10s}")
+    for levels, sigma, stuck in (
+        (64, 0.0, 0.0), (16, 0.0, 0.0), (4, 0.0, 0.0),
+        (64, 0.2, 0.0), (64, 0.0, 0.05),
+    ):
+        device = RramDeviceModel(levels=levels, variation_sigma=sigma,
+                                 stuck_fraction=stuck)
+        crossbar = RramCrossbar(16, 8, device=device, seed=7)
+        crossbar.program(weights)
+        measured = crossbar.mvm_weights(inputs)
+        rms = float(np.sqrt(np.mean((measured - exact) ** 2)))
+        energy = crossbar.energy_per_mvm_j() * 1e12
+        print(f"{levels:7d} {sigma:10.2f} {100 * stuck:8.1f} "
+              f"{rms:10.4f} {energy:10.3f}")
+    print("\n128 multiply-accumulates happen in one analog read — the "
+          "efficiency promise; the error rows show why device research "
+          "(the university frontier) is what gates it.")
+
+
+if __name__ == "__main__":
+    chiplet_story()
+    rram_story()

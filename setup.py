@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``python setup.py develop`` works in offline environments
+where pip cannot fetch the ``wheel`` package needed for PEP 660 editable
+installs.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Analog substrate: components, nodal analysis, amplifier sizing."""
+
+from .circuit import AnalogError, Circuit, OperatingPoint
+from .components import (
+    Capacitor,
+    CurrentSource,
+    Nmos,
+    Resistor,
+    VoltageSource,
+)
+from .rram import RramCrossbar, RramDeviceModel, mvm_error
+from .sizing import (
+    CommonSourceDesign,
+    analyze_common_source,
+    build_common_source,
+    size_common_source,
+)
+
+__all__ = [
+    "AnalogError",
+    "Capacitor",
+    "Circuit",
+    "CommonSourceDesign",
+    "CurrentSource",
+    "Nmos",
+    "OperatingPoint",
+    "Resistor",
+    "RramCrossbar",
+    "RramDeviceModel",
+    "VoltageSource",
+    "analyze_common_source",
+    "build_common_source",
+    "mvm_error",
+    "size_common_source",
+]

@@ -1,0 +1,237 @@
+"""Nodal analysis: DC operating point and linear RC transient.
+
+The DC solver writes one KCL equation per free node and solves the
+(nonlinear, because of MOSFETs) system with damped Newton iteration via
+:func:`scipy.optimize.fsolve`.  The transient solver handles linear RC
+networks with backward Euler — enough for the time-constant labs of an
+introductory analog course.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import fsolve
+
+from .components import (
+    Capacitor,
+    CurrentSource,
+    Nmos,
+    Resistor,
+    VoltageSource,
+)
+
+GROUND = "0"
+
+
+class AnalogError(Exception):
+    """Raised for malformed circuits or solver failures."""
+
+
+@dataclass
+class OperatingPoint:
+    """DC solution: node voltages and per-device currents."""
+
+    voltages: dict[str, float]
+    device_currents: dict[str, float]
+    converged: bool
+
+    def v(self, node: str) -> float:
+        if node == GROUND:
+            return 0.0
+        return self.voltages[node]
+
+
+@dataclass
+class Circuit:
+    """A flat analog circuit."""
+
+    name: str
+    resistors: list[Resistor] = field(default_factory=list)
+    capacitors: list[Capacitor] = field(default_factory=list)
+    vsources: list[VoltageSource] = field(default_factory=list)
+    isources: list[CurrentSource] = field(default_factory=list)
+    mosfets: list[Nmos] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------
+
+    def resistor(self, name, a, b, ohms) -> Resistor:
+        component = Resistor(name, a, b, ohms)
+        self.resistors.append(component)
+        return component
+
+    def capacitor(self, name, a, b, farads) -> Capacitor:
+        component = Capacitor(name, a, b, farads)
+        self.capacitors.append(component)
+        return component
+
+    def vsource(self, name, positive, volts) -> VoltageSource:
+        component = VoltageSource(name, positive, volts)
+        self.vsources.append(component)
+        return component
+
+    def isource(self, name, a, b, amps) -> CurrentSource:
+        component = CurrentSource(name, a, b, amps)
+        self.isources.append(component)
+        return component
+
+    def nmos(self, name, drain, gate, source, w_over_l, **params) -> Nmos:
+        component = Nmos(name, drain, gate, source, w_over_l, **params)
+        self.mosfets.append(component)
+        return component
+
+    # -- topology ---------------------------------------------------------------
+
+    def nodes(self) -> list[str]:
+        """All non-ground nodes, fixed-voltage nodes included."""
+        found: set[str] = set()
+        for r in self.resistors:
+            found.update((r.a, r.b))
+        for c in self.capacitors:
+            found.update((c.a, c.b))
+        for v in self.vsources:
+            found.add(v.positive)
+        for i in self.isources:
+            found.update((i.a, i.b))
+        for m in self.mosfets:
+            found.update((m.drain, m.gate, m.source))
+        found.discard(GROUND)
+        return sorted(found)
+
+    def _fixed(self) -> dict[str, float]:
+        fixed: dict[str, float] = {}
+        for source in self.vsources:
+            if source.positive in fixed:
+                raise AnalogError(
+                    f"node {source.positive!r} driven by two voltage sources"
+                )
+            fixed[source.positive] = source.volts
+        return fixed
+
+    # -- DC solution ------------------------------------------------------------
+
+    def dc_operating_point(self, guess: float = 0.5) -> OperatingPoint:
+        """Solve the DC operating point."""
+        fixed = self._fixed()
+        free = [n for n in self.nodes() if n not in fixed]
+
+        def voltages_from(x: np.ndarray) -> dict[str, float]:
+            v = {GROUND: 0.0, **fixed}
+            for node, value in zip(free, x):
+                v[node] = float(value)
+            return v
+
+        def kcl(x: np.ndarray) -> np.ndarray:
+            v = voltages_from(x)
+            residual = {node: 0.0 for node in free}
+
+            def inject(node: str, current: float) -> None:
+                if node in residual:
+                    residual[node] += current
+
+            for r in self.resistors:
+                current = (v[r.b] - v[r.a]) / r.ohms
+                inject(r.a, current)
+                inject(r.b, -current)
+            for s in self.isources:
+                inject(s.a, -s.amps)
+                inject(s.b, s.amps)
+            for m in self.mosfets:
+                vgs = v[m.gate] - v[m.source]
+                vds = v[m.drain] - v[m.source]
+                current = m.ids(vgs, max(0.0, vds))
+                inject(m.drain, -current)
+                inject(m.source, current)
+            return np.array([residual[node] for node in free])
+
+        if free:
+            x0 = np.full(len(free), guess)
+            solution, _info, ier, _msg = fsolve(kcl, x0, full_output=True)
+            converged = ier == 1 and bool(
+                np.all(np.abs(kcl(solution)) < 1e-9)
+            )
+        else:
+            solution = np.array([])
+            converged = True
+
+        v = voltages_from(solution)
+        currents: dict[str, float] = {}
+        for r in self.resistors:
+            currents[r.name] = (v[r.a] - v[r.b]) / r.ohms
+        for m in self.mosfets:
+            currents[m.name] = m.ids(
+                v[m.gate] - v[m.source], max(0.0, v[m.drain] - v[m.source])
+            )
+        for s in self.isources:
+            currents[s.name] = s.amps
+        voltages = {node: v[node] for node in self.nodes()}
+        return OperatingPoint(voltages, currents, converged)
+
+    # -- linear transient ---------------------------------------------------
+
+    def transient(
+        self, duration_s: float, step_s: float,
+        initial: dict[str, float] | None = None,
+    ) -> dict[str, list[float]]:
+        """Backward-Euler transient for linear RC circuits.
+
+        MOSFETs are not supported here (DC only); raises if present.
+        """
+        if self.mosfets:
+            raise AnalogError("transient supports linear RC circuits only")
+        if step_s <= 0 or duration_s <= 0:
+            raise AnalogError("duration and step must be positive")
+        fixed = self._fixed()
+        free = [n for n in self.nodes() if n not in fixed]
+        index = {node: i for i, node in enumerate(free)}
+        n = len(free)
+        steps = int(round(duration_s / step_s))
+
+        v_now = {GROUND: 0.0, **fixed}
+        for node in free:
+            v_now[node] = (initial or {}).get(node, 0.0)
+
+        waves: dict[str, list[float]] = {node: [v_now[node]] for node in free}
+        for _ in range(steps):
+            g = np.zeros((n, n))
+            rhs = np.zeros(n)
+
+            for r in self.resistors:
+                conductance = 1.0 / r.ohms
+                a, b = r.a, r.b
+                for node, other in ((a, b), (b, a)):
+                    if node not in index:
+                        continue
+                    row = index[node]
+                    g[row, row] += conductance
+                    if other in index:
+                        g[row, index[other]] -= conductance
+                    else:
+                        rhs[row] += conductance * ({GROUND: 0.0, **fixed}).get(other, 0.0)
+            for c in self.capacitors:
+                conductance = c.farads / step_s
+                a, b = c.a, c.b
+                v_c = v_now[a] if a != GROUND else 0.0
+                v_c -= v_now[b] if b != GROUND else 0.0
+                for node, other, sign in ((a, b, 1.0), (b, a, -1.0)):
+                    if node not in index:
+                        continue
+                    row = index[node]
+                    g[row, row] += conductance
+                    if other in index:
+                        g[row, index[other]] -= conductance
+                    else:
+                        rhs[row] += conductance * ({GROUND: 0.0, **fixed}).get(other, 0.0)
+                    rhs[row] += sign * conductance * v_c
+            for s in self.isources:
+                if s.a in index:
+                    rhs[index[s.a]] -= s.amps
+                if s.b in index:
+                    rhs[index[s.b]] += s.amps
+
+            solution = np.linalg.solve(g, rhs)
+            for node in free:
+                v_now[node] = float(solution[index[node]])
+                waves[node].append(v_now[node])
+        return waves

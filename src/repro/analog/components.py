@@ -1,0 +1,119 @@
+"""Analog circuit components.
+
+Section III-B: "Analog design lacks viable alternatives like FPGAs.
+Tasks such as component sizing or manual layout demand meticulous
+attention and cannot be easily automated."  The analog package gives the
+toolkit a minimal but real analog substrate — resistors, capacitors,
+sources and square-law MOSFETs over a nodal-analysis solver — so the
+sizing experience the paper describes can be taught (and its partial
+automation demonstrated) inside the same repository.
+
+Conventions: node ``"0"`` is ground; every component contributes its
+branch current into the KCL equations of its terminal nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Resistor:
+    name: str
+    a: str
+    b: str
+    ohms: float
+
+    def __post_init__(self):
+        if self.ohms <= 0:
+            raise ValueError(f"{self.name}: resistance must be positive")
+
+    def current_into_a(self, va: float, vb: float) -> float:
+        return (vb - va) / self.ohms
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    name: str
+    a: str
+    b: str
+    farads: float
+
+    def __post_init__(self):
+        if self.farads <= 0:
+            raise ValueError(f"{self.name}: capacitance must be positive")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Ideal DC source from node ``positive`` to ground."""
+
+    name: str
+    positive: str
+    volts: float
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Ideal DC current pushed from node ``a`` into node ``b``."""
+
+    name: str
+    a: str
+    b: str
+    amps: float
+
+
+@dataclass(frozen=True)
+class Nmos:
+    """Square-law NMOS transistor (source at the lower potential).
+
+    Model parameters: ``k`` is the process transconductance
+    ``mu_n * C_ox`` in A/V^2, ``vth`` the threshold, ``lam`` the channel
+    length modulation in 1/V; geometry is the W/L ratio.
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    w_over_l: float
+    k: float = 200e-6
+    vth: float = 0.5
+    lam: float = 0.05
+
+    def __post_init__(self):
+        if self.w_over_l <= 0:
+            raise ValueError(f"{self.name}: W/L must be positive")
+
+    def ids(self, vgs: float, vds: float) -> float:
+        """Drain current for the given terminal voltages (vds >= 0)."""
+        vov = vgs - self.vth
+        if vov <= 0:
+            return 0.0  # cutoff (subthreshold ignored)
+        beta = self.k * self.w_over_l
+        if vds < vov:  # triode
+            return beta * (vov * vds - 0.5 * vds * vds)
+        return 0.5 * beta * vov * vov * (1.0 + self.lam * (vds - vov))
+
+    def gm(self, vgs: float, vds: float) -> float:
+        """Small-signal transconductance at the operating point."""
+        vov = vgs - self.vth
+        if vov <= 0:
+            return 0.0
+        beta = self.k * self.w_over_l
+        if vds < vov:
+            return beta * vds
+        return beta * vov * (1.0 + self.lam * (vds - vov))
+
+    def rout(self, vgs: float, vds: float) -> float:
+        """Small-signal output resistance (1 / (lambda * Id))."""
+        current = self.ids(vgs, vds)
+        if current <= 0 or self.lam <= 0:
+            return float("inf")
+        return 1.0 / (self.lam * current)
+
+    def region(self, vgs: float, vds: float) -> str:
+        vov = vgs - self.vth
+        if vov <= 0:
+            return "cutoff"
+        return "triode" if vds < vov else "saturation"

@@ -1,0 +1,144 @@
+"""RRAM crossbar: an emerging-device compute substrate.
+
+The paper's introduction lists the university innovation frontier:
+"novel computing paradigms like neuromorphic computing, new devices like
+resistive RAM (RRAM)".  This module models the workhorse of that
+research: a resistive crossbar performing analog matrix-vector
+multiplication (MVM) by Ohm's and Kirchhoff's laws, with the standard
+non-idealities (conductance quantization, device variation, wire
+resistance, stuck cells) that make crossbar research hard — and
+measurable here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RramDeviceModel:
+    """Device window and programming characteristics."""
+
+    g_min_s: float = 1e-6  # high-resistive state conductance
+    g_max_s: float = 1e-4  # low-resistive state conductance
+    levels: int = 16  # programmable conductance levels
+    variation_sigma: float = 0.0  # lognormal programming spread
+    stuck_fraction: float = 0.0  # fraction of stuck-at-g_min devices
+
+    def __post_init__(self):
+        if not 0 < self.g_min_s < self.g_max_s:
+            raise ValueError("need 0 < g_min < g_max")
+        if self.levels < 2:
+            raise ValueError("need at least two conductance levels")
+
+
+@dataclass
+class RramCrossbar:
+    """A rows x cols crossbar storing a non-negative weight matrix.
+
+    Weights in [0, 1] map linearly onto the conductance window.  MVM
+    applies the input vector as wordline voltages and reads bitline
+    currents: ``i = G^T v`` — one analog multiply-accumulate per cell.
+    """
+
+    rows: int
+    cols: int
+    device: RramDeviceModel = field(default_factory=RramDeviceModel)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("crossbar needs positive dimensions")
+        self._g = np.full((self.rows, self.cols), self.device.g_min_s)
+        self._stuck = np.zeros((self.rows, self.cols), dtype=bool)
+        rng = random.Random(self.seed)
+        for r in range(self.rows):
+            for c in range(self.cols):
+                if rng.random() < self.device.stuck_fraction:
+                    self._stuck[r, c] = True
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- programming -------------------------------------------------------
+
+    def quantize(self, weight: float) -> float:
+        """Ideal quantized conductance for a weight in [0, 1]."""
+        weight = min(1.0, max(0.0, weight))
+        step = round(weight * (self.device.levels - 1))
+        fraction = step / (self.device.levels - 1)
+        return self.device.g_min_s + fraction * (
+            self.device.g_max_s - self.device.g_min_s
+        )
+
+    def program(self, weights: np.ndarray) -> None:
+        """Program a weight matrix (values clipped to [0, 1])."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"weights shape {weights.shape} != "
+                f"({self.rows}, {self.cols})"
+            )
+        for r in range(self.rows):
+            for c in range(self.cols):
+                if self._stuck[r, c]:
+                    self._g[r, c] = self.device.g_min_s
+                    continue
+                g = self.quantize(float(weights[r, c]))
+                if self.device.variation_sigma > 0:
+                    g *= float(
+                        self._rng.lognormal(0.0, self.device.variation_sigma)
+                    )
+                self._g[r, c] = g
+
+    # -- compute -----------------------------------------------------------
+
+    def mvm(self, voltages: np.ndarray) -> np.ndarray:
+        """Bitline currents for the applied wordline voltages (amps)."""
+        voltages = np.asarray(voltages, dtype=float)
+        if voltages.shape != (self.rows,):
+            raise ValueError(f"need {self.rows} wordline voltages")
+        return self._g.T @ voltages
+
+    def mvm_weights(self, inputs: np.ndarray, v_read: float = 0.2) -> np.ndarray:
+        """Approximate ``W^T x`` in weight units.
+
+        Inputs in [0, 1] scale the read voltage; the current is mapped
+        back through the conductance window.  This is the end-to-end
+        accuracy the non-idealities degrade.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        currents = self.mvm(inputs * v_read)
+        span = self.device.g_max_s - self.device.g_min_s
+        baseline = self.device.g_min_s * v_read * inputs.sum()
+        return (currents - baseline) / (span * v_read)
+
+    def energy_per_mvm_j(self, v_read: float = 0.2) -> float:
+        """Static read energy per MVM at 10 ns integration."""
+        power = float(np.sum(self._g)) * v_read * v_read
+        return power * 10e-9
+
+    @property
+    def conductances(self) -> np.ndarray:
+        return self._g.copy()
+
+
+def mvm_error(
+    weights: np.ndarray,
+    inputs: np.ndarray,
+    device: RramDeviceModel,
+    seed: int = 0,
+) -> float:
+    """RMS error of the crossbar MVM vs exact ``W^T x``.
+
+    The figure of merit every crossbar paper sweeps against levels,
+    variation and stuck fraction.
+    """
+    weights = np.asarray(weights, dtype=float)
+    inputs = np.asarray(inputs, dtype=float)
+    crossbar = RramCrossbar(*weights.shape, device=device, seed=seed)
+    crossbar.program(weights)
+    measured = crossbar.mvm_weights(inputs)
+    exact = weights.T @ inputs
+    return float(np.sqrt(np.mean((measured - exact) ** 2)))

@@ -1,0 +1,167 @@
+"""Chiplet vs monolithic integration economics.
+
+Section III-D: "the advent of 3D communication substrates compatible
+with chiplets.  The chiplet-based mix-and-match approach to system design
+requires interoperability and reusability, further increasing the overall
+design flow complexity."  This module quantifies *why* the industry puts
+up with that complexity: known-good-die yield economics.
+
+Yield follows the classic negative-binomial defect model
+
+    Y = (1 + A * D0 / alpha)^(-alpha)
+
+so splitting a large die into small chiplets raises per-die yield
+dramatically; the chiplet path pays for it with interposer area, die-to-
+die (D2D) PHY overhead and assembly yield.  The crossover — below which
+monolithic wins and above which chiplets win — is the number every
+chiplet keynote shows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Defect density of a leading-edge node early in life, defects per cm^2.
+DEFAULT_D0_PER_CM2 = 0.3
+#: Negative-binomial clustering parameter.
+DEFAULT_ALPHA = 3.0
+
+
+def die_yield(area_mm2: float, d0_per_cm2: float = DEFAULT_D0_PER_CM2,
+              alpha: float = DEFAULT_ALPHA) -> float:
+    """Negative-binomial die yield for a given die area."""
+    if area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    defects = area_mm2 / 100.0 * d0_per_cm2  # area in cm^2 times density
+    return (1.0 + defects / alpha) ** (-alpha)
+
+
+def dies_per_wafer(area_mm2: float, wafer_diameter_mm: float = 300.0) -> int:
+    """Gross dies per wafer with the standard edge-loss correction."""
+    if area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    radius = wafer_diameter_mm / 2.0
+    wafer_area = math.pi * radius * radius
+    edge = math.pi * wafer_diameter_mm / math.sqrt(2.0 * area_mm2)
+    return max(1, int(wafer_area / area_mm2 - edge))
+
+
+@dataclass(frozen=True)
+class IntegrationCost:
+    """Cost result for one integration style."""
+
+    style: str  # "monolithic" or "chiplet"
+    total_silicon_mm2: float
+    good_unit_cost: float
+    system_yield: float
+    detail: dict
+
+
+def monolithic_cost(
+    logic_area_mm2: float,
+    wafer_cost: float = 10_000.0,
+    d0_per_cm2: float = DEFAULT_D0_PER_CM2,
+) -> IntegrationCost:
+    """Cost of one good monolithic die implementing the whole system."""
+    gross = dies_per_wafer(logic_area_mm2)
+    y = die_yield(logic_area_mm2, d0_per_cm2)
+    cost = wafer_cost / (gross * y)
+    return IntegrationCost(
+        style="monolithic",
+        total_silicon_mm2=logic_area_mm2,
+        good_unit_cost=round(cost, 2),
+        system_yield=round(y, 4),
+        detail={"gross_dies": gross, "die_yield": round(y, 4)},
+    )
+
+
+def chiplet_cost(
+    logic_area_mm2: float,
+    n_chiplets: int,
+    wafer_cost: float = 10_000.0,
+    d0_per_cm2: float = DEFAULT_D0_PER_CM2,
+    d2d_overhead: float = 0.10,
+    interposer_cost_per_mm2: float = 0.05,
+    assembly_yield_per_die: float = 0.99,
+) -> IntegrationCost:
+    """Cost of one good chiplet-based system.
+
+    The logic is split evenly; each chiplet grows by ``d2d_overhead`` for
+    die-to-die PHYs; chiplets are known-good-die tested (so only good
+    dies are assembled), and assembly succeeds per die with
+    ``assembly_yield_per_die``.
+    """
+    if n_chiplets < 1:
+        raise ValueError("need at least one chiplet")
+    chiplet_area = logic_area_mm2 / n_chiplets * (1.0 + d2d_overhead)
+    gross = dies_per_wafer(chiplet_area)
+    y = die_yield(chiplet_area, d0_per_cm2)
+    cost_per_good_die = wafer_cost / (gross * y)
+    assembly = assembly_yield_per_die**n_chiplets
+    interposer_area = chiplet_area * n_chiplets * 1.15  # routing margin
+    silicon_cost = n_chiplets * cost_per_good_die
+    interposer = interposer_area * interposer_cost_per_mm2
+    total = (silicon_cost + interposer) / assembly
+    return IntegrationCost(
+        style="chiplet",
+        total_silicon_mm2=round(chiplet_area * n_chiplets, 3),
+        good_unit_cost=round(total, 2),
+        system_yield=round(assembly, 4),
+        detail={
+            "n_chiplets": n_chiplets,
+            "chiplet_area_mm2": round(chiplet_area, 3),
+            "chiplet_yield": round(y, 4),
+            "interposer_cost": round(interposer, 2),
+        },
+    )
+
+
+def crossover_area_mm2(
+    n_chiplets: int = 4,
+    wafer_cost: float = 10_000.0,
+    d0_per_cm2: float = DEFAULT_D0_PER_CM2,
+    low: float = 20.0,
+    high: float = 1_500.0,
+) -> float:
+    """System area above which the chiplet approach becomes cheaper."""
+    def chiplet_wins(area: float) -> bool:
+        return (
+            chiplet_cost(area, n_chiplets, wafer_cost, d0_per_cm2).good_unit_cost
+            < monolithic_cost(area, wafer_cost, d0_per_cm2).good_unit_cost
+        )
+
+    if chiplet_wins(low):
+        return low
+    if not chiplet_wins(high):
+        return high
+    for _ in range(60):
+        mid = (low + high) / 2.0
+        if chiplet_wins(mid):
+            high = mid
+        else:
+            low = mid
+    return round(high, 1)
+
+
+def comparison_table(
+    areas_mm2: tuple[float, ...] = (50, 100, 200, 400, 800),
+    n_chiplets: int = 4,
+) -> list[dict]:
+    """The X5 table: monolithic vs chiplet cost across system sizes."""
+    rows = []
+    for area in areas_mm2:
+        mono = monolithic_cost(area)
+        split = chiplet_cost(area, n_chiplets)
+        rows.append(
+            {
+                "system_mm2": area,
+                "mono_yield": mono.system_yield,
+                "mono_cost": mono.good_unit_cost,
+                "chiplet_cost": split.good_unit_cost,
+                "winner": "chiplet"
+                if split.good_unit_cost < mono.good_unit_cost
+                else "monolithic",
+            }
+        )
+    return rows

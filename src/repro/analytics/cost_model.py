@@ -1,0 +1,101 @@
+"""Design-cost model across technology nodes (experiment E3).
+
+Section III-C anchors the curve: "production-ready designs … can range
+from $5 million for a 130 nm chip to $725 million for a 2 nm chip."  We
+fit the standard power law ``cost = a * (feature/130)^(-b)`` through those
+two points and decompose the total into the cost categories industry
+studies (IBS-style) use.  The curve reproduces the in-between industry
+folklore well (~$40 M at 28 nm, ~$250 M at 5 nm), which is what the
+experiment checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: The paper's two calibration points (feature nm, cost USD).
+CALIBRATION = ((130.0, 5e6), (2.0, 725e6))
+
+#: Cost-category split of a digital design project.  The advanced-node
+#: shift toward verification and software is modelled by ``drift``:
+#: share(node) = base + drift * advancement, advancement in [0, 1] from
+#: 130 nm down to 2 nm (log scale).
+_CATEGORIES = (
+    # (name, base share at 130 nm, drift toward 2 nm)
+    ("architecture", 0.15, -0.05),
+    ("ip_licensing", 0.10, +0.03),
+    ("rtl_design", 0.25, -0.08),
+    ("verification", 0.20, +0.09),
+    ("physical_design", 0.15, +0.02),
+    ("software", 0.10, +0.04),
+    ("prototyping_masks", 0.05, -0.05),
+)
+
+
+def _power_law() -> tuple[float, float]:
+    (f1, c1), (f2, c2) = CALIBRATION
+    exponent = math.log(c2 / c1) / math.log(f2 / f1)
+    scale = c1 / (f1**exponent)
+    return scale, exponent
+
+
+@dataclass(frozen=True)
+class DesignCost:
+    feature_nm: float
+    total_usd: float
+    breakdown_usd: dict[str, float]
+
+    @property
+    def total_musd(self) -> float:
+        return self.total_usd / 1e6
+
+
+def design_cost_usd(feature_nm: float) -> float:
+    """Total design cost for a production-ready chip at ``feature_nm``."""
+    if feature_nm <= 0:
+        raise ValueError("feature size must be positive")
+    scale, exponent = _power_law()
+    return scale * (feature_nm**exponent)
+
+
+def advancement(feature_nm: float) -> float:
+    """0 at 130 nm, 1 at 2 nm, log-interpolated (clamped outside)."""
+    (f1, _), (f2, _) = CALIBRATION
+    t = math.log(f1 / feature_nm) / math.log(f1 / f2)
+    return min(1.0, max(0.0, t))
+
+
+def design_cost(feature_nm: float) -> DesignCost:
+    """Total cost with the per-category breakdown."""
+    total = design_cost_usd(feature_nm)
+    t = advancement(feature_nm)
+    shares = {name: base + drift * t for name, base, drift in _CATEGORIES}
+    norm = sum(shares.values())
+    breakdown = {
+        name: round(total * share / norm, 2) for name, share in shares.items()
+    }
+    return DesignCost(feature_nm, total, breakdown)
+
+
+def cost_table(nodes_nm: tuple[float, ...] = (180, 130, 90, 65, 45, 28, 16, 7, 5, 3, 2)) -> list[dict[str, float]]:
+    """The E3 series: design cost per node in millions of dollars."""
+    return [
+        {
+            "node_nm": node,
+            "cost_musd": round(design_cost_usd(node) / 1e6, 1),
+        }
+        for node in nodes_nm
+    ]
+
+
+def affordable_node_nm(budget_usd: float) -> float:
+    """The most advanced node a given budget can afford.
+
+    Inverts the power law — used to show what typical academic project
+    budgets (10^5–10^6 USD) buy, which is the paper's accessibility point.
+    """
+    if budget_usd <= 0:
+        raise ValueError("budget must be positive")
+    scale, exponent = _power_law()
+    return (budget_usd / scale) ** (1.0 / exponent)

@@ -1,0 +1,105 @@
+"""MPW economics (experiments E5, E11).
+
+Turns Section III-C's cost observations into comparable numbers: what a
+dedicated mask set costs versus a shared MPW seat, how much a sponsored
+program (Efabless Open MPW style, Recommendation 6) can multiply academic
+output per euro, and how run turnaround interacts with teaching calendars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pdk.pdks import Pdk, get_pdk, list_pdks
+
+
+@dataclass(frozen=True)
+class MpwEconomics:
+    """Cost comparison row for one node."""
+
+    pdk: str
+    feature_nm: float
+    mask_set_eur: float
+    seat_1mm2_eur: float
+    sharing_factor: float
+    turnaround_days: int
+
+
+def economics_for(pdk: Pdk, seat_area_mm2: float = 1.0) -> MpwEconomics:
+    seat = pdk.terms.mpw_cost_per_mm2_eur * max(seat_area_mm2, 1.0)
+    return MpwEconomics(
+        pdk=pdk.name,
+        feature_nm=pdk.node.feature_nm,
+        mask_set_eur=pdk.terms.mask_set_cost_eur,
+        seat_1mm2_eur=round(seat, 2),
+        sharing_factor=round(pdk.terms.mask_set_cost_eur / seat, 1),
+        turnaround_days=pdk.terms.total_turnaround_days,
+    )
+
+
+def economics_table(seat_area_mm2: float = 1.0) -> list[MpwEconomics]:
+    """The E11 table across all built-in nodes."""
+    return [economics_for(get_pdk(name), seat_area_mm2) for name in list_pdks()]
+
+
+def chips_per_budget(
+    budget_eur: float, pdk: Pdk, seat_area_mm2: float = 1.0,
+    subsidy_fraction: float = 0.0,
+) -> int:
+    """Student tape-outs a budget affords, with optional sponsorship.
+
+    ``subsidy_fraction`` is the share of the seat price covered by a
+    corporate sponsorship program (Recommendation 6).
+    """
+    if not 0.0 <= subsidy_fraction <= 1.0:
+        raise ValueError("subsidy fraction must be within [0, 1]")
+    seat = pdk.terms.mpw_cost_per_mm2_eur * max(seat_area_mm2, 1.0)
+    effective = seat * (1.0 - subsidy_fraction)
+    if effective <= 0:
+        return 10**9  # fully sponsored: budget is not the binding limit
+    return int(budget_eur // effective)
+
+
+@dataclass(frozen=True)
+class CourseFit:
+    """E5 row: does silicon return within an academic time box?"""
+
+    pdk: str
+    turnaround_days: int
+    timebox: str
+    timebox_days: int
+
+    @property
+    def fits(self) -> bool:
+        return self.turnaround_days <= self.timebox_days
+
+    @property
+    def overshoot_days(self) -> int:
+        return max(0, self.turnaround_days - self.timebox_days)
+
+
+#: Academic time boxes the paper compares against (Section I: turnaround
+#: "exceed[s] typical course lengths, thesis or research project durations").
+ACADEMIC_TIMEBOXES = {
+    "semester_course": 105,  # a ~15-week teaching term
+    "bachelor_thesis": 120,
+    "master_thesis": 180,
+    "phd_project_phase": 365,
+}
+
+
+def course_fit_table() -> list[CourseFit]:
+    """Every node x time box combination (experiment E5)."""
+    rows = []
+    for name in list_pdks():
+        pdk = get_pdk(name)
+        for timebox, days in ACADEMIC_TIMEBOXES.items():
+            rows.append(
+                CourseFit(
+                    pdk=name,
+                    turnaround_days=pdk.terms.total_turnaround_days,
+                    timebox=timebox,
+                    timebox_days=days,
+                )
+            )
+    return rows

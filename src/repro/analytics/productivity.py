@@ -1,0 +1,129 @@
+"""Productivity metrics: the paper's abstraction-gap numbers (E2, E10).
+
+Three measurable quantities from the paper's Introduction and III-B:
+
+* gates per RTL line (paper: 5–20) — measured by running real synthesis
+  on real designs and dividing mapped gate count by emitted RTL lines;
+* assembly instructions per Python line (paper: "thousands") — measured
+  by compiling programs on the :mod:`repro.swstack` VM;
+* the HLS abstraction ratio (Recommendation 4) — RTL lines generated per
+  line of HLS source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl.ir import Module
+from ..hdl.verilog import count_rtl_lines
+from ..pdk.cells import Library
+from ..swstack.vm import compile_source
+from ..synth.synthesize import synthesize
+
+
+@dataclass(frozen=True)
+class ProductivityRecord:
+    """Gates-per-line measurement for one design."""
+
+    design: str
+    rtl_lines: int
+    gate_count: int
+
+    @property
+    def gates_per_line(self) -> float:
+        return self.gate_count / max(1, self.rtl_lines)
+
+
+def measure_gates_per_line(
+    modules: list[Module], library: Library
+) -> list[ProductivityRecord]:
+    """Synthesize each module and record the E2 frontend metric."""
+    records = []
+    for module in modules:
+        result = synthesize(module, library)
+        records.append(
+            ProductivityRecord(
+                design=module.name,
+                rtl_lines=result.rtl_lines,
+                gate_count=result.gate_count,
+            )
+        )
+    return records
+
+
+def mean_gates_per_line(records: list[ProductivityRecord]) -> float:
+    if not records:
+        return 0.0
+    return sum(r.gates_per_line for r in records) / len(records)
+
+
+def instructions_per_python_line(source: str) -> float:
+    """E2 software-side metric via the stack-VM compiler."""
+    return compile_source(source).instructions_per_line()
+
+
+def max_line_expansion(source: str) -> int:
+    """Largest single-line instruction expansion (the 'thousands' claim)."""
+    return compile_source(source).max_expansion()
+
+
+@dataclass(frozen=True)
+class AbstractionGap:
+    """The complete E2 comparison row."""
+
+    gates_per_rtl_line: float
+    instructions_per_python_line: float
+
+    @property
+    def ratio(self) -> float:
+        """How many times more output a software line produces."""
+        return self.instructions_per_python_line / max(
+            1e-9, self.gates_per_rtl_line
+        )
+
+
+def abstraction_gap(
+    modules: list[Module], library: Library, python_source: str
+) -> AbstractionGap:
+    records = measure_gates_per_line(modules, library)
+    return AbstractionGap(
+        gates_per_rtl_line=round(mean_gates_per_line(records), 2),
+        instructions_per_python_line=round(
+            instructions_per_python_line(python_source), 2
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class HlsProductivity:
+    """E10 row: HLS source vs generated RTL vs gates."""
+
+    function: str
+    hls_lines: int
+    rtl_lines: int
+    gate_count: int
+    latency_cycles: int
+
+    @property
+    def rtl_lines_per_hls_line(self) -> float:
+        return self.rtl_lines / max(1, self.hls_lines)
+
+    @property
+    def gates_per_hls_line(self) -> float:
+        return self.gate_count / max(1, self.hls_lines)
+
+
+def measure_hls_productivity(function, library: Library,
+                             **hls_kwargs) -> HlsProductivity:
+    """Compile a function through HLS, then synthesize the result."""
+    from ..hls.codegen import compile_function
+
+    hls = compile_function(function, **hls_kwargs)
+    synth = synthesize(hls.module, library)
+    return HlsProductivity(
+        function=hls.dfg.name,
+        hls_lines=hls.source_lines,
+        rtl_lines=count_rtl_lines(hls.module),
+        gate_count=synth.gate_count,
+        latency_cycles=hls.latency,
+    )

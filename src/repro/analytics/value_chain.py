@@ -1,0 +1,100 @@
+"""Semiconductor value-chain model (experiment E1).
+
+Encodes the market-structure numbers the paper's introduction cites:
+chip design and fabrication are the two largest value-chain segments
+(30% and 34% of added value); Europe contributes only 10% and 8% to them
+while holding 40% of equipment and 20% of materials; and within its focus
+application areas (industrial, automotive, …) Europe covers 55% of the
+global market.  The model computes the gap metrics the paper's argument
+rests on and projects the effect of closing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One value-chain segment."""
+
+    name: str
+    #: Share of total semiconductor added value (fractions sum to ~1).
+    value_share: float
+    #: Europe's share of this segment's global activity.
+    europe_share: float
+
+
+#: Value-chain decomposition per the paper's citations [3], [4].
+SEGMENTS: tuple[Segment, ...] = (
+    Segment("chip_design", 0.30, 0.10),
+    Segment("fabrication", 0.34, 0.08),
+    Segment("equipment", 0.11, 0.40),
+    Segment("materials", 0.05, 0.20),
+    Segment("eda_ip", 0.03, 0.12),
+    Segment("assembly_test", 0.06, 0.05),
+    Segment("other", 0.11, 0.10),
+)
+
+#: Europe's coverage of its focus application segments (paper: 55%).
+EUROPE_FOCUS_COVERAGE = 0.55
+
+
+def segment(name: str) -> Segment:
+    for entry in SEGMENTS:
+        if entry.name == name:
+            return entry
+    raise KeyError(f"unknown segment {name!r}")
+
+
+def europe_value_capture() -> float:
+    """Europe's overall share of semiconductor added value."""
+    return sum(s.value_share * s.europe_share for s in SEGMENTS)
+
+
+def design_gap_table() -> list[dict[str, float]]:
+    """The E1 table: per segment, value share, Europe share, and the gap
+    to a proportional (say 20%) European position."""
+    target = 0.20
+    rows = []
+    for entry in SEGMENTS:
+        rows.append(
+            {
+                "segment": entry.name,
+                "value_share": entry.value_share,
+                "europe_share": entry.europe_share,
+                "gap_to_target": round(max(0.0, target - entry.europe_share), 3),
+                "weighted_gap": round(
+                    max(0.0, target - entry.europe_share) * entry.value_share, 4
+                ),
+            }
+        )
+    return rows
+
+
+def largest_segments(count: int = 2) -> list[str]:
+    """The biggest segments by value share — the paper names design and
+    fabrication as the top two."""
+    ordered = sorted(SEGMENTS, key=lambda s: s.value_share, reverse=True)
+    return [s.name for s in ordered[:count]]
+
+
+def capture_if_design_share(new_design_share: float) -> float:
+    """Europe's overall capture if the design share were lifted.
+
+    Quantifies the paper's core claim: because design is ~30% of value,
+    improving the design position moves the European total more than
+    improving any other single segment except fabrication.
+    """
+    total = 0.0
+    for entry in SEGMENTS:
+        share = new_design_share if entry.name == "chip_design" else entry.europe_share
+        total += entry.value_share * share
+    return total
+
+
+def uplift_per_segment(delta: float = 0.05) -> dict[str, float]:
+    """Overall-capture uplift from a +delta share in each single segment."""
+    return {
+        entry.name: round(entry.value_share * delta, 5) for entry in SEGMENTS
+    }

@@ -1,0 +1,170 @@
+"""Command-line interface: the one-stop front door (Recommendation 7).
+
+``python -m repro <command>`` exposes the enablement platform without
+writing any Python — list PDKs and IP, generate Liberty/LEF collateral,
+and run the full RTL→GDSII flow on any catalogue IP:
+
+.. code-block:: console
+
+   $ python -m repro pdks
+   $ python -m repro ips
+   $ python -m repro flow --ip counter --pdk edu130 --out build/
+   $ python -m repro liberty edu130 > edu130.lib
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .core.flow import run_flow
+from .core.presets import get_preset
+from .core.reporting import full_report
+from .hdl.verilog import to_verilog
+from .ip.base import quality_score
+from .ip.catalog import GENERATORS, catalogue, generate
+from .layout.defio import from_physical, write_def
+from .pdk.lef import write_library_lef
+from .pdk.liberty import write_liberty
+from .pdk.pdks import get_pdk, list_pdks
+
+
+def _cmd_pdks(args) -> int:
+    print(f"{'name':8s} {'nm':>5s} {'metals':>6s} {'open':>5s} "
+          f"{'NDA':>4s} {'mm2 EUR':>9s} {'days':>5s}")
+    for name in list_pdks():
+        pdk = get_pdk(name)
+        print(
+            f"{name:8s} {pdk.node.feature_nm:5.0f} "
+            f"{pdk.node.metal_layers:6d} {str(pdk.is_open):>5s} "
+            f"{str(pdk.terms.nda_required):>4s} "
+            f"{pdk.terms.mpw_cost_per_mm2_eur:9.0f} "
+            f"{pdk.terms.total_turnaround_days:5d}"
+        )
+    return 0
+
+
+def _cmd_cells(args) -> int:
+    library = get_pdk(args.pdk).library
+    print(f"{'cell':12s} {'area um2':>9s} {'cap fF':>7s} "
+          f"{'tp ps':>7s} {'leak nW':>8s}")
+    for name in sorted(library.cells):
+        cell = library.cells[name]
+        print(f"{name:12s} {cell.area_um2:9.3f} {cell.input_cap_ff:7.2f} "
+              f"{cell.intrinsic_ps:7.2f} {cell.leakage_nw:8.4f}")
+    return 0
+
+
+def _cmd_ips(args) -> int:
+    print(f"{'ip':18s} {'quality':>8s} {'verified':>9s}  description")
+    for name in catalogue():
+        ip = generate(name)
+        description = ip.collateral.description.split(";")[0]
+        print(f"{name:18s} {quality_score(ip):8.2f} "
+              f"{ip.verification.name:>9s}  {description[:60]}")
+    return 0
+
+
+def _cmd_flow(args) -> int:
+    if args.verilog:
+        from .hdl.verilog_parser import parse_verilog
+
+        with open(args.verilog) as handle:
+            module = parse_verilog(handle.read())
+        print(f"parsed {module.name} from {args.verilog}")
+    elif args.ip:
+        if args.ip not in GENERATORS:
+            print(f"error: unknown IP {args.ip!r}; try: python -m repro ips",
+                  file=sys.stderr)
+            return 2
+        ip = generate(args.ip)
+        testbench = ip.verify(cycles=args.verify_cycles)
+        print(f"testbench: {testbench.summary()}")
+        if not testbench.passed:
+            return 1
+        module = ip.module
+    else:
+        print("error: one of --ip or --verilog is required", file=sys.stderr)
+        return 2
+
+    pdk = get_pdk(args.pdk)
+    preset = get_preset(args.preset)
+    result = run_flow(
+        module, pdk, preset=preset, clock_period_ps=args.period_ps
+    )
+    print(result.summary())
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        base = os.path.join(args.out, module.name)
+        with open(base + ".v", "w") as handle:
+            handle.write(to_verilog(module))
+        with open(base + ".rpt", "w") as handle:
+            handle.write(full_report(result))
+        with open(base + ".def", "w") as handle:
+            handle.write(write_def(from_physical(result.physical)))
+        with open(base + ".gds", "wb") as handle:
+            handle.write(result.gds_bytes)
+        print(f"collaterals written to {base}.{{v,rpt,def,gds}}")
+    return 0 if result.ok else 1
+
+
+def _cmd_liberty(args) -> int:
+    print(write_liberty(get_pdk(args.pdk).library), end="")
+    return 0
+
+
+def _cmd_lef(args) -> int:
+    print(write_library_lef(get_pdk(args.pdk).library), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="chip-design enablement toolkit (DATE 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("pdks", help="list the built-in PDKs").set_defaults(
+        fn=_cmd_pdks
+    )
+
+    cells = sub.add_parser("cells", help="list a PDK's standard cells")
+    cells.add_argument("pdk", choices=list_pdks())
+    cells.set_defaults(fn=_cmd_cells)
+
+    sub.add_parser(
+        "ips", help="list the IP catalogue with quality scores"
+    ).set_defaults(fn=_cmd_ips)
+
+    flow = sub.add_parser("flow", help="run the full flow on a catalogue IP")
+    flow.add_argument("--ip", help="catalogue IP name")
+    flow.add_argument("--verilog", help="path to a Verilog file to run instead")
+    flow.add_argument("--pdk", default="edu130", choices=list_pdks())
+    flow.add_argument("--preset", default="open",
+                      choices=("open", "commercial"))
+    flow.add_argument("--period-ps", type=float, default=5_000.0)
+    flow.add_argument("--verify-cycles", type=int, default=200)
+    flow.add_argument("--out", help="directory for collateral files")
+    flow.set_defaults(fn=_cmd_flow)
+
+    liberty = sub.add_parser("liberty", help="emit a PDK's Liberty file")
+    liberty.add_argument("pdk", choices=list_pdks())
+    liberty.set_defaults(fn=_cmd_liberty)
+
+    lef = sub.add_parser("lef", help="emit a PDK's LEF file")
+    lef.add_argument("pdk", choices=list_pdks())
+    lef.set_defaults(fn=_cmd_lef)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Curriculum modelling: course pathways per learner tier (Rec 8).
+
+Recommendation 8 maps learner groups to enablement strategies; a
+university implements that mapping as a *curriculum* — courses with
+prerequisites that walk a student from first gates to a tape-out
+project.  This module models the catalogue, checks prerequisite
+consistency, lays courses into semesters (topological scheduling under a
+per-semester ECTS budget), and reports which flow steps a pathway
+actually teaches — connecting Recommendation 8 to the flow-coverage
+metric used by E6/E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .steps import FLOW_ORDER, FlowStep
+from .tiers import AccessTier
+
+
+@dataclass(frozen=True)
+class Course:
+    """One course in the chip-design pathway."""
+
+    name: str
+    tier: AccessTier
+    ects: int
+    teaches: tuple[FlowStep, ...]
+    prerequisites: tuple[str, ...] = ()
+    uses_toolkit: bool = True
+
+
+#: A reference chip-design curriculum (bachelor entry to tape-out).
+CURRICULUM: tuple[Course, ...] = (
+    Course("digital_logic", AccessTier.BEGINNER, 6,
+           (FlowStep.SPECIFICATION, FlowStep.RTL_DESIGN)),
+    Course("hdl_lab", AccessTier.BEGINNER, 6,
+           (FlowStep.RTL_DESIGN, FlowStep.FUNCTIONAL_SIMULATION),
+           ("digital_logic",)),
+    Course("tinytapeout_project", AccessTier.BEGINNER, 3,
+           (FlowStep.GDS_EXPORT, FlowStep.TAPEOUT),
+           ("hdl_lab",)),
+    Course("synthesis_and_verification", AccessTier.INTERMEDIATE, 6,
+           (FlowStep.SYNTHESIS, FlowStep.TECHNOLOGY_MAPPING,
+            FlowStep.EQUIVALENCE_CHECK),
+           ("hdl_lab",)),
+    Course("physical_design", AccessTier.INTERMEDIATE, 6,
+           (FlowStep.FLOORPLANNING, FlowStep.PLACEMENT,
+            FlowStep.CLOCK_TREE_SYNTHESIS, FlowStep.ROUTING),
+           ("synthesis_and_verification",)),
+    Course("signoff_and_timing", AccessTier.INTERMEDIATE, 4,
+           (FlowStep.STATIC_TIMING_ANALYSIS, FlowStep.POWER_ANALYSIS,
+            FlowStep.DESIGN_RULE_CHECK),
+           ("physical_design",)),
+    Course("analog_fundamentals", AccessTier.INTERMEDIATE, 6, (),
+           ("digital_logic",)),
+    Course("advanced_node_design", AccessTier.ADVANCED, 6,
+           (FlowStep.SYNTHESIS, FlowStep.STATIC_TIMING_ANALYSIS),
+           ("signoff_and_timing",)),
+    Course("research_tapeout", AccessTier.ADVANCED, 12,
+           (FlowStep.GDS_EXPORT, FlowStep.TAPEOUT),
+           ("advanced_node_design", "signoff_and_timing")),
+)
+
+
+class CurriculumError(Exception):
+    """Raised for inconsistent curricula or impossible plans."""
+
+
+def course(name: str) -> Course:
+    for entry in CURRICULUM:
+        if entry.name == name:
+            return entry
+    raise KeyError(f"no course named {name!r}")
+
+
+def validate_curriculum(catalogue: tuple[Course, ...] = CURRICULUM) -> None:
+    """Prerequisites must exist, be acyclic, and never point up-tier."""
+    names = {c.name for c in catalogue}
+    by_name = {c.name: c for c in catalogue}
+    for entry in catalogue:
+        for prerequisite in entry.prerequisites:
+            if prerequisite not in names:
+                raise CurriculumError(
+                    f"{entry.name}: unknown prerequisite {prerequisite!r}"
+                )
+            if by_name[prerequisite].tier.value > entry.tier.value and (
+                list(AccessTier).index(by_name[prerequisite].tier)
+                > list(AccessTier).index(entry.tier)
+            ):
+                raise CurriculumError(
+                    f"{entry.name}: prerequisite {prerequisite} is above "
+                    "its tier"
+                )
+    # Cycle check via repeated stripping.
+    remaining = dict(by_name)
+    while remaining:
+        ready = [
+            name for name, entry in remaining.items()
+            if all(p not in remaining for p in entry.prerequisites)
+        ]
+        if not ready:
+            raise CurriculumError(
+                f"prerequisite cycle among {sorted(remaining)}"
+            )
+        for name in ready:
+            del remaining[name]
+
+
+def courses_for_tier(target: AccessTier) -> list[Course]:
+    """All courses at or below the target tier (the learner's pathway)."""
+    order = list(AccessTier)
+    limit = order.index(target)
+    return [c for c in CURRICULUM if order.index(c.tier) <= limit]
+
+
+def plan_semesters(
+    target: AccessTier, ects_per_semester: int = 12
+) -> list[list[str]]:
+    """Topological semester plan under an ECTS budget.
+
+    Greedy level scheduling: each semester takes ready courses (all
+    prerequisites done) up to the budget, earliest-tier first.
+    """
+    validate_curriculum()
+    pathway = courses_for_tier(target)
+    done: set[str] = set()
+    pending = {c.name: c for c in pathway}
+    semesters: list[list[str]] = []
+    order = list(AccessTier)
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > 50:
+            raise CurriculumError("cannot schedule curriculum")
+        ready = sorted(
+            (c for c in pending.values()
+             if all(p in done for p in c.prerequisites)),
+            key=lambda c: (order.index(c.tier), -c.ects),
+        )
+        if not ready:
+            raise CurriculumError("unsatisfiable prerequisites in pathway")
+        semester: list[str] = []
+        budget = ects_per_semester
+        for entry in ready:
+            if entry.ects <= budget:
+                semester.append(entry.name)
+                budget -= entry.ects
+        if not semester:  # one big course exceeds the budget: take it alone
+            semester.append(ready[0].name)
+        for name in semester:
+            done.add(name)
+            del pending[name]
+        semesters.append(semester)
+    return semesters
+
+
+def pathway_flow_coverage(target: AccessTier) -> float:
+    """Fraction of flow steps the tier's pathway teaches."""
+    taught: set[FlowStep] = set()
+    for entry in courses_for_tier(target):
+        taught.update(entry.teaches)
+    return len(taught) / len(FLOW_ORDER)
+
+
+def total_ects(target: AccessTier) -> int:
+    return sum(c.ects for c in courses_for_tier(target))

@@ -1,0 +1,109 @@
+"""Availability vs enablement: the paper's core distinction, quantified.
+
+Section III-D separates *availability* (you can download the PDK and the
+tools) from *enablement* (someone made the flow actually work for your
+technology).  This module models the enablement work as a task list with
+effort estimates and automation flags, so the E6 benchmark can report how
+many engineer-hours each strategy removes:
+
+* ``manual``      — a lone research group does everything (the status quo);
+* ``templates``   — vendor-independent flow templates (Recommendation 4);
+* ``hub``         — a centralized cloud enablement hub (Recommendation 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnablementTask:
+    """One recurring enablement chore."""
+
+    name: str
+    hours_manual: float
+    #: Fraction of the effort removed by flow templates (Rec 4).
+    template_coverage: float
+    #: Fraction removed when a central hub owns the task (Rec 7).
+    hub_coverage: float
+    recurring_per_year: float  # how often the task recurs annually
+
+
+#: Task inventory from Section III-D's enumeration: IT setup, tool
+#: installation/updates, PDK/library/IP management, tool configuration,
+#: flow scripting, user interfaces.  Hours are calibrated to a university
+#: group supporting ~20 active designers on one technology.
+ENABLEMENT_TASKS: tuple[EnablementTask, ...] = (
+    EnablementTask("it_infrastructure_setup", 160.0, 0.10, 0.95, 0.5),
+    EnablementTask("eda_tool_installation", 40.0, 0.20, 1.00, 2.0),
+    EnablementTask("eda_tool_updates", 24.0, 0.20, 1.00, 4.0),
+    EnablementTask("pdk_installation", 32.0, 0.40, 1.00, 2.0),
+    EnablementTask("library_ip_management", 60.0, 0.50, 0.90, 2.0),
+    EnablementTask("memory_generator_setup", 40.0, 0.30, 0.90, 1.0),
+    EnablementTask("tool_technology_config", 120.0, 0.70, 0.95, 1.0),
+    EnablementTask("flow_scripting", 200.0, 0.80, 0.90, 1.0),
+    EnablementTask("user_interface_provision", 80.0, 0.60, 0.95, 0.5),
+    EnablementTask("license_nda_administration", 50.0, 0.00, 0.80, 1.0),
+    EnablementTask("student_retraining", 120.0, 0.50, 0.60, 1.0),
+)
+
+STRATEGIES = ("manual", "templates", "hub")
+
+
+def annual_effort_hours(strategy: str = "manual") -> float:
+    """Engineer-hours per year one group spends on enablement."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; use {STRATEGIES}")
+    total = 0.0
+    for task in ENABLEMENT_TASKS:
+        effort = task.hours_manual * task.recurring_per_year
+        if strategy == "templates":
+            effort *= 1.0 - task.template_coverage
+        elif strategy == "hub":
+            effort *= 1.0 - task.hub_coverage
+        total += effort
+    return round(total, 1)
+
+
+def effort_breakdown(strategy: str = "manual") -> dict[str, float]:
+    """Per-task annual hours under a strategy."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; use {STRATEGIES}")
+    rows: dict[str, float] = {}
+    for task in ENABLEMENT_TASKS:
+        effort = task.hours_manual * task.recurring_per_year
+        if strategy == "templates":
+            effort *= 1.0 - task.template_coverage
+        elif strategy == "hub":
+            effort *= 1.0 - task.hub_coverage
+        rows[task.name] = round(effort, 1)
+    return rows
+
+
+def availability_vs_enablement() -> dict[str, float]:
+    """The paper's headline split for one group-year.
+
+    "Availability" is the effort to *obtain* assets (license admin, tool
+    installation, PDK installation); "enablement" is everything needed to
+    make them usable.  The enablement share dominating is the paper's
+    point.
+    """
+    availability_tasks = {
+        "eda_tool_installation", "pdk_installation",
+        "license_nda_administration",
+    }
+    availability = sum(
+        t.hours_manual * t.recurring_per_year
+        for t in ENABLEMENT_TASKS
+        if t.name in availability_tasks
+    )
+    enablement = sum(
+        t.hours_manual * t.recurring_per_year
+        for t in ENABLEMENT_TASKS
+        if t.name not in availability_tasks
+    )
+    return {
+        "availability_hours": round(availability, 1),
+        "enablement_hours": round(enablement, 1),
+        "enablement_share": round(enablement / (availability + enablement), 3),
+    }

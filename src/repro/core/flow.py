@@ -1,0 +1,222 @@
+"""The end-to-end flow runner: RTL module → signed-off GDSII.
+
+This is the "design enablement" artifact the paper argues universities
+lack: a *configured* flow where one call takes a design from RTL through
+synthesis, P&R, STA, power, DRC and GDS export on a chosen PDK, with all
+tool knobs captured in a :class:`~repro.core.presets.FlowPreset`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..hdl.ir import Module
+from ..layout.chip import build_chip_gds
+from ..layout.drc import DrcReport, check_drc
+from ..layout.gds import write_gds
+from ..pdk.pdks import Pdk
+from ..pnr.physical import PhysicalDesign, implement
+from ..power.engine import PowerAnalyzer, PowerReport
+from ..sta.engine import TimingAnalyzer, TimingReport
+from ..synth.synthesize import SynthesisResult, synthesize
+from .presets import OPEN, FlowPreset
+from .steps import FlowStep
+
+
+class FlowError(Exception):
+    """Raised when a flow stage fails hard (e.g. DRC violations)."""
+
+
+@dataclass
+class StepReport:
+    step: FlowStep
+    ok: bool
+    runtime_s: float
+    metrics: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class PpaSummary:
+    """The three letters every comparison in the paper reduces to."""
+
+    area_um2: float
+    die_area_mm2: float
+    fmax_mhz: float
+    total_power_uw: float
+    wns_ps: float
+    cell_count: int
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "cells": self.cell_count,
+            "area_um2": round(self.area_um2, 2),
+            "die_mm2": round(self.die_area_mm2, 6),
+            "fmax_mhz": round(self.fmax_mhz, 2),
+            "power_uw": round(self.total_power_uw, 3),
+            "wns_ps": round(self.wns_ps, 2),
+        }
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow run produces."""
+
+    design_name: str
+    pdk_name: str
+    preset: FlowPreset
+    clock_period_ps: float
+    steps: list[StepReport]
+    synthesis: SynthesisResult
+    physical: PhysicalDesign
+    timing: TimingReport
+    power: PowerReport
+    drc: DrcReport
+    gds_bytes: bytes
+    ppa: PpaSummary
+
+    @property
+    def ok(self) -> bool:
+        return all(step.ok for step in self.steps)
+
+    def step(self, step: FlowStep) -> StepReport:
+        for report in self.steps:
+            if report.step is step:
+                return report
+        raise KeyError(f"no report for step {step}")
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        row = self.ppa.as_row()
+        return (
+            f"{self.design_name} on {self.pdk_name} [{self.preset.name}] "
+            f"{status}: {row['cells']} cells, {row['area_um2']} um2, "
+            f"fmax {row['fmax_mhz']} MHz, {row['power_uw']} uW"
+        )
+
+
+def run_flow(
+    module: Module,
+    pdk: Pdk,
+    preset: FlowPreset = OPEN,
+    clock_period_ps: float = 5_000.0,
+    frequency_mhz: float | None = None,
+    strict_drc: bool = True,
+    seed: int = 1,
+) -> FlowResult:
+    """Run the complete RTL→GDSII flow.
+
+    ``frequency_mhz`` defaults to the clock the period implies.  With
+    ``strict_drc`` any DRC violation raises :class:`FlowError` (signoff
+    semantics); otherwise violations are recorded in the report.
+    """
+    steps: list[StepReport] = []
+
+    def record(step: FlowStep, started: float, **metrics) -> None:
+        steps.append(
+            StepReport(step, metrics.pop("_ok", True),
+                       round(time.perf_counter() - started, 6), metrics)
+        )
+
+    t0 = time.perf_counter()
+    module.validate()
+    record(FlowStep.RTL_DESIGN, t0, **module.stats())
+
+    t0 = time.perf_counter()
+    synth = synthesize(
+        module,
+        pdk.library,
+        objective=preset.mapping_objective,
+        opt_passes=preset.opt_passes,
+        sizing=preset.gate_sizing,
+        max_load_per_drive_ff=preset.max_load_per_drive_ff,
+        verify=preset.run_equivalence,
+        verify_cycles=preset.equivalence_cycles,
+    )
+    record(
+        FlowStep.SYNTHESIS, t0,
+        gates_raw=synth.opt_stats.gates_before,
+        gates_optimized=synth.opt_stats.gates_after,
+    )
+    record(FlowStep.TECHNOLOGY_MAPPING, t0, cells=len(synth.mapped.cells))
+    equivalence_ok = (
+        synth.equivalence.passed if synth.equivalence is not None else True
+    )
+    record(FlowStep.EQUIVALENCE_CHECK, t0, _ok=equivalence_ok,
+           checked=synth.equivalence is not None)
+    if not equivalence_ok:
+        raise FlowError(
+            f"synthesis equivalence check failed: "
+            f"{synth.equivalence.mismatches[:3]}"
+        )
+
+    t0 = time.perf_counter()
+    physical = implement(
+        synth.mapped,
+        pdk,
+        utilization=preset.utilization,
+        detailed_placement_passes=preset.detailed_placement_passes,
+        cts_buffering=preset.cts_buffering,
+        router_rip_up=preset.router_rip_up,
+        placer=preset.placer,
+        seed=seed,
+    )
+    record(FlowStep.FLOORPLANNING, t0, **physical.floorplan.stats())
+    record(FlowStep.PLACEMENT, t0, hpwl_um=physical.placement.hpwl_um)
+    record(FlowStep.CLOCK_TREE_SYNTHESIS, t0, **physical.clock_tree.stats())
+    record(FlowStep.ROUTING, t0, **physical.routing.stats())
+
+    t0 = time.perf_counter()
+    analyzer = TimingAnalyzer(
+        synth.mapped,
+        pdk.node,
+        wire_lengths_um=physical.wire_lengths(),
+        skew_ps=physical.clock_tree.skew_map(),
+    )
+    timing = analyzer.analyze(clock_period_ps)
+    record(
+        FlowStep.STATIC_TIMING_ANALYSIS, t0,
+        wns_ps=timing.wns_ps, met=timing.met, fmax_mhz=timing.fmax_mhz,
+    )
+
+    t0 = time.perf_counter()
+    freq = frequency_mhz or min(timing.fmax_mhz, 1e6 / clock_period_ps)
+    power = PowerAnalyzer(
+        synth.mapped, pdk.node, wire_lengths_um=physical.wire_lengths()
+    ).analyze(freq)
+    record(FlowStep.POWER_ANALYSIS, t0, total_uw=power.total_uw)
+
+    t0 = time.perf_counter()
+    gds_library = build_chip_gds(physical)
+    drc = check_drc(gds_library, pdk.layers, physical.mapped.name)
+    record(FlowStep.DESIGN_RULE_CHECK, t0, _ok=drc.clean,
+           violations=len(drc.violations))
+    if strict_drc and not drc.clean:
+        raise FlowError(f"DRC failed: {drc.summary()}")
+
+    t0 = time.perf_counter()
+    gds_bytes = write_gds(gds_library)
+    record(FlowStep.GDS_EXPORT, t0, bytes=len(gds_bytes))
+
+    ppa = PpaSummary(
+        area_um2=synth.mapped.area_um2(),
+        die_area_mm2=physical.die_area_mm2,
+        fmax_mhz=timing.fmax_mhz,
+        total_power_uw=power.total_uw,
+        wns_ps=timing.wns_ps,
+        cell_count=len(synth.mapped.cells),
+    )
+    return FlowResult(
+        design_name=module.name,
+        pdk_name=pdk.name,
+        preset=preset,
+        clock_period_ps=clock_period_ps,
+        steps=steps,
+        synthesis=synth,
+        physical=physical,
+        timing=timing,
+        power=power,
+        drc=drc,
+        gds_bytes=gds_bytes,
+        ppa=ppa,
+    )

@@ -1,0 +1,215 @@
+"""The enablement hub: one front door to PDKs, flows, IP and shuttles.
+
+This class is the paper's Recommendation 7 made concrete: a centralized
+(cloud-backed) platform through which users at different tiers
+(Recommendation 8) request technology access (Section III-C gates),
+run the configured flow (Recommendation 4 templates) and book MPW seats
+(Recommendation 6), with the open IP catalogue (Recommendation 5) a call
+away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl.ir import Module
+from ..ip.base import IpBlock
+from ..ip.catalog import catalogue, generate
+from ..pdk.pdks import Pdk, get_pdk, list_pdks
+from .cloud import CloudPlatform, estimate_job_minutes
+from .flow import FlowResult, run_flow
+from .licensing import AccessDecision, User, evaluate_access
+from .presets import get_preset
+from .shuttle import SeatQuote, ShuttleProgram, ShuttleProject
+from .tiers import AccessTier, policy_for, tier_allows
+
+
+class HubError(Exception):
+    """Raised when a hub request violates policy."""
+
+
+@dataclass
+class Enrollment:
+    user: User
+    tier: AccessTier
+
+
+@dataclass
+class HubJobRecord:
+    """Bookkeeping for one flow execution through the hub."""
+
+    user: str
+    design: str
+    pdk: str
+    preset: str
+    result: FlowResult | None = None
+    queued_minutes: float = 0.0
+
+
+@dataclass
+class EnablementHub:
+    """The central platform object."""
+
+    name: str = "eu-design-hub"
+    cloud: CloudPlatform = field(default_factory=lambda: CloudPlatform(servers=8))
+    _users: dict[str, Enrollment] = field(default_factory=dict)
+    _shuttles: dict[str, ShuttleProgram] = field(default_factory=dict)
+    jobs: list[HubJobRecord] = field(default_factory=list)
+
+    # -- enrollment & access -------------------------------------------------
+
+    def enroll(self, user: User, tier: AccessTier) -> Enrollment:
+        enrollment = Enrollment(user=user, tier=tier)
+        self._users[user.name] = enrollment
+        return enrollment
+
+    def _enrollment(self, user_name: str) -> Enrollment:
+        if user_name not in self._users:
+            raise HubError(f"user {user_name!r} is not enrolled")
+        return self._users[user_name]
+
+    def available_pdks(self, user_name: str) -> list[str]:
+        """PDKs this user can actually use: tier policy + legal gates."""
+        enrollment = self._enrollment(user_name)
+        usable = []
+        for name in list_pdks():
+            if not tier_allows(enrollment.tier, name):
+                # Advanced preset access checked separately at run time.
+                if name not in policy_for(enrollment.tier).allowed_pdks:
+                    continue
+            if evaluate_access(enrollment.user, get_pdk(name)).granted:
+                usable.append(name)
+        return usable
+
+    def request_access(self, user_name: str, pdk_name: str) -> AccessDecision:
+        """Full decision trail for one user/PDK pair."""
+        enrollment = self._enrollment(user_name)
+        policy = policy_for(enrollment.tier)
+        if pdk_name not in policy.allowed_pdks:
+            return AccessDecision(
+                granted=False,
+                blockers=[
+                    f"tier {enrollment.tier.value!r} does not include "
+                    f"{pdk_name} (allowed: {list(policy.allowed_pdks)})"
+                ],
+            )
+        return evaluate_access(enrollment.user, get_pdk(pdk_name))
+
+    # -- flow execution -------------------------------------------------------
+
+    def run_design(
+        self,
+        user_name: str,
+        module: Module,
+        pdk_name: str,
+        preset_name: str = "open",
+        clock_period_ps: float = 5_000.0,
+        submit_minute: float = 0.0,
+    ) -> HubJobRecord:
+        """Policy-check, queue and execute one flow job."""
+        enrollment = self._enrollment(user_name)
+        if not tier_allows(enrollment.tier, pdk_name, preset_name):
+            raise HubError(
+                f"tier {enrollment.tier.value!r} may not run "
+                f"{preset_name!r} on {pdk_name!r}"
+            )
+        decision = evaluate_access(enrollment.user, get_pdk(pdk_name))
+        if not decision.granted:
+            raise HubError(
+                f"access to {pdk_name} blocked: {decision.blockers}"
+            )
+        record = HubJobRecord(
+            user=user_name, design=module.name, pdk=pdk_name,
+            preset=preset_name,
+        )
+        result = run_flow(
+            module,
+            get_pdk(pdk_name),
+            preset=get_preset(preset_name),
+            clock_period_ps=clock_period_ps,
+        )
+        cells = len(result.synthesis.mapped.cells)
+        self.cloud.submit(
+            user_name, estimate_job_minutes(cells), submit_minute
+        )
+        record.result = result
+        policy = policy_for(enrollment.tier)
+        if result.physical.die_area_mm2 > policy.max_die_area_mm2:
+            raise HubError(
+                f"die area {result.physical.die_area_mm2:.4f} mm2 exceeds "
+                f"tier limit {policy.max_die_area_mm2} mm2"
+            )
+        self.jobs.append(record)
+        return record
+
+    # -- shuttles ------------------------------------------------------------
+
+    def shuttle(self, pdk_name: str, **kwargs) -> ShuttleProgram:
+        if pdk_name not in self._shuttles:
+            self._shuttles[pdk_name] = ShuttleProgram(get_pdk(pdk_name), **kwargs)
+        return self._shuttles[pdk_name]
+
+    def book_shuttle_seat(
+        self, user_name: str, pdk_name: str, area_mm2: float,
+        ready_day: int = 0,
+    ) -> SeatQuote:
+        enrollment = self._enrollment(user_name)
+        decision = self.request_access(user_name, pdk_name)
+        if not decision.granted:
+            raise HubError(f"shuttle access blocked: {decision.blockers}")
+        policy = policy_for(enrollment.tier)
+        if area_mm2 > policy.max_die_area_mm2:
+            raise HubError(
+                f"seat area {area_mm2} mm2 exceeds tier limit "
+                f"{policy.max_die_area_mm2} mm2"
+            )
+        project = ShuttleProject(
+            name=f"{user_name}_{len(self.jobs)}",
+            owner=user_name,
+            area_mm2=area_mm2,
+            sponsored=policy.shuttle_subsidized,
+        )
+        return self.shuttle(pdk_name).submit(project, ready_day=ready_day)
+
+    def request_tapeout(
+        self,
+        user_name: str,
+        record: HubJobRecord,
+        waivers: set[str] | None = None,
+        ready_day: int = 0,
+    ) -> SeatQuote:
+        """Signoff-gated shuttle booking: the full tape-out path.
+
+        Runs the signoff checklist on the job's flow result; only a
+        READY design (all checks passing or explicitly waived) may book
+        a seat — the process discipline that protects a semester's MPW
+        budget from a stale or broken layout.
+        """
+        from .signoff import run_signoff
+
+        if record.result is None:
+            raise HubError("job has no flow result to sign off")
+        enrollment = self._enrollment(user_name)
+        policy = policy_for(enrollment.tier)
+        signoff = run_signoff(
+            record.result,
+            max_die_area_mm2=policy.max_die_area_mm2,
+            waivers=waivers,
+        )
+        if not signoff.ready_for_tapeout:
+            raise HubError(f"signoff blocks tape-out: {signoff.summary()}")
+        return self.book_shuttle_seat(
+            user_name,
+            record.pdk,
+            area_mm2=max(0.05, record.result.physical.die_area_mm2),
+            ready_day=ready_day,
+        )
+
+    # -- IP catalogue -----------------------------------------------------------
+
+    def ip_catalogue(self) -> list[str]:
+        return catalogue()
+
+    def fetch_ip(self, name: str, **params) -> IpBlock:
+        """IP is open (Recommendation 5): no tier or legal gate."""
+        return generate(name, **params)

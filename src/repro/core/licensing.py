@@ -1,0 +1,79 @@
+"""Legal access gates: NDAs, export control, foundry prerequisites.
+
+Section III-C of the paper catalogues the non-technical barriers between
+a university and a PDK: NDAs, export-control restrictions "based on
+students' countries of origin or visa statuses", minimum prior tape-out
+requirements, fixed-project/secured-funding stipulations, and isolated IT
+environments.  This module simulates that gauntlet so the platform (and
+experiment E8) can show how open PDKs remove it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..pdk.pdks import Pdk
+
+
+class ResidencyStatus(Enum):
+    """Export-control relevant status (deliberately coarse)."""
+
+    DOMESTIC = "domestic"
+    ALLIED = "allied"
+    RESTRICTED = "restricted"
+
+
+@dataclass
+class User:
+    """A student or researcher requesting design assets."""
+
+    name: str
+    institution: str
+    residency: ResidencyStatus = ResidencyStatus.DOMESTIC
+    signed_ndas: set[str] = field(default_factory=set)
+    completed_tapeouts: int = 0
+    has_secured_funding: bool = False
+    has_fixed_project_description: bool = False
+    has_isolated_it: bool = False
+
+
+@dataclass
+class AccessDecision:
+    granted: bool
+    blockers: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.granted
+
+
+def evaluate_access(user: User, pdk: Pdk) -> AccessDecision:
+    """Apply a PDK's access terms to a user; lists every blocker."""
+    terms = pdk.terms
+    blockers: list[str] = []
+    if terms.nda_required and pdk.name not in user.signed_ndas:
+        blockers.append(f"NDA for {pdk.name} not signed")
+    if terms.export_controlled and user.residency is ResidencyStatus.RESTRICTED:
+        blockers.append("export control: restricted residency status")
+    if user.completed_tapeouts < terms.min_prior_tapeouts:
+        blockers.append(
+            f"requires {terms.min_prior_tapeouts} prior tape-outs, "
+            f"user has {user.completed_tapeouts}"
+        )
+    if terms.requires_fixed_project and not (
+        user.has_fixed_project_description and user.has_secured_funding
+    ):
+        blockers.append("fixed project description with secured funding required")
+    if terms.requires_isolated_it and not user.has_isolated_it:
+        blockers.append("isolated IT environment required")
+    return AccessDecision(granted=not blockers, blockers=blockers)
+
+
+def access_friction(user: User, pdk: Pdk) -> int:
+    """Number of administrative hurdles between this user and the PDK.
+
+    Zero for open PDKs — the quantitative version of the paper's claim
+    that open source "eliminates the dependency on NDAs and vendor- or
+    foundry-specific restrictions" (Recommendation 5).
+    """
+    return len(evaluate_access(user, pdk).blockers)

@@ -1,0 +1,112 @@
+"""Human-readable flow reports — the ``.rpt`` collateral real tools emit.
+
+Teaching flows live and die by their reports: students learn to read
+timing/power/area tables long before they touch a layout.  This module
+renders a :class:`~repro.core.flow.FlowResult` into the familiar report
+set (summary, synthesis, timing with critical path, power, routing, DRC)
+as plain text.
+"""
+
+from __future__ import annotations
+
+from .flow import FlowResult
+
+
+def _header(title: str) -> str:
+    bar = "=" * 64
+    return f"{bar}\n{title}\n{bar}\n"
+
+
+def synthesis_report(result: FlowResult) -> str:
+    synth = result.synthesis
+    lines = [_header(f"Synthesis report — {result.design_name}")]
+    lines.append(f"library            : {synth.mapped.library.name}")
+    lines.append(f"RTL lines          : {synth.rtl_lines}")
+    lines.append(f"raw gates          : {synth.opt_stats.gates_before}")
+    lines.append(
+        f"optimized gates    : {synth.opt_stats.gates_after} "
+        f"({synth.opt_stats.removed} removed in "
+        f"{synth.opt_stats.iterations} iterations)"
+    )
+    for rule, count in sorted(synth.opt_stats.rules.items()):
+        lines.append(f"  rule {rule:<16s}: {count}")
+    lines.append(f"mapped cells       : {len(synth.mapped.cells)}")
+    stats = synth.mapped.stats()
+    for key, value in sorted(stats.items()):
+        if key.startswith("kind_"):
+            lines.append(f"  {key[5:]:<18s}: {value}")
+    lines.append(f"cell area          : {synth.mapped.area_um2():.3f} um2")
+    if synth.equivalence is not None:
+        lines.append(f"equivalence        : {synth.equivalence.summary()}")
+    return "\n".join(lines) + "\n"
+
+
+def timing_report(result: FlowResult, max_endpoints: int = 10) -> str:
+    timing = result.timing
+    lines = [_header(f"Timing report — {result.design_name}")]
+    lines.append(f"clock period       : {timing.clock_period_ps:.1f} ps")
+    lines.append(f"WNS                : {timing.wns_ps:.2f} ps")
+    lines.append(f"TNS                : {timing.tns_ps:.2f} ps")
+    lines.append(f"worst hold slack   : {timing.worst_hold_slack_ps:.2f} ps")
+    lines.append(f"fmax               : {timing.fmax_mhz:.2f} MHz")
+    lines.append(f"status             : {'MET' if timing.met else 'VIOLATED'}")
+    lines.append("\ncritical path (launch -> capture):")
+    for point in timing.critical_path:
+        lines.append(
+            f"  {point.arrival_ps:10.2f} ps  {point.instance:<24s} "
+            f"{point.cell}"
+        )
+    lines.append("\nworst endpoints:")
+    worst = sorted(timing.endpoint_slacks.items(), key=lambda kv: kv[1])
+    for name, slack in worst[:max_endpoints]:
+        lines.append(f"  {slack:10.2f} ps  {name}")
+    return "\n".join(lines) + "\n"
+
+
+def power_report(result: FlowResult) -> str:
+    power = result.power
+    lines = [_header(f"Power report — {result.design_name}")]
+    lines.append(f"frequency          : {power.frequency_mhz:.1f} MHz")
+    lines.append(f"dynamic            : {power.dynamic_uw:.4f} uW")
+    lines.append(f"leakage            : {power.leakage_uw:.6f} uW")
+    lines.append(f"total              : {power.total_uw:.4f} uW")
+    lines.append(f"leakage fraction   : {power.leakage_fraction:.2%}")
+    return "\n".join(lines) + "\n"
+
+
+def physical_report(result: FlowResult) -> str:
+    physical = result.physical
+    lines = [_header(f"Physical report — {result.design_name}")]
+    for key, value in physical.floorplan.stats().items():
+        lines.append(f"{key:<19s}: {value}")
+    lines.append(f"placement HPWL     : {physical.placement.hpwl_um} um")
+    for key, value in physical.clock_tree.stats().items():
+        lines.append(f"cts {key:<15s}: {value}")
+    for key, value in physical.routing.stats().items():
+        lines.append(f"route {key:<13s}: {value}")
+    lines.append(f"DRC                : {result.drc.summary()}")
+    return "\n".join(lines) + "\n"
+
+
+def full_report(result: FlowResult) -> str:
+    """The complete report bundle for one flow run."""
+    summary = [_header(f"Flow summary — {result.design_name}")]
+    summary.append(f"pdk                : {result.pdk_name}")
+    summary.append(f"preset             : {result.preset.name}")
+    summary.append(f"status             : {'OK' if result.ok else 'FAILED'}")
+    for step in result.steps:
+        summary.append(
+            f"  {step.step.value:<26s} {'ok' if step.ok else 'FAIL':<5s}"
+            f"{step.runtime_s * 1000:9.2f} ms"
+        )
+    summary.append("")
+    for key, value in result.ppa.as_row().items():
+        summary.append(f"{key:<19s}: {value}")
+    parts = [
+        "\n".join(summary) + "\n",
+        synthesis_report(result),
+        timing_report(result),
+        power_report(result),
+        physical_report(result),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,50 @@
+"""The canonical digital ASIC flow steps.
+
+Section III-B of the paper walks this exact sequence (frontend: spec →
+verified netlist; backend: netlist → GDSII).  Recommendation 4 argues the
+backend "is inherently structured into abstract steps" that vendor- and
+technology-independent templates can capture — this enum is that
+abstraction, shared by the flow runner, the templates, the FPGA coverage
+comparison (E9) and the enablement-effort model (E6).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class FlowStep(Enum):
+    SPECIFICATION = "specification"
+    RTL_DESIGN = "rtl_design"
+    FUNCTIONAL_SIMULATION = "functional_simulation"
+    SYNTHESIS = "synthesis"
+    TECHNOLOGY_MAPPING = "technology_mapping"
+    EQUIVALENCE_CHECK = "equivalence_check"
+    FLOORPLANNING = "floorplanning"
+    PLACEMENT = "placement"
+    CLOCK_TREE_SYNTHESIS = "clock_tree_synthesis"
+    ROUTING = "routing"
+    STATIC_TIMING_ANALYSIS = "static_timing_analysis"
+    POWER_ANALYSIS = "power_analysis"
+    DESIGN_RULE_CHECK = "design_rule_check"
+    GDS_EXPORT = "gds_export"
+    TAPEOUT = "tapeout"
+
+
+#: The steps in canonical order.
+FLOW_ORDER: tuple[FlowStep, ...] = tuple(FlowStep)
+
+#: Frontend/backend split as defined in Section III-B.
+FRONTEND_STEPS = (
+    FlowStep.SPECIFICATION,
+    FlowStep.RTL_DESIGN,
+    FlowStep.FUNCTIONAL_SIMULATION,
+    FlowStep.SYNTHESIS,
+    FlowStep.TECHNOLOGY_MAPPING,
+    FlowStep.EQUIVALENCE_CHECK,
+)
+BACKEND_STEPS = tuple(s for s in FLOW_ORDER if s not in FRONTEND_STEPS)
+
+
+def is_frontend(step: FlowStep) -> bool:
+    return step in FRONTEND_STEPS

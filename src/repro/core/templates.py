@@ -1,0 +1,140 @@
+"""Vendor- and technology-independent flow templates (Recommendation 4).
+
+A template names the abstract steps of a design flow and per-step
+parameters *without* binding them to a tool or technology; binding
+happens when the template is instantiated against a PDK and preset.
+Reference templates for the common university use cases ship built in —
+the "reference designs and flows [that] contribute considerably to
+backend productivity" of Recommendation 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .steps import BACKEND_STEPS, FLOW_ORDER, FRONTEND_STEPS, FlowStep
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One templated step: the abstract step plus neutral parameters."""
+
+    step: FlowStep
+    params: tuple[tuple[str, object], ...] = ()
+
+    def param_dict(self) -> dict[str, object]:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class FlowTemplate:
+    """An ordered, tool-neutral flow description."""
+
+    name: str
+    description: str
+    steps: tuple[StepSpec, ...]
+
+    def step_names(self) -> list[str]:
+        return [spec.step.value for spec in self.steps]
+
+    def covers(self, step: FlowStep) -> bool:
+        return any(spec.step is step for spec in self.steps)
+
+    def coverage_of(self, steps: tuple[FlowStep, ...]) -> float:
+        covered = sum(1 for step in steps if self.covers(step))
+        return covered / len(steps)
+
+    def validate(self) -> None:
+        """Steps must be unique and in canonical flow order."""
+        seen: list[FlowStep] = [spec.step for spec in self.steps]
+        if len(set(seen)) != len(seen):
+            raise ValueError(f"template {self.name!r} repeats a step")
+        order = {step: i for i, step in enumerate(FLOW_ORDER)}
+        indices = [order[step] for step in seen]
+        if indices != sorted(indices):
+            raise ValueError(
+                f"template {self.name!r} violates canonical step order"
+            )
+
+
+def digital_asic_template() -> FlowTemplate:
+    """The full RTL→GDSII reference flow."""
+    return FlowTemplate(
+        name="digital_asic",
+        description="Complete digital ASIC flow from RTL to GDSII signoff",
+        steps=tuple(
+            StepSpec(step)
+            for step in FLOW_ORDER
+            if step is not FlowStep.TAPEOUT
+        )
+        + (StepSpec(FlowStep.TAPEOUT, (("via", "mpw_shuttle"),)),),
+    )
+
+
+def fpga_prototyping_template() -> FlowTemplate:
+    """FPGA path: stops where the FPGA stops covering the flow (E9)."""
+    fpga_steps = (
+        FlowStep.SPECIFICATION,
+        FlowStep.RTL_DESIGN,
+        FlowStep.FUNCTIONAL_SIMULATION,
+        FlowStep.SYNTHESIS,
+        FlowStep.TECHNOLOGY_MAPPING,
+        FlowStep.PLACEMENT,
+        FlowStep.ROUTING,
+        FlowStep.STATIC_TIMING_ANALYSIS,
+        FlowStep.POWER_ANALYSIS,
+    )
+    return FlowTemplate(
+        name="fpga_prototyping",
+        description="FPGA prototyping flow (partial ASIC flow coverage)",
+        steps=tuple(StepSpec(step, (("target", "lut_array"),))
+                    for step in fpga_steps),
+    )
+
+
+def beginner_tinytapeout_template() -> FlowTemplate:
+    """Fixed beginner flow: no configuration surface (Recommendation 8)."""
+    steps = (
+        FlowStep.RTL_DESIGN,
+        FlowStep.FUNCTIONAL_SIMULATION,
+        FlowStep.SYNTHESIS,
+        FlowStep.TECHNOLOGY_MAPPING,
+        FlowStep.PLACEMENT,
+        FlowStep.ROUTING,
+        FlowStep.GDS_EXPORT,
+        FlowStep.TAPEOUT,
+    )
+    return FlowTemplate(
+        name="beginner_tinytapeout",
+        description=(
+            "Beginner pathway: template does everything, learner only "
+            "writes RTL and a testbench"
+        ),
+        steps=tuple(StepSpec(step, (("locked", True),)) for step in steps),
+    )
+
+
+BUILTIN_TEMPLATES = {
+    "digital_asic": digital_asic_template,
+    "fpga_prototyping": fpga_prototyping_template,
+    "beginner_tinytapeout": beginner_tinytapeout_template,
+}
+
+
+def get_template(name: str) -> FlowTemplate:
+    if name not in BUILTIN_TEMPLATES:
+        raise KeyError(
+            f"unknown template {name!r}; available: {sorted(BUILTIN_TEMPLATES)}"
+        )
+    template = BUILTIN_TEMPLATES[name]()
+    template.validate()
+    return template
+
+
+def backend_coverage(template: FlowTemplate) -> float:
+    """Fraction of backend steps a template automates (E6/E9 metric)."""
+    return template.coverage_of(BACKEND_STEPS)
+
+
+def frontend_coverage(template: FlowTemplate) -> float:
+    return template.coverage_of(FRONTEND_STEPS)

@@ -1,0 +1,90 @@
+"""Target-group-oriented enablement tiers (Recommendation 8).
+
+The paper: "a one-size-fits-all enablement solution is unlikely since the
+spectrum of learners ranges from high-school to PhD students."  Each tier
+maps a learner group to the PDKs, presets and support level appropriate
+for it — beginner (TinyTapeout-style), intermediate (open PDK + open
+flow), advanced (commercial nodes and enablement services).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class AccessTier(Enum):
+    BEGINNER = "beginner"  # high school / early undergraduate
+    INTERMEDIATE = "intermediate"  # late BSc / early MSc
+    ADVANCED = "advanced"  # MSc thesis / PhD
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """What one tier may use and what pathway it is steered to."""
+
+    tier: AccessTier
+    allowed_pdks: tuple[str, ...]
+    allowed_presets: tuple[str, ...]
+    max_die_area_mm2: float
+    shuttle_subsidized: bool
+    needs_flow_customization: bool
+    recommended_pathway: str
+
+
+TIER_POLICIES: dict[AccessTier, TierPolicy] = {
+    AccessTier.BEGINNER: TierPolicy(
+        tier=AccessTier.BEGINNER,
+        allowed_pdks=("edu180",),
+        allowed_presets=("open",),
+        max_die_area_mm2=0.1,
+        shuttle_subsidized=True,
+        needs_flow_customization=False,
+        recommended_pathway=(
+            "TinyTapeout-style: fixed template flow, shared shuttle seat, "
+            "no flow configuration exposed"
+        ),
+    ),
+    AccessTier.INTERMEDIATE: TierPolicy(
+        tier=AccessTier.INTERMEDIATE,
+        allowed_pdks=("edu180", "edu130"),
+        allowed_presets=("open",),
+        max_die_area_mm2=1.0,
+        shuttle_subsidized=True,
+        needs_flow_customization=True,
+        recommended_pathway=(
+            "Open PDK + open flow (IHP/SkyWater + OpenROAD class): learners "
+            "adapt and customize the flow internals"
+        ),
+    ),
+    AccessTier.ADVANCED: TierPolicy(
+        tier=AccessTier.ADVANCED,
+        allowed_pdks=("edu180", "edu130", "edu045"),
+        allowed_presets=("open", "commercial"),
+        max_die_area_mm2=10.0,
+        shuttle_subsidized=False,
+        needs_flow_customization=True,
+        recommended_pathway=(
+            "Commercial PDKs and EDA via enablement services / cloud "
+            "platform; advanced nodes for research needs"
+        ),
+    ),
+}
+
+
+def policy_for(tier: AccessTier) -> TierPolicy:
+    return TIER_POLICIES[tier]
+
+
+def tier_allows(tier: AccessTier, pdk_name: str, preset_name: str = "open") -> bool:
+    policy = policy_for(tier)
+    return pdk_name in policy.allowed_pdks and preset_name in policy.allowed_presets
+
+
+def recommend_tier(experience_years: float, needs_advanced_node: bool) -> AccessTier:
+    """Steer a learner to a tier from two coarse signals."""
+    if needs_advanced_node or experience_years >= 4:
+        return AccessTier.ADVANCED
+    if experience_years >= 2:
+        return AccessTier.INTERMEDIATE
+    return AccessTier.BEGINNER

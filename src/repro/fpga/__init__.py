@@ -1,0 +1,26 @@
+"""FPGA prototyping path: devices, LUT mapping, flow-coverage analysis."""
+
+from .place import FpgaPlacement, place_on_array
+from .device import (
+    DEVICES,
+    FPGA_STEP_COVERAGE,
+    FpgaDevice,
+    LutMapping,
+    coverage_fraction,
+    flow_coverage,
+    get_device,
+    lut_map,
+)
+
+__all__ = [
+    "DEVICES",
+    "FPGA_STEP_COVERAGE",
+    "FpgaDevice",
+    "FpgaPlacement",
+    "LutMapping",
+    "coverage_fraction",
+    "flow_coverage",
+    "get_device",
+    "lut_map",
+    "place_on_array",
+]

@@ -1,0 +1,61 @@
+"""RTL hardware description infrastructure.
+
+Public surface:
+
+* :mod:`repro.hdl.ir` — the word-level IR (signals, expressions, modules).
+* :mod:`repro.hdl.hcl` — the hardware-construction-language builder API.
+* :func:`repro.hdl.elaborate` — hierarchy flattening.
+* :func:`repro.hdl.to_verilog` — Verilog-2001 collateral emission.
+"""
+
+from .elaborate import elaborate
+from .hcl import ModuleBuilder, RegisterValue, Value, cat, mux
+from .ir import (
+    BINARY_OPS,
+    UNARY_OPS,
+    BinOp,
+    Cat,
+    Const,
+    Expr,
+    HdlError,
+    Instance,
+    Module,
+    Mux,
+    Ref,
+    Register,
+    Signal,
+    Slice,
+    UnaryOp,
+    eval_expr,
+)
+from .verilog import count_rtl_lines, to_verilog
+from .verilog_parser import VerilogParseError, parse_verilog
+
+__all__ = [
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "BinOp",
+    "Cat",
+    "Const",
+    "Expr",
+    "HdlError",
+    "Instance",
+    "Module",
+    "ModuleBuilder",
+    "Mux",
+    "Ref",
+    "Register",
+    "RegisterValue",
+    "Signal",
+    "Slice",
+    "UnaryOp",
+    "Value",
+    "VerilogParseError",
+    "cat",
+    "count_rtl_lines",
+    "elaborate",
+    "eval_expr",
+    "mux",
+    "parse_verilog",
+    "to_verilog",
+]

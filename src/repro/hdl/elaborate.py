@@ -1,0 +1,106 @@
+"""Hierarchy elaboration: flatten a module tree into a single module.
+
+Synthesis, simulation and the rest of the flow operate on flat modules.
+Instance signals are renamed ``<instance>.<signal>`` so reports and
+waveforms stay readable.
+"""
+
+from __future__ import annotations
+
+from .ir import (
+    BinOp,
+    Cat,
+    Const,
+    Expr,
+    Module,
+    Mux,
+    Ref,
+    Signal,
+    Slice,
+    UnaryOp,
+)
+
+
+def _clone_expr(expr: Expr, mapping: dict[Signal, Signal]) -> Expr:
+    """Deep-copy ``expr`` rewriting signal references through ``mapping``."""
+    if isinstance(expr, Const):
+        return Const(expr.value, expr.width)
+    if isinstance(expr, Ref):
+        return Ref(mapping[expr.signal])
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _clone_expr(expr.operand, mapping))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op, _clone_expr(expr.a, mapping), _clone_expr(expr.b, mapping)
+        )
+    if isinstance(expr, Mux):
+        return Mux(
+            _clone_expr(expr.sel, mapping),
+            _clone_expr(expr.if_true, mapping),
+            _clone_expr(expr.if_false, mapping),
+        )
+    if isinstance(expr, Cat):
+        return Cat([_clone_expr(p, mapping) for p in expr.parts])
+    if isinstance(expr, Slice):
+        return Slice(_clone_expr(expr.value, mapping), expr.hi, expr.lo)
+    raise TypeError(f"cannot clone expression {expr!r}")
+
+
+def _inline(flat: Module, child: Module, prefix: str, port_map: dict[str, Signal]) -> None:
+    """Copy ``child``'s contents into ``flat`` under ``prefix``.
+
+    Child ports become plain wires in ``flat`` tied to the parent signals
+    from ``port_map``; child instances are flattened recursively.
+    """
+    mapping: dict[Signal, Signal] = {}
+    for sig in child.signals:
+        mapping[sig] = flat.add_wire(f"{prefix}.{sig.name}", sig.width)
+
+    for port in child.inputs:
+        flat.assign(mapping[port], Ref(port_map[port.name]))
+
+    for target, expr in child.assigns.items():
+        flat.assign(mapping[target], _clone_expr(expr, mapping))
+
+    for reg in child.registers:
+        # The register signal was pre-created as a wire; re-register it.
+        clone_sig = mapping[reg.signal]
+        flat.registers.append(
+            type(reg)(clone_sig, _clone_expr(reg.next, mapping), reg.reset_value)
+        )
+
+    for inst in child.instances:
+        child_port_map = {
+            name: mapping[sig] for name, sig in inst.connections.items()
+        }
+        _inline(flat, inst.module, f"{prefix}.{inst.name}", child_port_map)
+
+    for port in child.outputs:
+        flat.assign(port_map[port.name], Ref(mapping[port]))
+
+
+def elaborate(top: Module) -> Module:
+    """Return a flat, validated copy of ``top`` with all instances inlined."""
+    top.validate()
+    flat = Module(top.name)
+    mapping: dict[Signal, Signal] = {}
+
+    for sig in top.inputs:
+        mapping[sig] = flat.add_input(sig.name, sig.width)
+    for sig in top.outputs:
+        mapping[sig] = flat.add_output(sig.name, sig.width)
+    for sig in top.wires:
+        mapping[sig] = flat.add_wire(sig.name, sig.width)
+
+    for target, expr in top.assigns.items():
+        flat.assign(mapping[target], _clone_expr(expr, mapping))
+    for reg in top.registers:
+        flat.registers.append(
+            type(reg)(mapping[reg.signal], _clone_expr(reg.next, mapping), reg.reset_value)
+        )
+    for inst in top.instances:
+        port_map = {name: mapping[sig] for name, sig in inst.connections.items()}
+        _inline(flat, inst.module, inst.name, port_map)
+
+    flat.validate()
+    return flat

@@ -1,0 +1,314 @@
+"""A hardware-construction-language (HCL) frontend over the RTL IR.
+
+The paper (Section III-B, Recommendation 4) argues that hardware
+construction languages such as Chisel raise the abstraction level of
+frontend design.  This module provides that style of API in Python:
+values overload arithmetic/bitwise operators and build :mod:`repro.hdl.ir`
+expression trees; a :class:`ModuleBuilder` collects ports, wires and
+registers and produces a validated :class:`~repro.hdl.ir.Module`.
+
+Example::
+
+    b = ModuleBuilder("counter")
+    en = b.input("en", 1)
+    count = b.register("count", 8)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    module = b.build()
+
+Comparisons use explicit methods (``a.eq(b)``, ``a.lt(b)``) rather than
+overloading ``==`` so that :class:`Value` objects keep normal Python
+identity semantics.
+"""
+
+from __future__ import annotations
+
+from .ir import (
+    BinOp,
+    Cat,
+    Const,
+    Expr,
+    HdlError,
+    Module,
+    Mux,
+    Ref,
+    Register,
+    Signal,
+    Slice,
+    UnaryOp,
+)
+
+
+class Value:
+    """A combinational value inside a :class:`ModuleBuilder`.
+
+    Wraps an IR :class:`~repro.hdl.ir.Expr` and overloads operators to build
+    larger expressions.  Integer operands are lifted to constants of the
+    minimal width required (at least 1 bit).
+    """
+
+    __slots__ = ("builder", "expr")
+
+    def __init__(self, builder: "ModuleBuilder", expr: Expr):
+        self.builder = builder
+        self.expr = expr
+
+    @property
+    def width(self) -> int:
+        return self.expr.width
+
+    # -- lifting ----------------------------------------------------------
+
+    def _lift(self, other: "Value | int") -> "Value":
+        if isinstance(other, Value):
+            if other.builder is not self.builder:
+                raise HdlError("cannot mix values from different builders")
+            return other
+        if isinstance(other, int):
+            width = max(1, other.bit_length())
+            return Value(self.builder, Const(other, width))
+        raise TypeError(f"cannot use {other!r} as a hardware value")
+
+    def _bin(self, op: str, other: "Value | int") -> "Value":
+        rhs = self._lift(other)
+        return Value(self.builder, BinOp(op, self.expr, rhs.expr))
+
+    # -- arithmetic / bitwise ----------------------------------------------
+
+    def __add__(self, other):
+        return self._bin("add", other)
+
+    def __radd__(self, other):
+        return self._lift(other)._bin("add", self)
+
+    def __sub__(self, other):
+        return self._bin("sub", other)
+
+    def __rsub__(self, other):
+        return self._lift(other)._bin("sub", self)
+
+    def __mul__(self, other):
+        return self._bin("mul", other)
+
+    def __rmul__(self, other):
+        return self._lift(other)._bin("mul", self)
+
+    def __and__(self, other):
+        return self._bin("and", other)
+
+    def __rand__(self, other):
+        return self._lift(other)._bin("and", self)
+
+    def __or__(self, other):
+        return self._bin("or", other)
+
+    def __ror__(self, other):
+        return self._lift(other)._bin("or", self)
+
+    def __xor__(self, other):
+        return self._bin("xor", other)
+
+    def __rxor__(self, other):
+        return self._lift(other)._bin("xor", self)
+
+    def __lshift__(self, other):
+        return self._bin("shl", other)
+
+    def __rshift__(self, other):
+        return self._bin("shr", other)
+
+    def __invert__(self):
+        return Value(self.builder, UnaryOp("not", self.expr))
+
+    def __neg__(self):
+        return Value(self.builder, UnaryOp("neg", self.expr))
+
+    # -- comparisons (explicit methods, all return a 1-bit value) ----------
+
+    def eq(self, other):
+        return self._bin("eq", other)
+
+    def ne(self, other):
+        return self._bin("ne", other)
+
+    def lt(self, other):
+        return self._bin("lt", other)
+
+    def le(self, other):
+        return self._bin("le", other)
+
+    def gt(self, other):
+        return self._bin("gt", other)
+
+    def ge(self, other):
+        return self._bin("ge", other)
+
+    # -- reductions ---------------------------------------------------------
+
+    def reduce_and(self):
+        return Value(self.builder, UnaryOp("rand", self.expr))
+
+    def reduce_or(self):
+        return Value(self.builder, UnaryOp("ror", self.expr))
+
+    def reduce_xor(self):
+        return Value(self.builder, UnaryOp("rxor", self.expr))
+
+    # -- bit access ----------------------------------------------------------
+
+    def __getitem__(self, index: int | slice) -> "Value":
+        """``v[i]`` extracts bit ``i``; ``v[hi:lo]`` an inclusive bit range.
+
+        Following hardware convention the slice is written MSB first:
+        ``v[7:0]`` is the low byte.  Plain Python ``v[3]`` is bit 3.
+        """
+        if isinstance(index, int):
+            if index < 0:
+                index += self.width
+            return Value(self.builder, Slice(self.expr, index, index))
+        if isinstance(index, slice):
+            if index.step is not None:
+                raise HdlError("bit slices do not support a step")
+            hi, lo = index.start, index.stop
+            if hi is None:
+                hi = self.width - 1
+            if lo is None:
+                lo = 0
+            if hi < lo:
+                raise HdlError(f"slice [{hi}:{lo}] must be written MSB:LSB")
+            return Value(self.builder, Slice(self.expr, hi, lo))
+        raise TypeError(f"invalid bit index {index!r}")
+
+    def zext(self, width: int) -> "Value":
+        """Zero-extend to ``width`` bits."""
+        if width < self.width:
+            raise HdlError(f"zext to {width} narrower than {self.width}")
+        if width == self.width:
+            return self
+        pad = Value(self.builder, Const(0, width - self.width))
+        return cat(pad, self)
+
+    def trunc(self, width: int) -> "Value":
+        """Keep only the ``width`` least significant bits."""
+        if width > self.width:
+            raise HdlError(f"trunc to {width} wider than {self.width}")
+        return self[width - 1 : 0]
+
+    def __repr__(self) -> str:
+        return f"Value({self.expr!r})"
+
+
+class RegisterValue(Value):
+    """A register's Q output.  Assign ``.next`` to set its next value."""
+
+    __slots__ = ("_register",)
+
+    def __init__(self, builder: "ModuleBuilder", register: Register):
+        super().__init__(builder, Ref(register.signal))
+        self._register = register
+
+    @property
+    def next(self) -> Value:
+        return Value(self.builder, self._register.next)
+
+    @next.setter
+    def next(self, value: "Value | int") -> None:
+        lifted = self._lift(value)
+        if lifted.width > self._register.signal.width:
+            raise HdlError(
+                f"register {self._register.signal.name!r}: next value width "
+                f"{lifted.width} exceeds register width "
+                f"{self._register.signal.width}"
+            )
+        self._register.next = lifted.expr
+
+
+def mux(sel: Value, if_true: "Value | int", if_false: "Value | int") -> Value:
+    """Two-way selector; ``sel`` must be a 1-bit :class:`Value`."""
+    t = sel._lift(if_true)
+    f = sel._lift(if_false)
+    return Value(sel.builder, Mux(sel.expr, t.expr, f.expr))
+
+
+def cat(*parts: Value) -> Value:
+    """Concatenate values, first argument becoming the most significant."""
+    if not parts:
+        raise HdlError("cat() needs at least one part")
+    builder = parts[0].builder
+    for p in parts:
+        if p.builder is not builder:
+            raise HdlError("cannot concatenate values from different builders")
+    return Value(builder, Cat([p.expr for p in parts]))
+
+
+class ModuleBuilder:
+    """Constructs a :class:`~repro.hdl.ir.Module` through an HCL-style API."""
+
+    def __init__(self, name: str):
+        self.module = Module(name)
+
+    def input(self, name: str, width: int) -> Value:
+        return Value(self, Ref(self.module.add_input(name, width)))
+
+    def output(self, name: str, value: "Value | int", width: int | None = None) -> Signal:
+        """Create an output port driven by ``value``.
+
+        Width defaults to the value's width; a wider port zero-extends.
+        """
+        if isinstance(value, int):
+            value = self.const(value, width or max(1, value.bit_length()))
+        if width is None:
+            width = value.width
+        sig = self.module.add_output(name, width)
+        self.module.assign(sig, value.expr)
+        return sig
+
+    def wire(self, name: str, value: Value) -> Value:
+        """Name an intermediate value (helps waveforms and reports)."""
+        sig = self.module.add_wire(name, value.width)
+        self.module.assign(sig, value.expr)
+        return Value(self, Ref(sig))
+
+    def register(self, name: str, width: int, reset: int = 0) -> RegisterValue:
+        reg = self.module.add_register(name, width, reset_value=reset)
+        return RegisterValue(self, reg)
+
+    def const(self, value: int, width: int) -> Value:
+        return Value(self, Const(value, width))
+
+    def instance(
+        self, name: str, module: Module, **connections: "Value | Signal"
+    ) -> dict[str, Value]:
+        """Instantiate ``module``.
+
+        Input ports may be connected to any :class:`Value`; output ports are
+        returned as a dict of fresh values.  All input ports must be given.
+        """
+        conns: dict[str, Signal] = {}
+        for port_name, value in connections.items():
+            port = module.port_by_name(port_name)
+            if isinstance(value, Signal):
+                conns[port_name] = value
+                continue
+            sig = self.module.add_wire(f"{name}_{port_name}", port.width)
+            self.module.assign(sig, value.expr)
+            conns[port_name] = sig
+        outs: dict[str, Value] = {}
+        for port in module.outputs:
+            if port.name not in conns:
+                sig = self.module.add_wire(f"{name}_{port.name}", port.width)
+                conns[port.name] = sig
+            outs[port.name] = Value(self, Ref(conns[port.name]))
+        missing = {p.name for p in module.inputs} - set(conns)
+        if missing:
+            raise HdlError(
+                f"instance {name!r} of {module.name!r}: "
+                f"unconnected inputs {sorted(missing)}"
+            )
+        self.module.add_instance(name, module, conns)
+        return outs
+
+    def build(self) -> Module:
+        """Validate and return the finished module."""
+        self.module.validate()
+        return self.module

@@ -1,0 +1,28 @@
+"""High-level synthesis: Python subset → scheduled, bound RTL."""
+
+from .codegen import HlsResult, compile_function, emulate_dfg, run_hls_module
+from .dfg import Dfg, DfgNode, HlsError, RESOURCE_CLASS, build_dfg
+from .schedule import (
+    DEFAULT_RESOURCES,
+    Schedule,
+    alap_schedule,
+    asap_schedule,
+    list_schedule,
+)
+
+__all__ = [
+    "DEFAULT_RESOURCES",
+    "Dfg",
+    "DfgNode",
+    "HlsError",
+    "HlsResult",
+    "RESOURCE_CLASS",
+    "Schedule",
+    "alap_schedule",
+    "asap_schedule",
+    "build_dfg",
+    "compile_function",
+    "emulate_dfg",
+    "list_schedule",
+    "run_hls_module",
+]

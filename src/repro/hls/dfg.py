@@ -1,0 +1,263 @@
+"""High-level synthesis frontend: Python functions → dataflow graphs.
+
+Students write a restricted Python function; the HLS compiler parses it
+with :mod:`ast` and builds a dataflow graph (DFG).  Supported subset:
+
+* integer arguments (bit width via an integer annotation, default 8);
+* straight-line assignments to new names;
+* binary ``+ - * & | ^``, shifts by constant, unary ``~ -``;
+* ``for i in range(N)`` loops with a constant bound (fully unrolled);
+* a single ``return expression``.
+
+This is the "raise the abstraction level" tool of Recommendation 4: one
+line of Python may expand into many DFG operations and, after scheduling
+and binding, into hundreds of gates (experiment E10).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+
+
+class HlsError(Exception):
+    """Raised for source constructs outside the supported subset."""
+
+
+_BINOPS = {
+    ast.Add: "add",
+    ast.Sub: "sub",
+    ast.Mult: "mul",
+    ast.BitAnd: "and",
+    ast.BitOr: "or",
+    ast.BitXor: "xor",
+    ast.LShift: "shl",
+    ast.RShift: "shr",
+}
+
+#: Resource class per operation: multipliers are the scarce unit,
+#: adders/subtractors share ALUs, bitwise logic is free (dedicated).
+RESOURCE_CLASS = {
+    "mul": "mul",
+    "add": "addsub",
+    "sub": "addsub",
+    "and": "logic",
+    "or": "logic",
+    "xor": "logic",
+    "shl": "logic",
+    "shr": "logic",
+    "not": "logic",
+    "neg": "addsub",
+}
+
+
+@dataclass
+class DfgNode:
+    """One operation in the dataflow graph."""
+
+    index: int
+    op: str  # "input", "const", or an operation name
+    #: Operand node indices (empty for inputs/constants).
+    operands: tuple[int, ...] = ()
+    name: str | None = None  # source variable, for inputs
+    value: int | None = None  # for constants
+    shift_amount: int | None = None  # for shl/shr
+
+    @property
+    def resource(self) -> str | None:
+        return RESOURCE_CLASS.get(self.op)
+
+
+@dataclass
+class Dfg:
+    """Dataflow graph with one result node."""
+
+    name: str
+    nodes: list[DfgNode] = field(default_factory=list)
+    inputs: list[int] = field(default_factory=list)  # node indices
+    result: int = -1
+    source_lines: int = 0
+
+    def add(self, node: DfgNode) -> int:
+        self.nodes.append(node)
+        return node.index
+
+    def operation_nodes(self) -> list[DfgNode]:
+        return [n for n in self.nodes if n.op not in ("input", "const")]
+
+    def counts_by_resource(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.operation_nodes():
+            counts[node.resource] = counts.get(node.resource, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Longest operation chain (critical path in operations)."""
+        level: dict[int, int] = {}
+        for node in self.nodes:
+            if node.op in ("input", "const"):
+                level[node.index] = 0
+            else:
+                level[node.index] = 1 + max(
+                    (level[i] for i in node.operands), default=0
+                )
+        return max(level.values(), default=0)
+
+
+class _Builder(ast.NodeVisitor):
+    def __init__(self, dfg: Dfg):
+        self.dfg = dfg
+        self.env: dict[str, int] = {}  # variable -> node index
+        self._const_cache: dict[int, int] = {}
+
+    def _new_node(self, **kwargs) -> int:
+        node = DfgNode(index=len(self.dfg.nodes), **kwargs)
+        return self.dfg.add(node)
+
+    def _const(self, value: int) -> int:
+        if value not in self._const_cache:
+            self._const_cache[value] = self._new_node(op="const", value=value)
+        return self._const_cache[value]
+
+    def expr(self, node: ast.expr) -> int:
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, int):
+                raise HlsError(f"only integer constants allowed: {node.value!r}")
+            return self._const(node.value)
+        if isinstance(node, ast.Name):
+            if node.id not in self.env:
+                raise HlsError(f"undefined variable {node.id!r}")
+            return self.env[node.id]
+        if isinstance(node, ast.BinOp):
+            op_type = type(node.op)
+            if op_type not in _BINOPS:
+                raise HlsError(f"unsupported operator {op_type.__name__}")
+            op = _BINOPS[op_type]
+            if op in ("shl", "shr"):
+                if not isinstance(node.right, ast.Constant) or not isinstance(
+                    node.right.value, int
+                ):
+                    raise HlsError("shift amounts must be integer constants")
+                left = self.expr(node.left)
+                return self._new_node(
+                    op=op, operands=(left,), shift_amount=node.right.value
+                )
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            return self._new_node(op=op, operands=(left, right))
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Invert):
+                return self._new_node(op="not", operands=(self.expr(node.operand),))
+            if isinstance(node.op, ast.USub):
+                return self._new_node(op="neg", operands=(self.expr(node.operand),))
+            raise HlsError(f"unsupported unary operator {type(node.op).__name__}")
+        raise HlsError(f"unsupported expression {type(node).__name__}")
+
+    def statement(self, stmt: ast.stmt) -> int | None:
+        """Process one statement; returns the result node for ``return``."""
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+                raise HlsError("only simple single-name assignments allowed")
+            self.env[stmt.targets[0].id] = self.expr(stmt.value)
+            return None
+        if isinstance(stmt, ast.AugAssign):
+            if not isinstance(stmt.target, ast.Name):
+                raise HlsError("augmented assignment needs a simple name")
+            synthetic = ast.BinOp(
+                left=ast.Name(id=stmt.target.id, ctx=ast.Load()),
+                op=stmt.op,
+                right=stmt.value,
+            )
+            self.env[stmt.target.id] = self.expr(synthetic)
+            return None
+        if isinstance(stmt, ast.For):
+            return self._unroll(stmt)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                raise HlsError("function must return a value")
+            return self.expr(stmt.value)
+        raise HlsError(f"unsupported statement {type(stmt).__name__}")
+
+    def _unroll(self, loop: ast.For) -> None:
+        if not isinstance(loop.target, ast.Name):
+            raise HlsError("loop variable must be a simple name")
+        call = loop.iter
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "range"
+            and len(call.args) == 1
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, int)
+        ):
+            raise HlsError("loops must be 'for i in range(<int constant>)'")
+        bound = call.args[0].value
+        if bound > 256:
+            raise HlsError(f"refusing to unroll {bound} iterations (max 256)")
+        for i in range(bound):
+            self.env[loop.target.id] = self._const(i)
+            for stmt in loop.body:
+                if isinstance(stmt, ast.Return):
+                    raise HlsError("return inside a loop is not supported")
+                self.statement(stmt)
+        return None
+
+
+def build_dfg(function, default_width: int = 8) -> tuple[Dfg, dict[str, int]]:
+    """Parse a Python function into a DFG.
+
+    ``function`` may be a callable (source recovered via :mod:`inspect`)
+    or the function's source text directly — the latter covers
+    dynamically generated functions, which :func:`inspect.getsource`
+    cannot see.  Returns the graph and a map of argument name → bit width
+    (taken from integer annotations, else ``default_width``).
+    """
+    if isinstance(function, str):
+        source = textwrap.dedent(function)
+    else:
+        source = textwrap.dedent(inspect.getsource(function))
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    if not isinstance(fn, ast.FunctionDef):
+        raise HlsError("expected a function definition")
+
+    dfg = Dfg(name=fn.name)
+    dfg.source_lines = sum(
+        1 for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+    builder = _Builder(dfg)
+
+    widths: dict[str, int] = {}
+    for arg in fn.args.args:
+        width = default_width
+        annotation = arg.annotation
+        if annotation is not None:
+            if isinstance(annotation, ast.Constant) and isinstance(
+                annotation.value, int
+            ):
+                width = annotation.value
+            else:
+                raise HlsError(
+                    f"argument {arg.arg!r}: width annotation must be an "
+                    "integer literal"
+                )
+        widths[arg.arg] = width
+        index = builder._new_node(op="input", name=arg.arg)
+        dfg.inputs.append(index)
+        builder.env[arg.arg] = index
+
+    result = None
+    for stmt in fn.body:
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring
+        value = builder.statement(stmt)
+        if value is not None:
+            result = value
+            break
+    if result is None:
+        raise HlsError("function has no return statement")
+    dfg.result = result
+    return dfg, widths

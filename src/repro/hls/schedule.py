@@ -1,0 +1,119 @@
+"""Operation scheduling: ASAP, ALAP and resource-constrained list
+scheduling — the textbook trio every HLS course teaches.
+
+``logic``-class operations are free (always schedulable); ``mul`` and
+``addsub`` classes are limited by the resource budget.  List scheduling
+uses ALAP slack as the priority function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dfg import Dfg, DfgNode
+
+#: Default functional-unit budget.
+DEFAULT_RESOURCES = {"mul": 1, "addsub": 2}
+
+
+@dataclass
+class Schedule:
+    """Cycle assignment for every operation node."""
+
+    cycle: dict[int, int] = field(default_factory=dict)
+    latency: int = 0
+    resources: dict[str, int] = field(default_factory=dict)
+
+    def ops_in_cycle(self, cycle: int) -> list[int]:
+        return [n for n, c in self.cycle.items() if c == cycle]
+
+
+def asap_schedule(dfg: Dfg) -> Schedule:
+    """Each op as early as dependencies allow (unlimited resources)."""
+    schedule = Schedule(resources={})
+    ready: dict[int, int] = {}
+    for node in dfg.nodes:
+        if node.op in ("input", "const"):
+            ready[node.index] = 0
+        else:
+            start = max((ready[i] for i in node.operands), default=0)
+            schedule.cycle[node.index] = start
+            ready[node.index] = start + 1
+    schedule.latency = max(ready.values(), default=0)
+    return schedule
+
+
+def alap_schedule(dfg: Dfg, latency: int | None = None) -> Schedule:
+    """Each op as late as possible within ``latency`` (default: ASAP's)."""
+    if latency is None:
+        latency = asap_schedule(dfg).latency
+    schedule = Schedule(resources={})
+    deadline: dict[int, int] = {}
+    consumers: dict[int, list[DfgNode]] = {}
+    for node in dfg.nodes:
+        for operand in node.operands:
+            consumers.setdefault(operand, []).append(node)
+
+    for node in reversed(dfg.nodes):
+        if node.op in ("input", "const"):
+            continue
+        users = consumers.get(node.index, [])
+        if not users:
+            cycle = latency - 1
+        else:
+            cycle = min(schedule.cycle[u.index] for u in users) - 1
+        schedule.cycle[node.index] = cycle
+    schedule.latency = latency
+    return schedule
+
+
+def list_schedule(
+    dfg: Dfg, resources: dict[str, int] | None = None
+) -> Schedule:
+    """Resource-constrained list scheduling with ALAP-slack priority."""
+    budget = dict(DEFAULT_RESOURCES)
+    if resources:
+        budget.update(resources)
+    alap = alap_schedule(dfg)
+
+    schedule = Schedule(resources=budget)
+    done: dict[int, int] = {}  # node -> finish cycle
+    for node in dfg.nodes:
+        if node.op in ("input", "const"):
+            done[node.index] = 0
+
+    pending = list(dfg.operation_nodes())
+    cycle = 0
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > 100_000:
+            raise RuntimeError("list scheduling did not converge")
+        used: dict[str, int] = {}
+        still_pending: list[DfgNode] = []
+        ready = [
+            node
+            for node in pending
+            if all(
+                operand in done and done[operand] <= cycle
+                for operand in node.operands
+            )
+        ]
+        ready.sort(key=lambda n: alap.cycle[n.index])  # urgency first
+        ready_set = {n.index for n in ready}
+        for node in pending:
+            if node.index not in ready_set:
+                still_pending.append(node)
+        for node in ready:
+            resource = node.resource
+            limit = budget.get(resource)
+            if limit is not None and used.get(resource, 0) >= limit:
+                still_pending.append(node)
+                continue
+            used[resource] = used.get(resource, 0) + 1
+            schedule.cycle[node.index] = cycle
+            done[node.index] = cycle + 1
+        pending = still_pending
+        cycle += 1
+    schedule.latency = cycle
+    return schedule

@@ -1,0 +1,59 @@
+"""Open-source IP library with collaterals (Recommendation 5)."""
+
+from .base import Collateral, IpBlock, VerificationStatus, quality_score
+from .catalog import GENERATORS, catalogue, default_catalogue, generate
+from .tinycpu import (
+    AssemblerError,
+    Instruction,
+    OPCODES,
+    assemble,
+    generate_cpu,
+    make_tinycpu,
+    run_program,
+)
+from .digital import (
+    ALU_OPS,
+    make_alu,
+    make_counter,
+    make_fifo,
+    make_fir,
+    make_gray_counter,
+    make_lfsr,
+    make_multiplier,
+    make_priority_encoder,
+    make_pwm,
+    make_seven_seg,
+    make_shift_register,
+    make_uart_tx,
+)
+
+__all__ = [
+    "ALU_OPS",
+    "AssemblerError",
+    "Instruction",
+    "OPCODES",
+    "assemble",
+    "generate_cpu",
+    "make_tinycpu",
+    "run_program",
+    "Collateral",
+    "GENERATORS",
+    "IpBlock",
+    "VerificationStatus",
+    "catalogue",
+    "default_catalogue",
+    "generate",
+    "make_alu",
+    "make_counter",
+    "make_fifo",
+    "make_fir",
+    "make_gray_counter",
+    "make_lfsr",
+    "make_multiplier",
+    "make_priority_encoder",
+    "make_pwm",
+    "make_seven_seg",
+    "make_shift_register",
+    "make_uart_tx",
+    "quality_score",
+]

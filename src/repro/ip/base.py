@@ -1,0 +1,78 @@
+"""IP block packaging: module + verification + collaterals.
+
+Recommendation 5 of the paper: open-source IP is only an enabler when it
+ships with "collaterals (documentation, synthesis and simulation scripts,
+integration harness)" and real verification maturity.  :class:`IpBlock`
+bundles exactly that, and :func:`quality_score` turns the recommendation
+into a checkable metric used by the hub's IP catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..hdl.ir import Module
+from ..sim.testbench import Testbench
+
+
+class VerificationStatus(Enum):
+    """Verification maturity ladder (Recommendation 5)."""
+
+    NONE = 0
+    SMOKE = 1  # a directed sanity test exists
+    RANDOM = 2  # constrained-random against a golden model
+    EXTENSIVE = 3  # random + corner-case directed suites
+
+
+@dataclass
+class Collateral:
+    """Everything around the RTL that makes an IP reusable."""
+
+    description: str
+    license: str = "Apache-2.0"
+    author: str = "repro contributors"
+    synthesis_hints: dict[str, object] = field(default_factory=dict)
+    integration_notes: str = ""
+    example_instantiation: str = ""
+
+
+@dataclass
+class IpBlock:
+    """A packaged IP: RTL, parameters, testbench, collateral."""
+
+    name: str
+    module: Module
+    params: dict[str, object]
+    testbench: Testbench
+    collateral: Collateral
+    verification: VerificationStatus = VerificationStatus.RANDOM
+
+    def verify(self, cycles: int = 200):
+        """Run the packaged random testbench."""
+        return self.testbench.run_random(cycles=cycles)
+
+    def rtl(self) -> str:
+        from ..hdl.verilog import to_verilog
+
+        return to_verilog(self.module)
+
+
+def quality_score(ip: IpBlock) -> float:
+    """IP quality on [0, 1] following Recommendation 5's criteria.
+
+    Weighted: verification maturity 40%, documentation 20%, license
+    clarity 10%, synthesis hints 10%, integration notes 10%, example 10%.
+    """
+    score = 0.4 * (ip.verification.value / VerificationStatus.EXTENSIVE.value)
+    if len(ip.collateral.description) >= 40:
+        score += 0.2
+    if ip.collateral.license:
+        score += 0.1
+    if ip.collateral.synthesis_hints:
+        score += 0.1
+    if ip.collateral.integration_notes:
+        score += 0.1
+    if ip.collateral.example_instantiation:
+        score += 0.1
+    return round(score, 3)

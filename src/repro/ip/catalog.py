@@ -1,0 +1,58 @@
+"""The IP catalogue: named generators with default parameterizations.
+
+The hub (:mod:`repro.core.hub`) serves IP from this catalogue; the
+benchmark suite verifies and quality-scores every entry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import IpBlock
+from .tinycpu import make_tinycpu
+from .digital import (
+    make_alu,
+    make_counter,
+    make_fifo,
+    make_fir,
+    make_gray_counter,
+    make_lfsr,
+    make_multiplier,
+    make_priority_encoder,
+    make_pwm,
+    make_seven_seg,
+    make_shift_register,
+    make_uart_tx,
+)
+
+GENERATORS: dict[str, Callable[..., IpBlock]] = {
+    "counter": make_counter,
+    "shift_register": make_shift_register,
+    "gray_counter": make_gray_counter,
+    "lfsr": make_lfsr,
+    "priority_encoder": make_priority_encoder,
+    "seven_seg": make_seven_seg,
+    "alu": make_alu,
+    "pwm": make_pwm,
+    "multiplier": make_multiplier,
+    "fifo": make_fifo,
+    "fir": make_fir,
+    "uart_tx": make_uart_tx,
+    "tinycpu": make_tinycpu,
+}
+
+
+def generate(name: str, **params) -> IpBlock:
+    """Instantiate a catalogue IP by name with generator parameters."""
+    if name not in GENERATORS:
+        raise KeyError(f"unknown IP {name!r}; available: {sorted(GENERATORS)}")
+    return GENERATORS[name](**params)
+
+
+def catalogue() -> list[str]:
+    return sorted(GENERATORS)
+
+
+def default_catalogue() -> list[IpBlock]:
+    """All catalogue IPs at their default parameters."""
+    return [GENERATORS[name]() for name in catalogue()]

@@ -1,0 +1,592 @@
+"""The digital IP catalogue: parameterized generators with golden models.
+
+Every generator returns an :class:`~repro.ip.base.IpBlock` whose testbench
+checks the RTL against a cycle-accurate Python golden model under random
+stimulus — the PULP-style "rich and widely reusable library of digital
+IPs" the paper holds up as the open-hardware success story (Section II).
+"""
+
+from __future__ import annotations
+
+from ..hdl.hcl import ModuleBuilder, cat, mux
+from ..sim.testbench import Testbench
+from .base import Collateral, IpBlock, VerificationStatus
+
+#: Maximal-length LFSR tap positions (1-indexed from the LSB).
+_LFSR_TAPS = {
+    4: (4, 3),
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+}
+
+
+def make_counter(width: int = 8, step: int = 1) -> IpBlock:
+    """Up-counter with enable and synchronous load."""
+    b = ModuleBuilder(f"counter{width}")
+    en = b.input("en", 1)
+    load = b.input("load", 1)
+    value = b.input("value", width)
+    count = b.register("count", width)
+    incremented = (count + step).trunc(width)
+    count.next = mux(load, value, mux(en, incremented, count))
+    b.output("q", count)
+    module = b.build()
+
+    mask = (1 << width) - 1
+
+    def model(inputs, state):
+        current = state.get("count", 0)
+        expected = {"q": current}
+        if inputs["load"]:
+            state["count"] = inputs["value"]
+        elif inputs["en"]:
+            state["count"] = (current + step) & mask
+        else:
+            state["count"] = current
+        return expected
+
+    return IpBlock(
+        name=f"counter{width}",
+        module=module,
+        params={"width": width, "step": step},
+        testbench=Testbench(module, model, seed=11),
+        collateral=Collateral(
+            description=(
+                f"{width}-bit up-counter with enable and synchronous load; "
+                f"steps by {step} per enabled cycle and wraps modulo 2^{width}."
+            ),
+            synthesis_hints={"target_period_ns": 5.0},
+            integration_notes="Hold load for one cycle to preset the count.",
+            example_instantiation="b.instance('u_cnt', counter.module, en=..., load=..., value=...)",
+        ),
+        verification=VerificationStatus.RANDOM,
+    )
+
+
+def make_shift_register(width: int = 8, depth: int = 4) -> IpBlock:
+    """Delay line: input appears on the output ``depth`` cycles later."""
+    b = ModuleBuilder(f"shift{width}x{depth}")
+    d = b.input("d", width)
+    stages = []
+    previous = d
+    for i in range(depth):
+        stage = b.register(f"stage{i}", width)
+        stage.next = previous
+        stages.append(stage)
+        previous = stage
+    b.output("q", previous)
+    module = b.build()
+
+    def model(inputs, state):
+        pipe = state.setdefault("pipe", [0] * depth)
+        expected = {"q": pipe[-1]}
+        pipe.insert(0, inputs["d"])
+        pipe.pop()
+        return expected
+
+    return IpBlock(
+        name=f"shift{width}x{depth}",
+        module=module,
+        params={"width": width, "depth": depth},
+        testbench=Testbench(module, model, seed=12),
+        collateral=Collateral(
+            description=(
+                f"{depth}-stage, {width}-bit shift register (delay line); "
+                "useful for retiming and pipeline balancing exercises."
+            ),
+            integration_notes="Latency is exactly `depth` clock cycles.",
+            example_instantiation="b.instance('u_dly', shift.module, d=...)",
+            synthesis_hints={"registers": depth * width},
+        ),
+        verification=VerificationStatus.RANDOM,
+    )
+
+
+def make_gray_counter(width: int = 8) -> IpBlock:
+    """Binary counter with Gray-coded output (CDC teaching block)."""
+    b = ModuleBuilder(f"gray{width}")
+    en = b.input("en", 1)
+    binary = b.register("binary", width)
+    binary.next = mux(en, (binary + 1).trunc(width), binary)
+    b.output("gray", binary ^ (binary >> 1))
+    module = b.build()
+
+    mask = (1 << width) - 1
+
+    def model(inputs, state):
+        current = state.get("binary", 0)
+        expected = {"gray": current ^ (current >> 1)}
+        if inputs["en"]:
+            state["binary"] = (current + 1) & mask
+        else:
+            state["binary"] = current
+        return expected
+
+    return IpBlock(
+        name=f"gray{width}",
+        module=module,
+        params={"width": width},
+        testbench=Testbench(module, model, seed=13),
+        collateral=Collateral(
+            description=(
+                f"{width}-bit Gray-code counter: exactly one output bit "
+                "toggles per increment, the classic clock-domain-crossing "
+                "pointer encoding."
+            ),
+            integration_notes="Pair with a synchronizer for async FIFOs.",
+            example_instantiation="b.instance('u_gray', gray.module, en=...)",
+            synthesis_hints={"registers": width},
+        ),
+        verification=VerificationStatus.RANDOM,
+    )
+
+
+def make_lfsr(width: int = 8) -> IpBlock:
+    """Maximal-length Fibonacci LFSR (pseudo-random source)."""
+    if width not in _LFSR_TAPS:
+        raise ValueError(
+            f"no tap table for width {width}; supported: {sorted(_LFSR_TAPS)}"
+        )
+    taps = _LFSR_TAPS[width]
+    b = ModuleBuilder(f"lfsr{width}")
+    en = b.input("en", 1)
+    state = b.register("state", width, reset=1)
+    feedback = state[taps[0] - 1]
+    for tap in taps[1:]:
+        feedback = feedback ^ state[tap - 1]
+    shifted = cat(state[width - 2 : 0], feedback) if width > 1 else feedback
+    state.next = mux(en, shifted, state)
+    b.output("q", state)
+    module = b.build()
+
+    def model(inputs, state_dict):
+        current = state_dict.get("state", 1)
+        expected = {"q": current}
+        if inputs["en"]:
+            bit = 0
+            for tap in taps:
+                bit ^= (current >> (tap - 1)) & 1
+            state_dict["state"] = ((current << 1) | bit) & ((1 << width) - 1)
+        else:
+            state_dict["state"] = current
+        return expected
+
+    return IpBlock(
+        name=f"lfsr{width}",
+        module=module,
+        params={"width": width, "taps": taps},
+        testbench=Testbench(module, model, seed=14),
+        collateral=Collateral(
+            description=(
+                f"{width}-bit maximal-length LFSR with taps {taps}; cycles "
+                f"through 2^{width}-1 states, used for BIST and scrambling."
+            ),
+            integration_notes="Never reaches the all-zero state; resets to 1.",
+            example_instantiation="b.instance('u_lfsr', lfsr.module, en=...)",
+            synthesis_hints={"registers": width},
+        ),
+        verification=VerificationStatus.RANDOM,
+    )
+
+
+def make_priority_encoder(width: int = 8) -> IpBlock:
+    """Combinational highest-set-bit encoder with a valid flag."""
+    out_width = max(1, (width - 1).bit_length())
+    b = ModuleBuilder(f"prienc{width}")
+    data = b.input("data", width)
+    index = b.const(0, out_width)
+    for i in range(width):  # highest bit wins: later muxes override
+        index = mux(data[i], b.const(i, out_width), index)
+    b.output("index", index)
+    b.output("valid", data.ne(0))
+    module = b.build()
+
+    def model(inputs, state):
+        value = inputs["data"]
+        if value == 0:
+            return {"index": 0, "valid": 0}
+        return {"index": value.bit_length() - 1, "valid": 1}
+
+    return IpBlock(
+        name=f"prienc{width}",
+        module=module,
+        params={"width": width},
+        testbench=Testbench(module, model, seed=15),
+        collateral=Collateral(
+            description=(
+                f"{width}-to-{out_width} priority encoder returning the "
+                "index of the most significant set bit, with a valid flag "
+                "for the all-zero input."
+            ),
+            integration_notes="Purely combinational; index is 0 when invalid.",
+            example_instantiation="b.instance('u_enc', enc.module, data=...)",
+            synthesis_hints={"combinational": True},
+        ),
+        verification=VerificationStatus.RANDOM,
+    )
+
+
+_SEVEN_SEG = [
+    0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07,
+    0x7F, 0x6F, 0x77, 0x7C, 0x39, 0x5E, 0x79, 0x71,
+]
+
+
+def make_seven_seg() -> IpBlock:
+    """Hex digit to seven-segment decoder (segments a-g, active high)."""
+    b = ModuleBuilder("sevenseg")
+    digit = b.input("digit", 4)
+    segments = b.const(_SEVEN_SEG[0], 7)
+    for value in range(1, 16):
+        segments = mux(digit.eq(value), b.const(_SEVEN_SEG[value], 7), segments)
+    b.output("segments", segments)
+    module = b.build()
+
+    def model(inputs, state):
+        return {"segments": _SEVEN_SEG[inputs["digit"]]}
+
+    return IpBlock(
+        name="sevenseg",
+        module=module,
+        params={},
+        testbench=Testbench(module, model, seed=16),
+        collateral=Collateral(
+            description=(
+                "Hexadecimal digit to seven-segment display decoder with "
+                "active-high segment outputs in gfedcba order."
+            ),
+            integration_notes="Combinational lookup; invert for common anode.",
+            example_instantiation="b.instance('u_7seg', seg.module, digit=...)",
+            synthesis_hints={"combinational": True},
+        ),
+        verification=VerificationStatus.EXTENSIVE,
+    )
+
+
+#: ALU opcodes for :func:`make_alu`.
+ALU_OPS = {
+    0: "add", 1: "sub", 2: "and", 3: "or", 4: "xor",
+    5: "shl1", 6: "shr1", 7: "pass_a",
+}
+
+
+def make_alu(width: int = 8) -> IpBlock:
+    """Eight-operation ALU with a zero flag."""
+    b = ModuleBuilder(f"alu{width}")
+    a = b.input("a", width)
+    c = b.input("b", width)
+    op = b.input("op", 3)
+    results = {
+        0: (a + c).trunc(width),
+        1: (a - c).trunc(width),
+        2: a & c,
+        3: a | c,
+        4: a ^ c,
+        5: (a << 1).trunc(width),
+        6: a >> 1,
+        7: a,
+    }
+    y = results[7]
+    for code in range(7):
+        y = mux(op.eq(code), results[code], y)
+    y = b.wire("alu_y", y)
+    b.output("y", y)
+    b.output("zero", y.eq(0))
+    module = b.build()
+
+    mask = (1 << width) - 1
+
+    def model(inputs, state):
+        a_v, b_v, op_v = inputs["a"], inputs["b"], inputs["op"]
+        table = {
+            0: (a_v + b_v) & mask, 1: (a_v - b_v) & mask,
+            2: a_v & b_v, 3: a_v | b_v, 4: a_v ^ b_v,
+            5: (a_v << 1) & mask, 6: a_v >> 1, 7: a_v,
+        }
+        y_v = table[op_v]
+        return {"y": y_v, "zero": 1 if y_v == 0 else 0}
+
+    return IpBlock(
+        name=f"alu{width}",
+        module=module,
+        params={"width": width, "ops": dict(ALU_OPS)},
+        testbench=Testbench(module, model, seed=17),
+        collateral=Collateral(
+            description=(
+                f"{width}-bit combinational ALU: add, sub, and, or, xor, "
+                "shift-left/right by one and pass-through, plus a zero flag "
+                "— the datapath core of the tiny-CPU teaching example."
+            ),
+            integration_notes="Opcode map in params['ops'].",
+            example_instantiation="b.instance('u_alu', alu.module, a=..., b=..., op=...)",
+            synthesis_hints={"combinational": True},
+        ),
+        verification=VerificationStatus.EXTENSIVE,
+    )
+
+
+def make_pwm(width: int = 8) -> IpBlock:
+    """Pulse-width modulator: output high while counter < duty."""
+    b = ModuleBuilder(f"pwm{width}")
+    duty = b.input("duty", width)
+    counter = b.register("counter", width)
+    counter.next = (counter + 1).trunc(width)
+    b.output("out", counter.lt(duty))
+    module = b.build()
+
+    mask = (1 << width) - 1
+
+    def model(inputs, state):
+        current = state.get("counter", 0)
+        expected = {"out": 1 if current < inputs["duty"] else 0}
+        state["counter"] = (current + 1) & mask
+        return expected
+
+    return IpBlock(
+        name=f"pwm{width}",
+        module=module,
+        params={"width": width},
+        testbench=Testbench(module, model, seed=18),
+        collateral=Collateral(
+            description=(
+                f"{width}-bit PWM generator: duty cycle is duty/2^{width}; "
+                "the free-running counter gives a fixed carrier frequency."
+            ),
+            integration_notes="Duty is sampled combinationally every cycle.",
+            example_instantiation="b.instance('u_pwm', pwm.module, duty=...)",
+            synthesis_hints={"registers": width},
+        ),
+        verification=VerificationStatus.RANDOM,
+    )
+
+
+def make_multiplier(width: int = 8) -> IpBlock:
+    """Combinational unsigned multiplier with a full-width product."""
+    b = ModuleBuilder(f"mult{width}")
+    a = b.input("a", width)
+    c = b.input("b", width)
+    b.output("p", a * c)
+    module = b.build()
+
+    def model(inputs, state):
+        return {"p": inputs["a"] * inputs["b"]}
+
+    return IpBlock(
+        name=f"mult{width}",
+        module=module,
+        params={"width": width},
+        testbench=Testbench(module, model, seed=19),
+        collateral=Collateral(
+            description=(
+                f"{width}x{width} combinational array multiplier producing "
+                f"the full {2 * width}-bit product; a good synthesis and "
+                "timing-closure study (long carry chains)."
+            ),
+            integration_notes="Consider pipelining above 8x8 for timing.",
+            example_instantiation="b.instance('u_mul', mul.module, a=..., b=...)",
+            synthesis_hints={"combinational": True, "critical": True},
+        ),
+        verification=VerificationStatus.RANDOM,
+    )
+
+
+def make_fifo(width: int = 8, depth: int = 4) -> IpBlock:
+    """Synchronous FIFO with full/empty flags and an element count."""
+    if depth & (depth - 1):
+        raise ValueError(f"depth must be a power of two, got {depth}")
+    ptr_width = max(1, depth.bit_length() - 1)
+    cnt_width = depth.bit_length()
+    b = ModuleBuilder(f"fifo{width}x{depth}")
+    push = b.input("push", 1)
+    pop = b.input("pop", 1)
+    wdata = b.input("wdata", width)
+
+    count = b.register("count_r", cnt_width)
+    wptr = b.register("wptr", ptr_width)
+    rptr = b.register("rptr", ptr_width)
+    full = count.eq(depth)
+    empty = count.eq(0)
+    do_push = b.wire("do_push", push & ~full)
+    do_pop = b.wire("do_pop", pop & ~empty)
+
+    slots = []
+    for i in range(depth):
+        slot = b.register(f"mem{i}", width)
+        slot.next = mux(do_push & wptr.eq(i), wdata, slot)
+        slots.append(slot)
+
+    wptr.next = mux(do_push, (wptr + 1).trunc(ptr_width), wptr)
+    rptr.next = mux(do_pop, (rptr + 1).trunc(ptr_width), rptr)
+    count.next = mux(
+        do_push & ~do_pop, (count + 1).trunc(cnt_width),
+        mux(do_pop & ~do_push, (count - 1).trunc(cnt_width), count),
+    )
+
+    rdata = slots[0]
+    for i in range(1, depth):
+        rdata = mux(rptr.eq(i), slots[i], rdata)
+    b.output("rdata", rdata)
+    b.output("full", full)
+    b.output("empty", empty)
+    b.output("count", count)
+    module = b.build()
+
+    def model(inputs, state):
+        queue = state.setdefault("queue", [])
+        expected = {
+            "full": 1 if len(queue) == depth else 0,
+            "empty": 1 if not queue else 0,
+            "count": len(queue),
+        }
+        if queue:  # rdata is undefined (stale storage) while empty
+            expected["rdata"] = queue[0]
+        pushing = inputs["push"] and len(queue) < depth
+        popping = inputs["pop"] and queue
+        if popping:
+            queue.pop(0)
+        if pushing:
+            queue.append(inputs["wdata"])
+        return expected
+
+    return IpBlock(
+        name=f"fifo{width}x{depth}",
+        module=module,
+        params={"width": width, "depth": depth},
+        testbench=Testbench(module, model, seed=20),
+        collateral=Collateral(
+            description=(
+                f"Synchronous {width}-bit x {depth} FIFO with registered "
+                "storage, full/empty flags and an element counter; "
+                "first-word-fall-through read port."
+            ),
+            integration_notes=(
+                "Push into a full FIFO and pop from an empty one are "
+                "silently ignored (flags must be honoured upstream)."
+            ),
+            example_instantiation="b.instance('u_fifo', fifo.module, push=..., pop=..., wdata=...)",
+            synthesis_hints={"registers": depth * width},
+        ),
+        verification=VerificationStatus.EXTENSIVE,
+    )
+
+
+def make_fir(taps: tuple[int, ...] = (1, 2, 2, 1), width: int = 8) -> IpBlock:
+    """Transposed-form FIR filter, one sample per cycle."""
+    out_width = width + max(1, sum(taps)).bit_length()
+    b = ModuleBuilder(f"fir{len(taps)}")
+    x = b.input("x", width)
+    delayed = [x]
+    for i in range(1, len(taps)):
+        stage = b.register(f"x{i}", width)
+        stage.next = delayed[i - 1]
+        delayed.append(stage)
+    acc = b.const(0, out_width)
+    for tap, sample in zip(taps, delayed):
+        term = (sample * tap).zext(out_width) if tap != 1 else sample.zext(out_width)
+        acc = (acc + term).trunc(out_width)
+    b.output("y", acc)
+    module = b.build()
+
+    mask = (1 << out_width) - 1
+
+    def model(inputs, state):
+        history = state.setdefault("history", [0] * len(taps))
+        current = [inputs["x"]] + history[: len(taps) - 1]
+        expected = {"y": sum(t * s for t, s in zip(taps, current)) & mask}
+        state["history"] = current
+        return expected
+
+    return IpBlock(
+        name=f"fir{len(taps)}",
+        module=module,
+        params={"taps": taps, "width": width},
+        testbench=Testbench(module, model, seed=21),
+        collateral=Collateral(
+            description=(
+                f"{len(taps)}-tap FIR filter with coefficients {taps}; "
+                "direct form, one sample per clock, full-precision output."
+            ),
+            integration_notes="Output width grows with the coefficient sum.",
+            example_instantiation="b.instance('u_fir', fir.module, x=...)",
+            synthesis_hints={"multipliers": sum(1 for t in taps if t > 1)},
+        ),
+        verification=VerificationStatus.RANDOM,
+    )
+
+
+def make_uart_tx(divisor: int = 4) -> IpBlock:
+    """UART transmitter: 8N1 framing at clk/divisor baud."""
+    if divisor < 2:
+        raise ValueError("divisor must be at least 2")
+    div_width = max(1, (divisor - 1).bit_length())
+    b = ModuleBuilder(f"uarttx{divisor}")
+    start = b.input("start", 1)
+    data = b.input("data", 8)
+
+    busy = b.register("busy_r", 1)
+    baud = b.register("baud", div_width)
+    bits = b.register("bits", 4)
+    shifter = b.register("shifter", 10, reset=0x3FF)
+
+    tick = b.wire("tick", busy & baud.eq(divisor - 1))
+    go = b.wire("go", start & ~busy)
+    last_bit = bits.eq(9)
+
+    baud.next = mux(
+        go, 0, mux(busy, mux(tick, b.const(0, div_width),
+                             (baud + 1).trunc(div_width)), baud)
+    )
+    bits.next = mux(go, 0, mux(tick, (bits + 1).trunc(4), bits))
+    busy.next = mux(go, b.const(1, 1), mux(tick & last_bit, b.const(0, 1), busy))
+    # Frame, LSB first: start(0), data[7:0], stop(1).
+    frame = cat(b.const(1, 1), data, b.const(0, 1))
+    shifter.next = mux(
+        go, frame,
+        mux(tick, cat(b.const(1, 1), shifter[9:1]), shifter),
+    )
+    b.output("txd", mux(busy, shifter[0], b.const(1, 1)))
+    b.output("busy", busy)
+    module = b.build()
+
+    def model(inputs, state):
+        busy_v = state.get("busy", 0)
+        shifter_v = state.get("shifter", 0x3FF)
+        baud_v = state.get("baud", 0)
+        bits_v = state.get("bits", 0)
+        expected = {
+            "txd": (shifter_v & 1) if busy_v else 1,
+            "busy": busy_v,
+        }
+        tick = busy_v and baud_v == divisor - 1
+        if inputs["start"] and not busy_v:
+            state["busy"] = 1
+            state["baud"] = 0
+            state["bits"] = 0
+            state["shifter"] = (1 << 9) | (inputs["data"] << 1)
+        else:
+            if busy_v:
+                state["baud"] = 0 if tick else baud_v + 1
+            if tick:
+                state["bits"] = (bits_v + 1) & 0xF
+                state["shifter"] = (shifter_v >> 1) | (1 << 9)
+                if bits_v == 9:
+                    state["busy"] = 0
+        return expected
+
+    return IpBlock(
+        name=f"uarttx{divisor}",
+        module=module,
+        params={"divisor": divisor, "frame": "8N1"},
+        testbench=Testbench(module, model, seed=22),
+        collateral=Collateral(
+            description=(
+                f"UART transmitter, 8N1 framing at clk/{divisor} baud, "
+                "with a busy flag; the canonical first 'real' peripheral "
+                "in introductory SoC courses."
+            ),
+            integration_notes="Pulse start for one cycle while busy is low.",
+            example_instantiation="b.instance('u_tx', uart.module, start=..., data=...)",
+            synthesis_hints={"registers": 16 + div_width},
+        ),
+        verification=VerificationStatus.EXTENSIVE,
+    )

@@ -1,0 +1,298 @@
+"""TinyCPU — an open 8-bit accumulator processor core.
+
+The paper (Section II) credits open processor IP — the PULP platform's
+RISC-V cores — with seeding an entire research ecosystem.  TinyCPU is
+this toolkit's miniature homage: a fully synthesizable accumulator
+machine with an assembler, a cycle-accurate Python golden model, and the
+usual collaterals, small enough to take through the whole RTL→GDSII flow
+in seconds.
+
+ISA (8-bit accumulator, program baked in as a ROM):
+
+======  =========  ==========================================
+opcode  mnemonic   effect
+======  =========  ==========================================
+0x0     NOP        —
+0x1     LDI imm    acc = imm
+0x2     ADD imm    acc += imm (mod 256)
+0x3     SUB imm    acc -= imm (mod 256)
+0x4     AND imm    acc &= imm
+0x5     OR  imm    acc |= imm
+0x6     XOR imm    acc ^= imm
+0x7     SHL        acc <<= 1 (mod 256)
+0x8     SHR        acc >>= 1
+0x9     OUT        out = acc
+0xA     JMP addr   pc = addr
+0xB     JNZ addr   if acc != 0: pc = addr
+0xF     HALT       stop (pc freezes, halted = 1)
+======  =========  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl.hcl import ModuleBuilder, mux
+from ..hdl.ir import Module
+from ..sim.testbench import Testbench
+from .base import Collateral, IpBlock, VerificationStatus
+
+OPCODES = {
+    "NOP": 0x0, "LDI": 0x1, "ADD": 0x2, "SUB": 0x3, "AND": 0x4,
+    "OR": 0x5, "XOR": 0x6, "SHL": 0x7, "SHR": 0x8, "OUT": 0x9,
+    "JMP": 0xA, "JNZ": 0xB, "HALT": 0xF,
+}
+_NEEDS_OPERAND = {"LDI", "ADD", "SUB", "AND", "OR", "XOR", "JMP", "JNZ"}
+
+
+class AssemblerError(Exception):
+    """Raised for malformed TinyCPU assembly."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    opcode: int
+    operand: int = 0
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Two-pass assembler: labels (``name:``), mnemonics, ``;`` comments."""
+    lines = []
+    for raw in source.splitlines():
+        text = raw.split(";", 1)[0].strip()
+        if text:
+            lines.append(text)
+
+    labels: dict[str, int] = {}
+    statements: list[tuple[str, str | None]] = []
+    for text in lines:
+        while ":" in text:
+            label, text = text.split(":", 1)
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r}")
+            labels[label] = len(statements)
+            text = text.strip()
+        if not text:
+            continue
+        parts = text.split()
+        mnemonic = parts[0].upper()
+        if mnemonic not in OPCODES:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+        operand = parts[1] if len(parts) > 1 else None
+        if (operand is None) == (mnemonic in _NEEDS_OPERAND):
+            raise AssemblerError(
+                f"{mnemonic} {'requires' if mnemonic in _NEEDS_OPERAND else 'takes no'} operand"
+            )
+        statements.append((mnemonic, operand))
+
+    program: list[Instruction] = []
+    for mnemonic, operand in statements:
+        value = 0
+        if operand is not None:
+            if operand in labels:
+                value = labels[operand]
+            else:
+                try:
+                    value = int(operand, 0)
+                except ValueError:
+                    raise AssemblerError(
+                        f"undefined label or bad literal {operand!r}"
+                    ) from None
+        if not 0 <= value <= 255:
+            raise AssemblerError(f"operand {value} out of byte range")
+        program.append(Instruction(OPCODES[mnemonic], value))
+    if not program:
+        raise AssemblerError("empty program")
+    return program
+
+
+def run_program(program: list[Instruction], max_cycles: int = 10_000) -> dict:
+    """Reference interpreter; returns the final architectural state."""
+    acc = out = pc = 0
+    halted = False
+    trace: list[int] = []
+    for _ in range(max_cycles):
+        if halted or pc >= len(program):
+            break
+        inst = program[pc]
+        op, imm = inst.opcode, inst.operand
+        next_pc = pc + 1
+        if op == OPCODES["LDI"]:
+            acc = imm
+        elif op == OPCODES["ADD"]:
+            acc = (acc + imm) & 0xFF
+        elif op == OPCODES["SUB"]:
+            acc = (acc - imm) & 0xFF
+        elif op == OPCODES["AND"]:
+            acc &= imm
+        elif op == OPCODES["OR"]:
+            acc |= imm
+        elif op == OPCODES["XOR"]:
+            acc ^= imm
+        elif op == OPCODES["SHL"]:
+            acc = (acc << 1) & 0xFF
+        elif op == OPCODES["SHR"]:
+            acc >>= 1
+        elif op == OPCODES["OUT"]:
+            out = acc
+            trace.append(acc)
+        elif op == OPCODES["JMP"]:
+            next_pc = imm
+        elif op == OPCODES["JNZ"]:
+            next_pc = imm if acc != 0 else next_pc
+        elif op == OPCODES["HALT"]:
+            halted = True
+            next_pc = pc
+        pc = next_pc
+    return {"acc": acc, "out": out, "pc": pc, "halted": halted,
+            "trace": trace}
+
+
+def generate_cpu(program: list[Instruction],
+                 name: str = "tinycpu") -> Module:
+    """Synthesizable TinyCPU with ``program`` baked into the ROM."""
+    if not program:
+        raise AssemblerError("cannot generate a CPU with an empty program")
+    depth = len(program)
+    pc_width = max(1, (depth - 1).bit_length() if depth > 1 else 1)
+
+    b = ModuleBuilder(name)
+    run = b.input("run", 1)
+
+    acc = b.register("acc", 8)
+    out = b.register("out_r", 8)
+    pc = b.register("pc", pc_width)
+    halted = b.register("halted", 1)
+
+    # Instruction ROM: a mux chain over the program counter.
+    opcode = b.const(OPCODES["HALT"], 4)  # past-the-end fetches halt
+    operand = b.const(0, 8)
+    for index, inst in enumerate(program):
+        here = pc.eq(index)
+        opcode = mux(here, b.const(inst.opcode, 4), opcode)
+        operand = mux(here, b.const(inst.operand, 8), operand)
+    opcode = b.wire("opcode", opcode)
+    operand = b.wire("operand", operand)
+
+    def is_op(mnemonic: str):
+        return opcode.eq(OPCODES[mnemonic])
+
+    alu = acc
+    alu = mux(is_op("LDI"), operand, alu)
+    alu = mux(is_op("ADD"), (acc + operand).trunc(8), alu)
+    alu = mux(is_op("SUB"), (acc - operand).trunc(8), alu)
+    alu = mux(is_op("AND"), acc & operand, alu)
+    alu = mux(is_op("OR"), acc | operand, alu)
+    alu = mux(is_op("XOR"), acc ^ operand, alu)
+    alu = mux(is_op("SHL"), (acc << 1).trunc(8), alu)
+    alu = mux(is_op("SHR"), acc >> 1, alu)
+
+    advance = run & ~halted
+    acc.next = mux(advance, alu, acc)
+    out.next = mux(advance & is_op("OUT"), acc, out)
+    halted.next = mux(advance & is_op("HALT"), b.const(1, 1), halted)
+
+    target = operand.trunc(pc_width) if pc_width < 8 else operand.zext(pc_width)
+    taken = is_op("JMP") | (is_op("JNZ") & acc.ne(0))
+    next_pc = mux(taken, target, (pc + 1).trunc(pc_width))
+    next_pc = mux(is_op("HALT"), pc, next_pc)
+    pc.next = mux(advance, next_pc, pc)
+
+    b.output("acc_out", acc)
+    b.output("out", out)
+    b.output("pc_out", pc)
+    b.output("halted_out", halted)
+    return b.build()
+
+
+def make_tinycpu(source: str | None = None) -> IpBlock:
+    """Packaged TinyCPU IP; default program computes 7 * 6 by iterated
+    addition — multiplication as a loop, the classic first program."""
+    if source is None:
+        source = """
+            LDI 0
+            ADD 7
+            ADD 7
+            ADD 7
+            ADD 7
+            ADD 7
+            ADD 7        ; 7 * 6 by repeated addition
+            OUT          ; out = 42
+        loop:
+            SUB 1
+            JNZ loop     ; count the accumulator back down to zero
+            HALT
+        """
+    program = assemble(source)
+    module = generate_cpu(program)
+    reference = run_program(program)
+
+    def model(inputs, state):
+        cpu = state.setdefault(
+            "cpu", {"acc": 0, "out": 0, "pc": 0, "halted": 0}
+        )
+        expected = {
+            "acc_out": cpu["acc"], "out": cpu["out"],
+            "pc_out": cpu["pc"], "halted_out": cpu["halted"],
+        }
+        if inputs["run"] and not cpu["halted"]:
+            inst = (program[cpu["pc"]] if cpu["pc"] < len(program)
+                    else Instruction(OPCODES["HALT"]))
+            op, imm = inst.opcode, inst.operand
+            acc = cpu["acc"]
+            next_pc = cpu["pc"] + 1
+            if op == OPCODES["LDI"]:
+                acc = imm
+            elif op == OPCODES["ADD"]:
+                acc = (acc + imm) & 0xFF
+            elif op == OPCODES["SUB"]:
+                acc = (acc - imm) & 0xFF
+            elif op == OPCODES["AND"]:
+                acc &= imm
+            elif op == OPCODES["OR"]:
+                acc |= imm
+            elif op == OPCODES["XOR"]:
+                acc ^= imm
+            elif op == OPCODES["SHL"]:
+                acc = (acc << 1) & 0xFF
+            elif op == OPCODES["SHR"]:
+                acc >>= 1
+            elif op == OPCODES["OUT"]:
+                cpu["out"] = acc
+            elif op == OPCODES["JMP"]:
+                next_pc = imm
+            elif op == OPCODES["JNZ"]:
+                next_pc = imm if acc != 0 else next_pc
+            elif op == OPCODES["HALT"]:
+                cpu["halted"] = 1
+                next_pc = cpu["pc"]
+            pc_mask = (1 << module.port_by_name("pc_out").width) - 1
+            cpu["acc"] = acc
+            cpu["pc"] = next_pc & pc_mask
+        return expected
+
+    return IpBlock(
+        name="tinycpu",
+        module=module,
+        params={"program_length": len(program),
+                "reference_out": reference["out"]},
+        testbench=Testbench(module, model, seed=23),
+        collateral=Collateral(
+            description=(
+                "8-bit accumulator CPU with a 13-instruction ISA, two-pass "
+                "assembler and cycle-accurate golden model; the program is "
+                "baked into the synthesized ROM — the open-processor "
+                "teaching vehicle in the spirit of the PULP cores."
+            ),
+            integration_notes=(
+                "Hold run=1; poll halted_out. Regenerate with a new "
+                "program via generate_cpu(assemble(src))."
+            ),
+            example_instantiation="generate_cpu(assemble('LDI 1\\nOUT\\nHALT'))",
+            synthesis_hints={"registers": 18, "rom": "mux-chain"},
+        ),
+        verification=VerificationStatus.EXTENSIVE,
+    )

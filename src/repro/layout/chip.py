@@ -1,0 +1,128 @@
+"""Chip layout assembly: physical design → GDSII library.
+
+Builds the final mask database: one abstract structure per standard-cell
+variant (outline on ``active``, gate stripe on ``poly``, label), SREF
+placements for every cell, merged routing wires on ``met1``/``met2`` with
+vias, pin labels, and the die outline.  Nets sharing a routing grid cell
+are drawn on distinct tracks at DRC-legal spacing (the router's capacity
+is pre-capped by :func:`repro.pnr.route.drc_clean_capacity`).
+"""
+
+from __future__ import annotations
+
+from ..pdk.pdks import Pdk
+from ..pnr.physical import PhysicalDesign
+from .gds import GdsLibrary, GdsSRef, GdsStruct, GdsText, to_db
+
+
+def _cell_struct(cell_name: str, width: float, height: float, pdk: Pdk) -> GdsStruct:
+    """Abstract layout for one standard-cell variant."""
+    struct = GdsStruct(name=cell_name)
+    active = pdk.layers.by_name("active")
+    poly = pdk.layers.by_name("poly")
+    f_um = pdk.node.feature_nm / 1000.0
+    struct.add_rect_um(active.gds_layer, active.gds_datatype,
+                       0.0, 0.0, width, height)
+    # A representative poly gate stripe, inset one feature from each edge.
+    if width > 4 * f_um:
+        x = width / 2.0
+        struct.add_rect_um(poly.gds_layer, poly.gds_datatype,
+                           x - f_um / 2.0, f_um, x + f_um / 2.0,
+                           height - f_um)
+    label = pdk.layers.by_name("label")
+    struct.texts.append(
+        GdsText(label.gds_layer, cell_name, (to_db(width / 2), to_db(height / 2)))
+    )
+    return struct
+
+
+def build_chip_gds(design: PhysicalDesign, top_name: str | None = None) -> GdsLibrary:
+    """Assemble the full-chip GDSII library for ``design``."""
+    pdk = design.pdk
+    library = GdsLibrary(name=f"{design.mapped.name}_{pdk.name}")
+    top = GdsStruct(name=top_name or design.mapped.name)
+
+    # Cell masters, one per (cell variant, width) actually used.
+    masters: dict[str, GdsStruct] = {}
+    cell_of = {inst.name: inst.cell for inst in design.mapped.cells}
+    for name, placed in design.placement.cells.items():
+        cell = cell_of[name]
+        key = cell.name
+        if key not in masters:
+            masters[key] = library.add(
+                _cell_struct(key, placed.width, placed.height, pdk)
+            )
+        top.srefs.append(
+            GdsSRef(key, (to_db(placed.x), to_db(placed.y)))
+        )
+
+    # Routing: one wire rect per occupied grid-cell step.  Each net gets a
+    # deterministic track slot inside every grid cell it crosses, so
+    # parallel nets sit ``pitch / tracks`` apart, which the capacity cap
+    # guarantees to satisfy width+spacing rules.
+    from ..pnr.route import drc_clean_capacity
+
+    met1 = pdk.layers.by_name("met1")
+    met2 = pdk.layers.by_name("met2")
+    via1 = pdk.layers.by_name("via1")
+    pitch = design.routing.grid_pitch_um
+    tracks = drc_clean_capacity(pdk.node, pdk.layers)
+    cell_tracks: dict[tuple[int, int, int], dict[int, int]] = {}
+
+    def offset_for(cell: tuple[int, int, int], net: int) -> float:
+        nets_here = cell_tracks.setdefault(cell, {})
+        if net not in nets_here:
+            nets_here[net] = len(nets_here)
+        slot = nets_here[net] % tracks
+        return (slot - (tracks - 1) / 2.0) * (pitch / tracks)
+
+    for net, routed in design.routing.nets.items():
+        cells = set(routed.cells)
+        for cell in routed.cells:
+            col, row, layer = cell
+            x = col * pitch
+            y = row * pitch
+            if layer == 0:
+                if (col + 1, row, 0) in cells:
+                    yc = y + offset_for(cell, net)
+                    half = met1.min_width_um / 2.0
+                    top.add_rect_um(
+                        met1.gds_layer, met1.gds_datatype,
+                        x, yc - half, x + pitch, yc + half,
+                    )
+                if (col, row, 1) in cells:
+                    off_h = offset_for(cell, net)
+                    off_v = offset_for((col, row, 1), net)
+                    # Vias are drawn at met1 width: it is >= the via rule
+                    # and an exact number of database units, so rounding
+                    # can never shave the rect below minimum width.
+                    half = met1.min_width_um / 2.0
+                    top.add_rect_um(
+                        via1.gds_layer, via1.gds_datatype,
+                        x + off_v - half, y + off_h - half,
+                        x + off_v + half, y + off_h + half,
+                    )
+            else:
+                if (col, row + 1, 1) in cells:
+                    xc = x + offset_for(cell, net)
+                    half = met2.min_width_um / 2.0
+                    top.add_rect_um(
+                        met2.gds_layer, met2.gds_datatype,
+                        xc - half, y, xc + half, y + pitch,
+                    )
+
+    # Pin labels and the die outline.
+    label = pdk.layers.by_name("label")
+    for pin in design.floorplan.io_pins:
+        top.texts.append(
+            GdsText(label.gds_layer, pin.name, (to_db(pin.x), to_db(pin.y)))
+        )
+    outline = pdk.layers.outline
+    top.add_rect_um(
+        outline.gds_layer, outline.gds_datatype,
+        0.0, 0.0,
+        design.floorplan.die_width, design.floorplan.die_height,
+    )
+
+    library.add(top)
+    return library

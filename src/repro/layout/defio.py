@@ -1,0 +1,161 @@
+"""Simplified DEF (Design Exchange Format) writer and reader.
+
+The DEF file is the flow's placement/routing hand-off artifact: it lets a
+placed design travel between tools — in teaching terms, it is the file a
+student inspects to see *where everything went* without opening the full
+GDSII.  This implementation covers the subset the toolkit produces:
+DESIGN/UNITS/DIEAREA, COMPONENTS with placed locations, PINS, and a
+summary NETS section, using the real DEF syntax so files open in
+standard viewers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pnr.physical import PhysicalDesign
+
+#: DEF distance units per micron.
+DEF_DBU = 1000
+
+
+@dataclass
+class DefComponent:
+    name: str
+    cell: str
+    x: int
+    y: int
+    status: str = "PLACED"
+
+
+@dataclass
+class DefPin:
+    name: str
+    net: int
+    direction: str
+    x: int
+    y: int
+
+
+@dataclass
+class DefDesign:
+    """Parsed (or to-be-written) DEF content."""
+
+    name: str
+    die: tuple[int, int, int, int]
+    components: list[DefComponent] = field(default_factory=list)
+    pins: list[DefPin] = field(default_factory=list)
+    nets: dict[int, list[str]] = field(default_factory=dict)
+
+
+def _dbu(um: float) -> int:
+    return int(round(um * DEF_DBU))
+
+
+def from_physical(design: PhysicalDesign) -> DefDesign:
+    """Extract the DEF view of a completed physical design."""
+    fp = design.floorplan
+    out = DefDesign(
+        name=design.mapped.name,
+        die=(0, 0, _dbu(fp.die_width), _dbu(fp.die_height)),
+    )
+    cell_of = {inst.name: inst.cell.name for inst in design.mapped.cells}
+    for name, placed in design.placement.cells.items():
+        out.components.append(
+            DefComponent(name, cell_of[name], _dbu(placed.x), _dbu(placed.y))
+        )
+    for pin in fp.io_pins:
+        direction = "INPUT" if pin.side == "west" else "OUTPUT"
+        out.pins.append(
+            DefPin(pin.name, pin.net, direction, _dbu(pin.x), _dbu(pin.y))
+        )
+    loads = design.mapped.net_loads()
+    driver = design.mapped.net_driver()
+    for net in sorted(design.routing.nets):
+        members = []
+        if net in driver:
+            members.append(driver[net].name)
+        members.extend(sink.name for sink, _pin in loads.get(net, ()))
+        out.nets[net] = members
+    return out
+
+
+def write_def(design: DefDesign) -> str:
+    """Serialize to DEF 5.8 text."""
+    lines = [
+        "VERSION 5.8 ;",
+        f'DESIGN {design.name} ;',
+        f"UNITS DISTANCE MICRONS {DEF_DBU} ;",
+        "DIEAREA ( {} {} ) ( {} {} ) ;".format(*design.die),
+        "",
+        f"COMPONENTS {len(design.components)} ;",
+    ]
+    for comp in design.components:
+        lines.append(
+            f"- {comp.name} {comp.cell} + {comp.status} "
+            f"( {comp.x} {comp.y} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("")
+    lines.append(f"PINS {len(design.pins)} ;")
+    for pin in design.pins:
+        lines.append(
+            f"- {pin.name} + NET n{pin.net} + DIRECTION {pin.direction} "
+            f"+ PLACED ( {pin.x} {pin.y} ) N ;"
+        )
+    lines.append("END PINS")
+    lines.append("")
+    lines.append(f"NETS {len(design.nets)} ;")
+    for net, members in design.nets.items():
+        pins = " ".join(f"( {m} PIN )" for m in members)
+        lines.append(f"- n{net} {pins} ;")
+    lines.append("END NETS")
+    lines.append("")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def read_def(text: str) -> DefDesign:
+    """Parse DEF text produced by :func:`write_def`."""
+    design = DefDesign(name="", die=(0, 0, 0, 0))
+    section = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("DESIGN ") and section is None:
+            design.name = line.split()[1]
+        elif line.startswith("DIEAREA"):
+            tokens = [t for t in line.replace("(", " ").replace(")", " ").split()
+                      if t.lstrip("-").isdigit()]
+            design.die = tuple(int(t) for t in tokens[:4])
+        elif line.startswith("COMPONENTS"):
+            section = "components"
+        elif line.startswith("PINS"):
+            section = "pins"
+        elif line.startswith("NETS"):
+            section = "nets"
+        elif line.startswith("END "):
+            section = None
+        elif line.startswith("- ") and section == "components":
+            # - <name> <cell> + PLACED ( <x> <y> ) N ;
+            tokens = line.split()
+            x, y = int(tokens[6]), int(tokens[7])
+            design.components.append(
+                DefComponent(tokens[1], tokens[2], x, y, tokens[4])
+            )
+        elif line.startswith("- ") and section == "pins":
+            # - <name> + NET n<id> + DIRECTION <dir> + PLACED ( <x> <y> ) N ;
+            tokens = line.split()
+            net = int(tokens[4][1:])
+            direction = tokens[7]
+            x, y = int(tokens[11]), int(tokens[12])
+            design.pins.append(DefPin(tokens[1], net, direction, x, y))
+        elif line.startswith("- ") and section == "nets":
+            tokens = line.split()
+            net = int(tokens[1][1:])
+            members = [
+                tokens[i + 1] for i, t in enumerate(tokens) if t == "("
+            ]
+            design.nets[net] = members
+    return design

@@ -1,0 +1,157 @@
+"""Design-rule checking over GDSII layouts.
+
+Checks the two rule classes every introductory PDK course starts with:
+
+* **minimum width** — no rectangle thinner than the layer's rule;
+* **minimum spacing** — no two disjoint rectangles on the same layer
+  closer than the layer's rule (overlapping/touching shapes are treated
+  as merged geometry, i.e. same-net, and are not spacing violations).
+
+The checker flattens SREF placements, bins rectangles into a spatial grid
+and only compares neighbours — the standard sweep optimisation, keeping
+the check near-linear for our layout sizes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..pdk.layers import LayerStack
+from .gds import GdsLibrary, from_db
+from .geometry import Rect
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    rule: str  # "min_width" or "min_spacing"
+    layer: str
+    detail: str
+    rect: Rect
+
+
+@dataclass
+class DrcReport:
+    checked_rects: int
+    violations: list[DrcViolation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else f"{len(self.violations)} violations"
+        return f"DRC {status} ({self.checked_rects} rects checked)"
+
+
+def flatten_rects(
+    library: GdsLibrary, top_name: str
+) -> dict[int, list[Rect]]:
+    """Rectangles per GDS layer with SREFs resolved (one level deep is
+    enough for our two-level cell/top hierarchy, applied recursively)."""
+    by_name = {s.name: s for s in library.structs}
+    rects: dict[int, list[Rect]] = defaultdict(list)
+
+    def emit(struct_name: str, dx: float, dy: float, depth: int) -> None:
+        if depth > 8:
+            raise ValueError("SREF nesting too deep (cycle?)")
+        struct = by_name[struct_name]
+        for boundary in struct.boundaries:
+            xs = [from_db(p[0]) for p in boundary.points]
+            ys = [from_db(p[1]) for p in boundary.points]
+            rects[boundary.layer].append(
+                Rect(min(xs) + dx, min(ys) + dy, max(xs) + dx, max(ys) + dy)
+            )
+        for sref in struct.srefs:
+            emit(
+                sref.struct_name,
+                dx + from_db(sref.position[0]),
+                dy + from_db(sref.position[1]),
+                depth + 1,
+            )
+
+    emit(top_name, 0.0, 0.0, 0)
+    return dict(rects)
+
+
+def check_drc(
+    library: GdsLibrary,
+    layers: LayerStack,
+    top_name: str,
+    check_layers: list[str] | None = None,
+    max_violations: int = 100,
+) -> DrcReport:
+    """Run width and spacing checks; stops after ``max_violations``."""
+    rects_by_gds = flatten_rects(library, top_name)
+    names = check_layers or [
+        l.name for l in layers.layers if l.purpose in ("routing", "via")
+    ]
+    report = DrcReport(checked_rects=0)
+
+    for name in names:
+        layer = layers.by_name(name)
+        rects = rects_by_gds.get(layer.gds_layer, [])
+        report.checked_rects += len(rects)
+        _check_layer(report, layer, rects, max_violations)
+        if len(report.violations) >= max_violations:
+            break
+    return report
+
+
+def _check_layer(report, layer, rects: list[Rect], max_violations: int) -> None:
+    eps = 1e-9
+    for rect in rects:
+        if rect.min_dimension + eps < layer.min_width_um:
+            report.violations.append(
+                DrcViolation(
+                    "min_width",
+                    layer.name,
+                    f"{rect.min_dimension:.4f} < {layer.min_width_um}",
+                    rect,
+                )
+            )
+            if len(report.violations) >= max_violations:
+                return
+
+    # Spatial binning for the spacing check.
+    spacing = layer.min_spacing_um
+    if spacing <= 0 or len(rects) < 2:
+        return
+    bin_size = max(spacing * 8.0, 1e-3)
+    bins: dict[tuple[int, int], list[int]] = defaultdict(list)
+    for index, rect in enumerate(rects):
+        grown = rect.grown(spacing)
+        for bx in range(int(grown.x0 // bin_size), int(grown.x1 // bin_size) + 1):
+            for by in range(int(grown.y0 // bin_size), int(grown.y1 // bin_size) + 1):
+                bins[(bx, by)].append(index)
+
+    seen_pairs: set[tuple[int, int]] = set()
+    for members in bins.values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                a, b = members[i], members[j]
+                pair = (a, b) if a < b else (b, a)
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                ra, rb = rects[a], rects[b]
+                if ra.intersects(rb):
+                    continue  # merged geometry: same-net abutment
+                distance = ra.distance(rb)
+                if eps < distance < spacing - eps:
+                    report.violations.append(
+                        DrcViolation(
+                            "min_spacing",
+                            layer.name,
+                            f"{distance:.4f} < {spacing}",
+                            ra,
+                        )
+                    )
+                    if len(report.violations) >= max_violations:
+                        return

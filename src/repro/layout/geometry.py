@@ -1,0 +1,96 @@
+"""Planar geometry primitives for layout and DRC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle; coordinates in micrometres."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self):
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(f"malformed rect {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def min_dimension(self) -> float:
+        return min(self.width, self.height)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the interiors overlap (touching edges do not count)."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def distance(self, other: "Rect") -> float:
+        """Euclidean gap between rectangles (0 when touching/overlapping)."""
+        dx = max(0.0, max(self.x0, other.x0) - min(self.x1, other.x1))
+        dy = max(0.0, max(self.y0, other.y0) - min(self.y1, other.y1))
+        return (dx * dx + dy * dy) ** 0.5
+
+    def grown(self, margin: float) -> "Rect":
+        return Rect(
+            self.x0 - margin, self.y0 - margin,
+            self.x1 + margin, self.y1 + margin,
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.x0, other.x0), min(self.y0, other.y0),
+            max(self.x1, other.x1), max(self.y1, other.y1),
+        )
+
+
+def bounding_box(rects: list[Rect]) -> Rect:
+    """Tight bounding box of a non-empty rectangle list."""
+    if not rects:
+        raise ValueError("bounding box of no rectangles")
+    return Rect(
+        min(r.x0 for r in rects),
+        min(r.y0 for r in rects),
+        max(r.x1 for r in rects),
+        max(r.y1 for r in rects),
+    )
+
+
+def wire_rect(x0: float, y0: float, x1: float, y1: float, width: float) -> Rect:
+    """Rectangle for a wire segment centred on the given endpoints.
+
+    Segments must be horizontal or vertical; ``width`` is the wire width.
+    """
+    half = width / 2.0
+    if abs(x1 - x0) < 1e-9:  # vertical
+        lo, hi = min(y0, y1), max(y0, y1)
+        return Rect(x0 - half, lo - half, x0 + half, hi + half)
+    if abs(y1 - y0) < 1e-9:  # horizontal
+        lo, hi = min(x0, x1), max(x0, x1)
+        return Rect(lo - half, y0 - half, hi + half, y0 + half)
+    raise ValueError("wire segments must be axis-aligned")

@@ -1,0 +1,95 @@
+"""LVS-lite: layout-vs-schematic consistency checking.
+
+Full LVS extracts devices from polygons; at standard-cell abstraction the
+equivalent signoff question is simpler but just as load-bearing: *does
+the GDS actually contain the netlist?*  This check compares the chip-top
+structure against the mapped netlist:
+
+* every netlist cell has exactly one SREF placement (and vice versa);
+* every placed SREF references a master structure that exists;
+* every top-level port has a pin label, and no label is orphaned;
+* the die outline exists.
+
+It would have caught the classic student accident — streaming out a
+stale layout after an ECO — which is why it is part of the signoff
+checklist story.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..pnr.physical import PhysicalDesign
+from .gds import GdsLibrary
+
+
+@dataclass
+class LvsReport:
+    mismatches: list[str] = field(default_factory=list)
+    cells_checked: int = 0
+    pins_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else f"{len(self.mismatches)} mismatches"
+        return (
+            f"LVS {status} ({self.cells_checked} cells, "
+            f"{self.pins_checked} pins)"
+        )
+
+
+def check_lvs(library: GdsLibrary, design: PhysicalDesign) -> LvsReport:
+    """Compare the GDS against the physical design's netlist view."""
+    report = LvsReport()
+    top_name = design.mapped.name
+    try:
+        top = library.struct(top_name)
+    except KeyError:
+        report.mismatches.append(f"top structure {top_name!r} missing")
+        return report
+
+    # Cell placements: netlist cell-kind census vs SREF census.
+    netlist_census = Counter(
+        inst.cell.name for inst in design.mapped.cells
+    )
+    layout_census = Counter(ref.struct_name for ref in top.srefs)
+    report.cells_checked = sum(netlist_census.values())
+    for master, expected in sorted(netlist_census.items()):
+        placed = layout_census.get(master, 0)
+        if placed != expected:
+            report.mismatches.append(
+                f"cell {master}: netlist has {expected}, layout has {placed}"
+            )
+    for master in sorted(set(layout_census) - set(netlist_census)):
+        report.mismatches.append(
+            f"layout places unknown cell {master} "
+            f"({layout_census[master]}x)"
+        )
+
+    # Master structures must exist for every placement.
+    known_structs = {struct.name for struct in library.structs}
+    for master in sorted(set(layout_census)):
+        if master not in known_structs:
+            report.mismatches.append(
+                f"SREF references missing structure {master!r}"
+            )
+
+    # Pin labels vs floorplan IO pins.
+    expected_pins = {pin.name for pin in design.floorplan.io_pins}
+    label_texts = {text.text for text in top.texts}
+    report.pins_checked = len(expected_pins)
+    for pin in sorted(expected_pins - label_texts):
+        report.mismatches.append(f"port {pin} has no pin label")
+    cell_names = {inst.cell.name for inst in design.mapped.cells}
+    for label in sorted(label_texts - expected_pins - cell_names):
+        report.mismatches.append(f"orphan label {label!r} in layout")
+
+    # Die outline present on the outline layer.
+    outline_layer = design.pdk.layers.outline.gds_layer
+    if not any(b.layer == outline_layer for b in top.boundaries):
+        report.mismatches.append("die outline missing")
+    return report

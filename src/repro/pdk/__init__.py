@@ -1,0 +1,39 @@
+"""Process design kits: nodes, standard cells, layers, access terms."""
+
+from .cells import DRIVE_STRENGTHS, Library, StandardCell, make_library
+from .layers import Layer, LayerStack, make_layer_stack
+from .memgen import MemoryMacro, generate_register_file, macro_model, sweep_table
+from .node import REFERENCE_NM, ProcessNode, scale_node
+from .pdks import (
+    AccessTerms,
+    Pdk,
+    get_pdk,
+    list_pdks,
+    make_edu045,
+    make_edu130,
+    make_edu180,
+)
+
+__all__ = [
+    "DRIVE_STRENGTHS",
+    "AccessTerms",
+    "Layer",
+    "LayerStack",
+    "Library",
+    "MemoryMacro",
+    "Pdk",
+    "ProcessNode",
+    "REFERENCE_NM",
+    "StandardCell",
+    "generate_register_file",
+    "get_pdk",
+    "list_pdks",
+    "make_edu045",
+    "make_edu130",
+    "make_edu180",
+    "make_layer_stack",
+    "macro_model",
+    "make_library",
+    "scale_node",
+    "sweep_table",
+]

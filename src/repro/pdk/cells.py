@@ -1,0 +1,181 @@
+"""Standard-cell library model.
+
+Cells carry everything the downstream flow needs:
+
+* a boolean function (for gate-level simulation and equivalence checks),
+* area in placement sites (for floorplanning and placement),
+* a linear delay model ``delay = intrinsic + resistance * load`` per arc
+  (an educational one-segment NLDM, used by STA),
+* input pin capacitance and leakage power (used by STA and power).
+
+Each logical cell exists in several drive strengths (X1/X2/X4...).  Gate
+sizing — picking a stronger variant on heavily loaded nets — is one of the
+optimizations the "commercial" flow preset enables, which feeds the paper's
+open-vs-commercial PPA-gap experiment (E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .node import ProcessNode
+
+
+@dataclass(frozen=True)
+class StandardCell:
+    """One sized variant of a logic cell."""
+
+    name: str
+    kind: str  # e.g. "NAND2"; sizing variants share the kind
+    drive: int  # relative drive strength (1, 2, 4, ...)
+    inputs: tuple[str, ...]  # ordered input pin names
+    output: str  # output pin name ("" for cells without one)
+    function: Callable[..., int] | None  # bit-level function of the inputs
+    area_um2: float
+    input_cap_ff: float  # per input pin
+    intrinsic_ps: float
+    resistance_kohm: float  # delay slope vs load capacitance (ps/fF)
+    leakage_nw: float
+    is_sequential: bool = False
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    def delay_ps(self, load_ff: float) -> float:
+        """Pin-to-pin delay under ``load_ff`` of output load."""
+        return self.intrinsic_ps + self.resistance_kohm * load_ff
+
+    def __repr__(self) -> str:
+        return f"StandardCell({self.name})"
+
+
+# (kind, inputs, function, sites, intrinsic factor, resistance factor,
+#  relative leakage).  Factors are relative to the node's base inverter.
+_CELL_SPECS: list[tuple] = [
+    ("INV", ("a",), lambda a: a ^ 1, 3, 1.0, 1.0, 1.0),
+    ("BUF", ("a",), lambda a: a, 4, 1.6, 0.9, 1.2),
+    ("NAND2", ("a", "b"), lambda a, b: (a & b) ^ 1, 4, 1.2, 1.1, 1.4),
+    ("NOR2", ("a", "b"), lambda a, b: (a | b) ^ 1, 4, 1.4, 1.3, 1.4),
+    ("AND2", ("a", "b"), lambda a, b: a & b, 5, 1.9, 1.0, 1.6),
+    ("OR2", ("a", "b"), lambda a, b: a | b, 5, 2.1, 1.0, 1.6),
+    ("XOR2", ("a", "b"), lambda a, b: a ^ b, 8, 2.6, 1.4, 2.2),
+    ("XNOR2", ("a", "b"), lambda a, b: (a ^ b) ^ 1, 8, 2.6, 1.4, 2.2),
+    ("NAND3", ("a", "b", "c"), lambda a, b, c: (a & b & c) ^ 1, 6, 1.6, 1.3, 1.9),
+    ("NOR3", ("a", "b", "c"), lambda a, b, c: (a | b | c) ^ 1, 6, 2.0, 1.6, 1.9),
+    ("AOI21", ("a", "b", "c"), lambda a, b, c: ((a & b) | c) ^ 1, 6, 1.5, 1.3, 1.8),
+    ("OAI21", ("a", "b", "c"), lambda a, b, c: ((a | b) & c) ^ 1, 6, 1.5, 1.3, 1.8),
+    ("MUX2", ("a", "b", "s"), lambda a, b, s: b if s else a, 9, 2.2, 1.2, 2.4),
+    ("TIE0", (), lambda: 0, 2, 0.0, 0.0, 0.3),
+    ("TIE1", (), lambda: 1, 2, 0.0, 0.0, 0.3),
+]
+
+#: The flip-flop is specified separately: its "function" is sequential.
+_DFF_SPEC = ("DFF", ("d",), None, 16, 3.5, 1.0, 4.0)
+
+#: Drive strengths generated for every combinational cell.
+DRIVE_STRENGTHS = (1, 2, 4)
+
+
+@dataclass
+class Library:
+    """A complete standard-cell library for one process node."""
+
+    name: str
+    node: ProcessNode
+    cells: dict[str, StandardCell] = field(default_factory=dict)
+
+    def add(self, cell: StandardCell) -> None:
+        if cell.name in self.cells:
+            raise ValueError(f"duplicate cell {cell.name!r}")
+        self.cells[cell.name] = cell
+
+    def get(self, name: str) -> StandardCell:
+        return self.cells[name]
+
+    def by_kind(self, kind: str, drive: int = 1) -> StandardCell:
+        """The variant of ``kind`` at the given drive strength."""
+        name = f"{kind}_X{drive}"
+        if name not in self.cells:
+            raise KeyError(f"library {self.name!r} has no cell {name!r}")
+        return self.cells[name]
+
+    def kinds(self) -> set[str]:
+        return {cell.kind for cell in self.cells.values()}
+
+    def drives_for(self, kind: str) -> list[int]:
+        """Available drive strengths for a kind, ascending."""
+        return sorted(
+            cell.drive for cell in self.cells.values() if cell.kind == kind
+        )
+
+    def stronger_variant(self, cell: StandardCell) -> StandardCell | None:
+        """The next drive strength up, or ``None`` at the top."""
+        drives = self.drives_for(cell.kind)
+        index = drives.index(cell.drive)
+        if index + 1 >= len(drives):
+            return None
+        return self.by_kind(cell.kind, drives[index + 1])
+
+    @property
+    def dff(self) -> StandardCell:
+        return self.by_kind("DFF")
+
+    def __repr__(self) -> str:
+        return f"Library({self.name!r}, {len(self.cells)} cells)"
+
+
+def _sized(
+    node: ProcessNode,
+    kind: str,
+    inputs: tuple[str, ...],
+    function,
+    sites: int,
+    t_factor: float,
+    r_factor: float,
+    leak_factor: float,
+    drive: int,
+    sequential: bool = False,
+) -> StandardCell:
+    # Stronger cells: proportionally lower resistance, ~30% extra area per
+    # doubling, higher leakage; input capacitance stays that of the input
+    # stage (educational simplification).
+    area_scale = 1.0 + 0.3 * (drive.bit_length() - 1)
+    site_area = node.site_width_um * node.row_height_um
+    return StandardCell(
+        name=f"{kind}_X{drive}",
+        kind=kind,
+        drive=drive,
+        inputs=inputs,
+        output="q" if sequential else ("y" if function else ""),
+        function=function,
+        area_um2=round(sites * site_area * area_scale, 5),
+        input_cap_ff=round(node.inv_input_cap_ff * (1.0 + 0.15 * (len(inputs) - 1)), 4)
+        if inputs
+        else 0.0,
+        intrinsic_ps=round(node.inv_intrinsic_ps * t_factor, 4),
+        resistance_kohm=round(node.inv_resistance_kohm * r_factor / drive, 5),
+        leakage_nw=round(node.inv_leakage_nw * leak_factor * drive, 6),
+        is_sequential=sequential,
+    )
+
+
+def make_library(node: ProcessNode, name: str | None = None) -> Library:
+    """Generate the full standard-cell library for ``node``."""
+    library = Library(name or f"{node.name}_stdcells", node)
+    for kind, inputs, function, sites, tf, rf, lf in _CELL_SPECS:
+        drives = (1,) if kind.startswith("TIE") else DRIVE_STRENGTHS
+        for drive in drives:
+            library.add(
+                _sized(node, kind, inputs, function, sites, tf, rf, lf, drive)
+            )
+    kind, inputs, function, sites, tf, rf, lf = _DFF_SPEC
+    for drive in DRIVE_STRENGTHS:
+        library.add(
+            _sized(
+                node, kind, inputs, function, sites, tf, rf, lf, drive,
+                sequential=True,
+            )
+        )
+    return library

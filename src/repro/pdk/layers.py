@@ -1,0 +1,83 @@
+"""Layer stack and design-rule definitions.
+
+Layers carry GDSII layer/datatype numbers (used by the writer) and the
+width/spacing rules the DRC engine checks.  The stack is a simplified
+planar CMOS stack: active, poly, local interconnect, then N metals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .node import ProcessNode
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One mask layer."""
+
+    name: str
+    gds_layer: int
+    gds_datatype: int
+    purpose: str  # "base", "routing", "via", "label"
+    min_width_um: float
+    min_spacing_um: float
+
+
+@dataclass(frozen=True)
+class LayerStack:
+    """Ordered layer definitions for one node."""
+
+    layers: tuple[Layer, ...]
+
+    def by_name(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r}")
+
+    def routing_layers(self) -> list[Layer]:
+        return [l for l in self.layers if l.purpose == "routing"]
+
+    @property
+    def outline(self) -> Layer:
+        return self.by_name("outline")
+
+
+def make_layer_stack(node: ProcessNode) -> LayerStack:
+    """Build the layer stack with rules scaled from the feature size.
+
+    Metal pitch (and hence min width/spacing) grows with the layer index —
+    upper metals are fatter, as in every real stack.
+    """
+    f_um = node.feature_nm / 1000.0
+    layers: list[Layer] = [
+        Layer("outline", 0, 0, "base", f_um, 0.0),
+        Layer("active", 1, 0, "base", 2 * f_um, 2 * f_um),
+        Layer("poly", 2, 0, "base", f_um, 2 * f_um),
+        Layer("li", 3, 0, "routing", 1.5 * f_um, 1.5 * f_um),
+    ]
+    for i in range(node.metal_layers):
+        fat = 1.0 + 0.4 * i
+        layers.append(
+            Layer(
+                f"met{i + 1}",
+                10 + i,
+                0,
+                "routing",
+                round(2 * f_um * fat, 4),
+                round(2 * f_um * fat, 4),
+            )
+        )
+        layers.append(
+            Layer(
+                f"via{i + 1}",
+                30 + i,
+                0,
+                "via",
+                round(1.5 * f_um * fat, 4),
+                round(2 * f_um * fat, 4),
+            )
+        )
+    layers.append(Layer("label", 60, 0, "label", 0.0, 0.0))
+    return LayerStack(tuple(layers))

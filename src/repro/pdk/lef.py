@@ -1,0 +1,162 @@
+"""LEF (Library Exchange Format) writer and reader for cell abstracts.
+
+LEF is the physical sibling of Liberty: the placer and router learn cell
+sizes, site geometry and pin locations from it.  The writer emits the
+standard ``SITE``/``MACRO`` structure with one abstract pin rectangle per
+port; the reader parses that subset back, round-trip tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cells import Library
+from .node import ProcessNode
+
+
+@dataclass
+class LefPin:
+    name: str
+    direction: str  # INPUT / OUTPUT
+    rect: tuple[float, float, float, float]
+
+
+@dataclass
+class LefMacro:
+    name: str
+    width: float
+    height: float
+    site: str
+    pins: list[LefPin] = field(default_factory=list)
+
+
+@dataclass
+class LefLibrary:
+    site_name: str
+    site_width: float
+    site_height: float
+    macros: list[LefMacro] = field(default_factory=list)
+
+    def macro(self, name: str) -> LefMacro:
+        for macro in self.macros:
+            if macro.name == name:
+                return macro
+        raise KeyError(f"no macro {name!r}")
+
+
+def from_library(library: Library) -> LefLibrary:
+    """Build the LEF view of a standard-cell library."""
+    node = library.node
+    site = f"{node.name}_site"
+    lef = LefLibrary(site, node.site_width_um, node.row_height_um)
+    pin_size = min(node.site_width_um, 0.4 * node.row_height_um)
+    for name in sorted(library.cells):
+        cell = library.cells[name]
+        width = cell.area_um2 / node.row_height_um
+        macro = LefMacro(cell.name, round(width, 4),
+                         node.row_height_um, site)
+        ports = list(cell.inputs) + ([cell.output] if cell.output else [])
+        if cell.is_sequential:
+            ports.append("clk")
+        step = width / (len(ports) + 1) if ports else width
+        for index, pin_name in enumerate(ports):
+            x = (index + 1) * step
+            direction = "OUTPUT" if pin_name == cell.output else "INPUT"
+            macro.pins.append(
+                LefPin(
+                    pin_name,
+                    direction,
+                    (
+                        round(x - pin_size / 2, 4),
+                        round(0.1 * node.row_height_um, 4),
+                        round(x + pin_size / 2, 4),
+                        round(0.1 * node.row_height_um + pin_size, 4),
+                    ),
+                )
+            )
+        lef.macros.append(macro)
+    return lef
+
+
+def write_lef(lef: LefLibrary) -> str:
+    """Serialize to LEF 5.8 text."""
+    lines = [
+        "VERSION 5.8 ;",
+        "BUSBITCHARS \"[]\" ;",
+        "DIVIDERCHAR \"/\" ;",
+        "",
+        f"SITE {lef.site_name}",
+        "  CLASS CORE ;",
+        f"  SIZE {lef.site_width} BY {lef.site_height} ;",
+        f"END {lef.site_name}",
+        "",
+    ]
+    for macro in lef.macros:
+        lines.append(f"MACRO {macro.name}")
+        lines.append("  CLASS CORE ;")
+        lines.append(f"  SIZE {macro.width} BY {macro.height} ;")
+        lines.append(f"  SITE {macro.site} ;")
+        for pin in macro.pins:
+            lines.append(f"  PIN {pin.name}")
+            lines.append(f"    DIRECTION {pin.direction} ;")
+            lines.append("    PORT")
+            lines.append("      LAYER met1 ;")
+            x0, y0, x1, y1 = pin.rect
+            lines.append(f"      RECT {x0} {y0} {x1} {y1} ;")
+            lines.append("    END")
+            lines.append(f"  END {pin.name}")
+        lines.append(f"END {macro.name}")
+        lines.append("")
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"
+
+
+def read_lef(text: str) -> LefLibrary:
+    """Parse LEF text produced by :func:`write_lef`."""
+    lef = LefLibrary("", 0.0, 0.0)
+    macro: LefMacro | None = None
+    pin: LefPin | None = None
+    in_site = False
+    site_name = ""
+
+    for raw in text.splitlines():
+        tokens = raw.strip().rstrip(";").split()
+        if not tokens:
+            continue
+        keyword = tokens[0]
+        if keyword == "SITE" and macro is None and len(tokens) == 2:
+            in_site = True
+            site_name = tokens[1]
+            lef.site_name = site_name
+        elif keyword == "SIZE" and in_site:
+            lef.site_width = float(tokens[1])
+            lef.site_height = float(tokens[3])
+        elif keyword == "MACRO":
+            in_site = False
+            macro = LefMacro(tokens[1], 0.0, 0.0, "")
+        elif keyword == "SIZE" and macro is not None and pin is None:
+            macro.width = float(tokens[1])
+            macro.height = float(tokens[3])
+        elif keyword == "SITE" and macro is not None:
+            macro.site = tokens[1]
+        elif keyword == "PIN" and macro is not None:
+            pin = LefPin(tokens[1], "", (0, 0, 0, 0))
+        elif keyword == "DIRECTION" and pin is not None:
+            pin.direction = tokens[1]
+        elif keyword == "RECT" and pin is not None:
+            pin.rect = tuple(float(t) for t in tokens[1:5])
+        elif keyword == "END" and len(tokens) > 1:
+            if in_site and tokens[1] == site_name:
+                in_site = False
+            elif pin is not None and tokens[1] == pin.name:
+                macro.pins.append(pin)
+                pin = None
+            elif macro is not None and tokens[1] == macro.name:
+                lef.macros.append(macro)
+                macro = None
+    return lef
+
+
+def write_library_lef(library: Library) -> str:
+    """Convenience: library straight to LEF text."""
+    return write_lef(from_library(library))

@@ -1,0 +1,224 @@
+"""Liberty (.lib) writer and reader for the standard-cell libraries.
+
+The Liberty file is *the* enablement artifact of Section III-D: every
+synthesis and STA tool is configured through it.  The writer emits the
+classic linear-delay-model dialect (``intrinsic_rise`` +
+``rise_resistance``), which matches the toolkit's one-segment delay model
+exactly; the reader parses that dialect back into a
+:class:`~repro.pdk.cells.Library`, round-trip tested.
+
+Boolean functions use Liberty syntax: ``*`` AND (or juxtaposition),
+``+`` OR, ``^`` XOR, ``!`` NOT.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .cells import _CELL_SPECS, _DFF_SPEC, Library, StandardCell
+from .node import ProcessNode
+
+#: Liberty function strings per cell kind.
+_FUNCTIONS = {
+    "INV": "!a",
+    "BUF": "a",
+    "NAND2": "!(a*b)",
+    "NOR2": "!(a+b)",
+    "AND2": "(a*b)",
+    "OR2": "(a+b)",
+    "XOR2": "(a^b)",
+    "XNOR2": "!(a^b)",
+    "NAND3": "!(a*b*c)",
+    "NOR3": "!(a+b+c)",
+    "AOI21": "!((a*b)+c)",
+    "OAI21": "!((a+b)*c)",
+    "MUX2": "((a*!s)+(b*s))",
+    "TIE0": "0",
+    "TIE1": "1",
+}
+
+
+def write_liberty(library: Library) -> str:
+    """Emit the library as Liberty text."""
+    node = library.node
+    lines = [
+        f"library ({library.name}) {{",
+        '  delay_model : "generic_cmos";',
+        '  time_unit : "1ps";',
+        '  capacitive_load_unit (1, "ff");',
+        '  leakage_power_unit : "1nW";',
+        f"  nom_voltage : {node.voltage_v};",
+        f'  comment : "generated for {node.name} '
+        f'({node.feature_nm:.0f} nm)";',
+    ]
+    for name in sorted(library.cells):
+        cell = library.cells[name]
+        lines.append(f"  cell ({cell.name}) {{")
+        lines.append(f"    area : {cell.area_um2};")
+        lines.append(f"    cell_leakage_power : {cell.leakage_nw};")
+        if cell.is_sequential:
+            lines.append(f'    ff ("IQ") {{ next_state : "d"; '
+                         f'clocked_on : "clk"; }}')
+        for pin in cell.inputs:
+            lines.append(f"    pin ({pin}) {{")
+            lines.append("      direction : input;")
+            lines.append(f"      capacitance : {cell.input_cap_ff};")
+            lines.append("    }")
+        if cell.output:
+            lines.append(f"    pin ({cell.output}) {{")
+            lines.append("      direction : output;")
+            function = (
+                "IQ" if cell.is_sequential
+                else _FUNCTIONS.get(cell.kind, "")
+            )
+            if function:
+                lines.append(f'      function : "{function}";')
+            related = ("clk",) if cell.is_sequential else cell.inputs
+            for pin in related:
+                lines.append("      timing () {")
+                lines.append(f'        related_pin : "{pin}";')
+                lines.append(f"        intrinsic_rise : {cell.intrinsic_ps};")
+                lines.append(f"        intrinsic_fall : {cell.intrinsic_ps};")
+                lines.append(f"        rise_resistance : {cell.resistance_kohm};")
+                lines.append(f"        fall_resistance : {cell.resistance_kohm};")
+                lines.append("      }")
+            lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# -- reader ---------------------------------------------------------------------
+
+_TOKEN = re.compile(r'[{}();:]|"[^"]*"|[^\s{}();:]+')
+
+
+def _tokenize(text: str) -> list[str]:
+    return _TOKEN.findall(text)
+
+
+class _Parser:
+    """Minimal recursive-descent parser for the emitted dialect."""
+
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ValueError(f"liberty parse error: expected {token!r}, got {got!r}")
+
+    def group(self) -> dict:
+        """Parse ``name (args) { ... }`` after name/args were consumed."""
+        body: dict = {"attributes": {}, "groups": []}
+        self.expect("{")
+        while self.peek() != "}":
+            name = self.next()
+            if self.peek() == ":":
+                self.next()
+                value_parts = []
+                while self.peek() not in (";",):
+                    value_parts.append(self.next())
+                self.expect(";")
+                body["attributes"][name] = " ".join(value_parts).strip('"')
+            elif self.peek() == "(":
+                self.next()
+                args = []
+                while self.peek() != ")":
+                    args.append(self.next().strip('"'))
+                self.expect(")")
+                if self.peek() == "{":
+                    child = self.group()
+                    child["name"] = name
+                    child["args"] = args
+                    body["groups"].append(child)
+                else:
+                    self.expect(";")
+                    body["attributes"][name] = args
+            else:
+                raise ValueError(f"liberty parse error near {name!r}")
+        self.expect("}")
+        return body
+
+
+def parse_liberty(text: str) -> dict:
+    """Parse Liberty text into a nested group dictionary."""
+    parser = _Parser(_tokenize(text))
+    name = parser.next()
+    if name != "library":
+        raise ValueError("liberty file must start with 'library'")
+    parser.expect("(")
+    lib_name = parser.next()
+    parser.expect(")")
+    root = parser.group()
+    root["name"] = "library"
+    root["args"] = [lib_name]
+    return root
+
+
+def read_liberty(text: str, node: ProcessNode) -> Library:
+    """Reconstruct a :class:`Library` from emitted Liberty text.
+
+    The node supplies nothing numeric — all values come from the file —
+    but is carried so downstream consumers keep their wire models.
+    """
+    root = parse_liberty(text)
+    spec_by_kind = {spec[0]: spec for spec in _CELL_SPECS}
+    spec_by_kind[_DFF_SPEC[0]] = _DFF_SPEC
+
+    library = Library(root["args"][0], node)
+    for group in root["groups"]:
+        if group["name"] != "cell":
+            continue
+        cell_name = group["args"][0]
+        kind, _, drive_txt = cell_name.rpartition("_X")
+        drive = int(drive_txt)
+        spec = spec_by_kind[kind]
+        function = spec[2]
+        sequential = kind == "DFF"
+
+        input_cap = 0.0
+        intrinsic = 0.0
+        resistance = 0.0
+        inputs: list[str] = []
+        output = ""
+        for pin in group["groups"]:
+            if pin["name"] == "ff":
+                continue
+            direction = pin["attributes"].get("direction")
+            if direction == "input":
+                inputs.append(pin["args"][0])
+                input_cap = float(pin["attributes"]["capacitance"])
+            elif direction == "output":
+                output = pin["args"][0]
+                for timing in pin["groups"]:
+                    intrinsic = float(timing["attributes"]["intrinsic_rise"])
+                    resistance = float(
+                        timing["attributes"]["rise_resistance"]
+                    )
+        library.add(
+            StandardCell(
+                name=cell_name,
+                kind=kind,
+                drive=drive,
+                inputs=tuple(inputs),
+                output=output,
+                function=function,
+                area_um2=float(group["attributes"]["area"]),
+                input_cap_ff=input_cap,
+                intrinsic_ps=intrinsic,
+                resistance_kohm=resistance,
+                leakage_nw=float(group["attributes"]["cell_leakage_power"]),
+                is_sequential=sequential,
+            )
+        )
+    return library

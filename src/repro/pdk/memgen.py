@@ -1,0 +1,118 @@
+"""Memory macro generator.
+
+Section III-D lists "management of technology-specific databases such as
+PDKs, libraries, IP blocks, and generators (e.g., memory generators)"
+among the enablement tasks.  This module is that generator: given a
+words x bits configuration it produces
+
+* synthesizable register-file RTL (1R1W, synchronous write, asynchronous
+  mux read) built on the toolkit's own IR, and
+* a macro model (area/timing/leakage) scaled from the node parameters,
+  the way a foundry memory compiler datasheet would report it.
+
+Register-file RTL is the honest choice at educational scale: real SRAM
+bit cells are analog; the macro model covers the "what would the compiled
+SRAM cost" question for floorplanning exercises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hdl.hcl import ModuleBuilder, mux
+from ..hdl.ir import Module
+from .node import ProcessNode
+
+
+@dataclass(frozen=True)
+class MemoryMacro:
+    """Compiled-memory datasheet entry for one configuration."""
+
+    name: str
+    words: int
+    bits: int
+    node_feature_nm: float
+    area_um2: float
+    access_time_ps: float
+    cycle_time_ps: float
+    leakage_nw: float
+    dynamic_read_fj: float  # energy per read access
+
+    @property
+    def kilobits(self) -> float:
+        return self.words * self.bits / 1024.0
+
+    @property
+    def bit_density_kb_per_mm2(self) -> float:
+        return self.kilobits / (self.area_um2 * 1e-6)
+
+
+def macro_model(node: ProcessNode, words: int, bits: int) -> MemoryMacro:
+    """SRAM macro estimate from node geometry.
+
+    A 6T bit cell occupies ~140 F^2; periphery (decoder, sense amps, IO)
+    adds a size-dependent overhead; access time grows with the square
+    root of the word count (wordline/bitline RC).
+    """
+    if words < 2 or bits < 1:
+        raise ValueError("memory needs at least 2 words and 1 bit")
+    f_um = node.feature_nm / 1000.0
+    cell_area = 140.0 * f_um * f_um
+    array_area = cell_area * words * bits
+    periphery = array_area * (0.25 + 4.0 / math.sqrt(words * bits))
+    access = node.inv_intrinsic_ps * (4.0 + 1.5 * math.sqrt(words / 16.0))
+    return MemoryMacro(
+        name=f"sram_{words}x{bits}",
+        words=words,
+        bits=bits,
+        node_feature_nm=node.feature_nm,
+        area_um2=round(array_area + periphery, 3),
+        access_time_ps=round(access, 2),
+        cycle_time_ps=round(1.6 * access, 2),
+        leakage_nw=round(node.inv_leakage_nw * 0.25 * words * bits, 4),
+        dynamic_read_fj=round(
+            0.5 * bits * node.inv_input_cap_ff * node.voltage_v**2, 4
+        ),
+    )
+
+
+def generate_register_file(words: int, bits: int,
+                           name: str | None = None) -> Module:
+    """Synthesizable 1R1W register file.
+
+    Ports: ``waddr``, ``wdata``, ``wen`` (synchronous write) and
+    ``raddr`` -> ``rdata`` (combinational read).  ``words`` must be a
+    power of two so addresses cover the array exactly.
+    """
+    if words < 2 or words & (words - 1):
+        raise ValueError(f"words must be a power of two >= 2, got {words}")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    addr_width = words.bit_length() - 1
+
+    b = ModuleBuilder(name or f"regfile_{words}x{bits}")
+    waddr = b.input("waddr", addr_width)
+    wdata = b.input("wdata", bits)
+    wen = b.input("wen", 1)
+    raddr = b.input("raddr", addr_width)
+
+    rows = []
+    for i in range(words):
+        row = b.register(f"row{i}", bits)
+        row.next = mux(wen & waddr.eq(i), wdata, row)
+        rows.append(row)
+
+    rdata = rows[0]
+    for i in range(1, words):
+        rdata = mux(raddr.eq(i), rows[i], rdata)
+    b.output("rdata", rdata)
+    return b.build()
+
+
+def sweep_table(node: ProcessNode,
+                configs: tuple[tuple[int, int], ...] = (
+                    (16, 8), (64, 16), (256, 32), (1024, 32),
+                )) -> list[MemoryMacro]:
+    """Datasheet table across configurations (enablement collateral)."""
+    return [macro_model(node, words, bits) for words, bits in configs]

@@ -1,0 +1,82 @@
+"""Process node models with internally consistent scaling.
+
+The paper's cost and capability arguments (Sections III-C, III-D) hinge on
+how electrical and economic parameters change across technology nodes.  We
+derive every node parameter from the feature size through one documented
+scaling law (:func:`scale_node`), anchored at a 130 nm reference — the node
+class available through today's open PDKs.  The absolute values are
+educational approximations; the *relative* behaviour across nodes (smaller
+is faster, denser, leakier, with more resistive wires) is what the
+experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Reference feature size for the scaling law, in nanometres.
+REFERENCE_NM = 130.0
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """Electrical and geometric parameters of a fabrication node."""
+
+    name: str
+    feature_nm: float
+    metal_layers: int
+    voltage_v: float
+    #: Placement site dimensions; cells are an integer number of sites wide.
+    site_width_um: float
+    row_height_um: float
+    #: Unit wire parasitics for Elmore delay estimation.
+    wire_res_ohm_per_um: float
+    wire_cap_ff_per_um: float
+    #: Base inverter characteristics all cell timing derives from.
+    inv_intrinsic_ps: float
+    inv_resistance_kohm: float
+    inv_input_cap_ff: float
+    inv_leakage_nw: float
+
+    @property
+    def fo4_delay_ps(self) -> float:
+        """Fanout-of-4 inverter delay — the classic speed yardstick."""
+        return self.inv_intrinsic_ps + self.inv_resistance_kohm * (
+            4.0 * self.inv_input_cap_ff
+        )
+
+
+def scale_node(name: str, feature_nm: float, metal_layers: int) -> ProcessNode:
+    """Create a :class:`ProcessNode` from the feature size alone.
+
+    Scaling law, with ``s = feature / 130 nm``:
+
+    * geometry shrinks linearly: site width ``2 f``, row height ``20 f``;
+    * intrinsic gate delay scales ~linearly with feature size;
+    * gate input capacitance scales with area (``~ s``);
+    * drive resistance rises slowly as devices shrink (``~ s^-0.25``)
+      — the classic reason delay does not improve as fast as area;
+    * supply voltage follows a softened constant-field trend;
+    * leakage per gate *grows* quadratically as features shrink — the
+      post-90 nm leakage crisis;
+    * wire resistance per micron grows as wires narrow (``~ 1/s``), wire
+      capacitance per micron is nearly constant.
+    """
+    if feature_nm <= 0:
+        raise ValueError(f"feature size must be positive, got {feature_nm}")
+    s = feature_nm / REFERENCE_NM
+    f_um = feature_nm / 1000.0
+    return ProcessNode(
+        name=name,
+        feature_nm=feature_nm,
+        metal_layers=metal_layers,
+        voltage_v=round(min(1.8, max(0.7, 1.5 * s**0.45)), 2),
+        site_width_um=round(2.0 * f_um, 4),
+        row_height_um=round(20.0 * f_um, 4),
+        wire_res_ohm_per_um=round(0.08 / s, 4),
+        wire_cap_ff_per_um=round(0.20 * s**0.1, 4),
+        inv_intrinsic_ps=round(18.0 * s, 3),
+        inv_resistance_kohm=round(2.0 * s**-0.25 * s, 4),
+        inv_input_cap_ff=round(2.0 * s, 4),
+        inv_leakage_nw=round(0.1 / s**2, 5),
+    )

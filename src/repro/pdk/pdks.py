@@ -1,0 +1,158 @@
+"""The synthetic PDKs shipped with the toolkit.
+
+Three nodes mirror the landscape Section III-C describes:
+
+* ``edu180`` — an open 180 nm node (GF180MCU class): no NDA, cheap MPW.
+* ``edu130`` — an open 130 nm node (SkyWater class): no NDA, modest MPW.
+* ``edu045`` — a commercial 45 nm node: NDA + export control + prior
+  tape-out requirements, expensive MPW — the access-barrier case study.
+
+The access-term fields are consumed by :mod:`repro.core.licensing`, the
+MPW fields by :mod:`repro.analytics.mpw` and :mod:`repro.core.shuttle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cells import Library, make_library
+from .layers import LayerStack, make_layer_stack
+from .node import ProcessNode, scale_node
+
+
+@dataclass(frozen=True)
+class AccessTerms:
+    """Legal and economic access conditions for a PDK (Section III-C)."""
+
+    open_source: bool
+    nda_required: bool
+    export_controlled: bool
+    #: Completed tape-outs in earlier nodes required before access.
+    min_prior_tapeouts: int
+    #: Requires a fixed project description with secured funding.
+    requires_fixed_project: bool
+    #: Requires an isolated IT environment on campus.
+    requires_isolated_it: bool
+    mpw_cost_per_mm2_eur: float
+    mask_set_cost_eur: float
+    fab_turnaround_days: int
+    packaging_days: int
+
+    @property
+    def total_turnaround_days(self) -> int:
+        return self.fab_turnaround_days + self.packaging_days
+
+
+@dataclass(frozen=True)
+class Pdk:
+    """A process design kit: node + library + layers + access terms."""
+
+    name: str
+    node: ProcessNode
+    library: Library
+    layers: LayerStack
+    terms: AccessTerms
+    description: str = ""
+
+    @property
+    def is_open(self) -> bool:
+        return self.terms.open_source
+
+    def __repr__(self) -> str:
+        return f"Pdk({self.name!r}, {self.node.feature_nm:.0f} nm)"
+
+
+def make_edu180() -> Pdk:
+    node = scale_node("edu180", 180.0, metal_layers=4)
+    return Pdk(
+        name="edu180",
+        node=node,
+        library=make_library(node),
+        layers=make_layer_stack(node),
+        terms=AccessTerms(
+            open_source=True,
+            nda_required=False,
+            export_controlled=False,
+            min_prior_tapeouts=0,
+            requires_fixed_project=False,
+            requires_isolated_it=False,
+            mpw_cost_per_mm2_eur=650.0,
+            mask_set_cost_eur=150_000.0,
+            fab_turnaround_days=90,
+            packaging_days=30,
+        ),
+        description="Open 180 nm node (GF180MCU class), beginner friendly.",
+    )
+
+
+def make_edu130() -> Pdk:
+    node = scale_node("edu130", 130.0, metal_layers=5)
+    return Pdk(
+        name="edu130",
+        node=node,
+        library=make_library(node),
+        layers=make_layer_stack(node),
+        terms=AccessTerms(
+            open_source=True,
+            nda_required=False,
+            export_controlled=False,
+            min_prior_tapeouts=0,
+            requires_fixed_project=False,
+            requires_isolated_it=False,
+            mpw_cost_per_mm2_eur=1_100.0,
+            mask_set_cost_eur=250_000.0,
+            fab_turnaround_days=100,
+            packaging_days=30,
+        ),
+        description="Open 130 nm node (SkyWater class), the open-PDK workhorse.",
+    )
+
+
+def make_edu045() -> Pdk:
+    node = scale_node("edu045", 45.0, metal_layers=7)
+    return Pdk(
+        name="edu045",
+        node=node,
+        library=make_library(node),
+        layers=make_layer_stack(node),
+        terms=AccessTerms(
+            open_source=False,
+            nda_required=True,
+            export_controlled=True,
+            min_prior_tapeouts=2,
+            requires_fixed_project=True,
+            requires_isolated_it=True,
+            mpw_cost_per_mm2_eur=9_500.0,
+            mask_set_cost_eur=2_500_000.0,
+            fab_turnaround_days=130,
+            packaging_days=40,
+        ),
+        description=(
+            "Commercial 45 nm node: NDA, export control and prior tape-out "
+            "requirements model the access barriers of Section III-C."
+        ),
+    )
+
+
+_FACTORIES = {
+    "edu180": make_edu180,
+    "edu130": make_edu130,
+    "edu045": make_edu045,
+}
+_CACHE: dict[str, Pdk] = {}
+
+
+def get_pdk(name: str) -> Pdk:
+    """Fetch a built-in PDK by name (instances are cached)."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown PDK {name!r}; available: {sorted(_FACTORIES)}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = _FACTORIES[name]()
+    return _CACHE[name]
+
+
+def list_pdks() -> list[str]:
+    """Names of all built-in PDKs."""
+    return sorted(_FACTORIES)

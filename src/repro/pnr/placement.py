@@ -1,0 +1,289 @@
+"""Placement: quadratic global placement + Tetris legalization + swaps.
+
+The classic academic recipe:
+
+1. **Global**: minimize quadratic wirelength.  Every net becomes a clique
+   (small nets) or a star with an auxiliary node (large nets); fixed IO
+   pins anchor the system.  The resulting sparse linear system is solved
+   with :mod:`scipy.sparse`.
+2. **Legalization**: Tetris — cells sorted by x are appended to the row
+   that minimizes displacement.
+3. **Detailed placement** (optional, the "commercial" preset): greedy
+   equal-width cell swaps that reduce half-perimeter wirelength (HPWL).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import spsolve
+
+from ..synth.mapped import MappedNetlist
+from .floorplan import Floorplan
+
+#: Nets with more pins than this use a star model instead of a clique.
+CLIQUE_LIMIT = 8
+
+
+@dataclass
+class PlacedCell:
+    name: str
+    x: float  # lower-left corner
+    y: float
+    width: float
+    height: float
+
+    @property
+    def cx(self) -> float:
+        return self.x + self.width / 2.0
+
+    @property
+    def cy(self) -> float:
+        return self.y + self.height / 2.0
+
+
+@dataclass
+class Placement:
+    """Cell positions plus the wirelength metric."""
+
+    cells: dict[str, PlacedCell]
+    floorplan: Floorplan
+    hpwl_um: float
+
+    def position(self, name: str) -> tuple[float, float]:
+        cell = self.cells[name]
+        return (cell.cx, cell.cy)
+
+
+def net_pin_positions(
+    mapped: MappedNetlist,
+    cell_xy: dict[str, tuple[float, float]],
+    floorplan: Floorplan,
+) -> dict[int, list[tuple[float, float]]]:
+    """Pin positions per net, driver first.
+
+    Cell pins are approximated at the cell centre (abstract cells have no
+    internal pin geometry); IO pins sit at their boundary positions.
+    """
+    io_position = floorplan.pin_positions()
+    pins: dict[int, list[tuple[float, float]]] = {}
+
+    driver = mapped.net_driver()
+    loads = mapped.net_loads()
+    nets = set(driver) | set(loads) | set(io_position)
+    for net in nets:
+        plist: list[tuple[float, float]] = []
+        if net in driver:
+            plist.append(cell_xy[driver[net].name])
+        elif net in io_position:
+            plist.append(io_position[net])
+        for sink, _pin in loads.get(net, ()):
+            plist.append(cell_xy[sink.name])
+        if net in io_position and net in driver:
+            plist.append(io_position[net])
+        pins[net] = plist
+    return pins
+
+
+def hpwl(pins_by_net: dict[int, list[tuple[float, float]]]) -> float:
+    """Total half-perimeter wirelength over all multi-pin nets."""
+    total = 0.0
+    for pins in pins_by_net.values():
+        if len(pins) < 2:
+            continue
+        xs = [p[0] for p in pins]
+        ys = [p[1] for p in pins]
+        total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total
+
+
+def _quadratic_positions(
+    mapped: MappedNetlist, floorplan: Floorplan
+) -> dict[str, tuple[float, float]]:
+    """Solve the quadratic placement for all cell centres."""
+    cells = mapped.cells
+    index = {inst.name: i for i, inst in enumerate(cells)}
+    n_cells = len(cells)
+    io_position = floorplan.pin_positions()
+
+    # Collect net pins as (variable index | fixed position) lists.
+    net_members: dict[int, list] = {}
+    driver = mapped.net_driver()
+    loads = mapped.net_loads()
+    for net in set(driver) | set(loads) | set(io_position):
+        members: list = []
+        if net in driver:
+            members.append(index[driver[net].name])
+        for sink, _pin in loads.get(net, ()):
+            members.append(index[sink.name])
+        if net in io_position:
+            members.append(io_position[net])
+        if len(members) >= 2:
+            net_members[net] = members
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    n_star = sum(1 for m in net_members.values() if len(m) > CLIQUE_LIMIT)
+    size = n_cells + n_star
+    bx = np.zeros(size)
+    by = np.zeros(size)
+
+    def add_diag(i: int, w: float) -> None:
+        rows.append(i)
+        cols.append(i)
+        vals.append(w)
+
+    def add_edge(u, v, w: float) -> None:
+        u_var = isinstance(u, int)
+        v_var = isinstance(v, int)
+        if u_var and v_var:
+            add_diag(u, w)
+            add_diag(v, w)
+            rows.extend((u, v))
+            cols.extend((v, u))
+            vals.extend((-w, -w))
+        elif u_var:
+            add_diag(u, w)
+            bx[u] += w * v[0]
+            by[u] += w * v[1]
+        elif v_var:
+            add_edge(v, u, w)
+
+    star_cursor = n_cells
+    for members in net_members.values():
+        p = len(members)
+        if p <= CLIQUE_LIMIT:
+            w = 2.0 / (p * (p - 1))
+            for i in range(p):
+                for j in range(i + 1, p):
+                    add_edge(members[i], members[j], w)
+        else:
+            star = star_cursor
+            star_cursor += 1
+            w = 1.0 / p
+            for member in members:
+                add_edge(star, member, w)
+
+    # Weak anchor to the core centre keeps isolated cells well-defined.
+    center = (floorplan.die_width / 2.0, floorplan.die_height / 2.0)
+    for i in range(size):
+        add_diag(i, 1e-6)
+        bx[i] += 1e-6 * center[0]
+        by[i] += 1e-6 * center[1]
+
+    laplacian = coo_matrix((vals, (rows, cols)), shape=(size, size)).tocsr()
+    xs = spsolve(laplacian, bx)
+    ys = spsolve(laplacian, by)
+    return {
+        inst.name: (float(xs[i]), float(ys[i]))
+        for inst, i in ((c, index[c.name]) for c in cells)
+    }
+
+
+def _legalize(
+    mapped: MappedNetlist,
+    floorplan: Floorplan,
+    desired: dict[str, tuple[float, float]],
+) -> dict[str, PlacedCell]:
+    """Tetris legalization: snap cells into rows without overlap."""
+    site = max(floorplan.rows[0].height / 10.0, 1e-3)
+    order = sorted(mapped.cells, key=lambda inst: desired[inst.name][0])
+    next_x = {row.index: row.x0 for row in floorplan.rows}
+    placed: dict[str, PlacedCell] = {}
+
+    for inst in order:
+        x_want, y_want = desired[inst.name]
+        width = inst.cell.area_um2 / floorplan.rows[0].height
+        width = max(site, round(width / site) * site)
+        best: tuple[float, int, float] | None = None  # (cost, row idx, x)
+        for row in floorplan.rows:
+            x = max(next_x[row.index], min(x_want, row.x1 - width))
+            if x + width > row.x1 and next_x[row.index] > row.x0:
+                continue  # row is full
+            cost = abs(x - x_want) + abs(row.y - y_want)
+            if best is None or cost < best[0]:
+                best = (cost, row.index, x)
+        if best is None:  # every row "full": overflow into least-used row
+            row_idx = min(next_x, key=next_x.get)
+            best = (0.0, row_idx, next_x[row_idx])
+        _, row_idx, x = best
+        row = floorplan.rows[row_idx]
+        placed[inst.name] = PlacedCell(inst.name, x, row.y, width, row.height)
+        next_x[row_idx] = x + width
+    return placed
+
+
+def _swap_pass(
+    mapped: MappedNetlist,
+    placed: dict[str, PlacedCell],
+    floorplan: Floorplan,
+    passes: int,
+    seed: int,
+) -> None:
+    """Greedy equal-width swap refinement (in place)."""
+    rng = random.Random(seed)
+    names = list(placed)
+    by_width: dict[float, list[str]] = {}
+    for name in names:
+        by_width.setdefault(round(placed[name].width, 4), []).append(name)
+
+    def current_hpwl() -> float:
+        xy = {n: (c.cx, c.cy) for n, c in placed.items()}
+        return hpwl(net_pin_positions(mapped, xy, floorplan))
+
+    cost = current_hpwl()
+    for _ in range(passes):
+        for group in by_width.values():
+            if len(group) < 2:
+                continue
+            for _ in range(len(group)):
+                a, b = rng.sample(group, 2)
+                ca, cb = placed[a], placed[b]
+                ca.x, cb.x = cb.x, ca.x
+                ca.y, cb.y = cb.y, ca.y
+                new_cost = current_hpwl()
+                if new_cost < cost:
+                    cost = new_cost
+                else:  # revert
+                    ca.x, cb.x = cb.x, ca.x
+                    ca.y, cb.y = cb.y, ca.y
+
+
+def place(
+    mapped: MappedNetlist,
+    floorplan: Floorplan,
+    detailed_passes: int = 0,
+    seed: int = 1,
+) -> Placement:
+    """Run global placement, legalization and optional refinement."""
+    if not mapped.cells:
+        return Placement({}, floorplan, 0.0)
+    desired = _quadratic_positions(mapped, floorplan)
+    placed = _legalize(mapped, floorplan, desired)
+    if detailed_passes > 0:
+        _swap_pass(mapped, placed, floorplan, detailed_passes, seed)
+    xy = {n: (c.cx, c.cy) for n, c in placed.items()}
+    total = hpwl(net_pin_positions(mapped, xy, floorplan))
+    return Placement(placed, floorplan, round(total, 3))
+
+
+def random_place(
+    mapped: MappedNetlist, floorplan: Floorplan, seed: int = 1
+) -> Placement:
+    """Random legal placement — the placer ablation baseline."""
+    rng = random.Random(seed)
+    desired = {
+        inst.name: (
+            rng.uniform(0, floorplan.die_width),
+            rng.uniform(0, floorplan.die_height),
+        )
+        for inst in mapped.cells
+    }
+    placed = _legalize(mapped, floorplan, desired)
+    xy = {n: (c.cx, c.cy) for n, c in placed.items()}
+    total = hpwl(net_pin_positions(mapped, xy, floorplan))
+    return Placement(placed, floorplan, round(total, 3))

@@ -1,0 +1,317 @@
+"""Global routing: two-layer grid maze router with rip-up and re-route.
+
+The die is overlaid with a coarse routing grid (layer 0 horizontal,
+layer 1 vertical, vias between).  Each net is routed with A* from its
+driver to each sink in turn, reusing the net's own wires as free sources
+(a cheap Steiner approximation).  Grid cells have a track capacity;
+overflowed cells charge a growing history cost and overflowing nets are
+ripped up and re-routed for a few rounds — the PathFinder recipe in
+miniature.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..pdk.node import ProcessNode
+from ..synth.mapped import MappedNetlist
+from .floorplan import Floorplan
+from .placement import Placement, net_pin_positions
+
+
+@dataclass
+class RoutedNet:
+    net: int
+    #: Grid-space path cells: (col, row, layer).
+    cells: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Grid columns/rows that contain this net's pins.  Pin access uses
+    #: local-interconnect stubs, so these cells do not consume routing
+    #: track capacity for this net.
+    pin_cells: frozenset[tuple[int, int]] = frozenset()
+    wirelength_um: float = 0.0
+    vias: int = 0
+
+
+@dataclass
+class RoutingResult:
+    nets: dict[int, RoutedNet]
+    grid_pitch_um: float
+    overflow: int
+    iterations: int
+    failed_nets: list[int] = field(default_factory=list)
+
+    @property
+    def total_wirelength_um(self) -> float:
+        return sum(n.wirelength_um for n in self.nets.values())
+
+    @property
+    def total_vias(self) -> int:
+        return sum(n.vias for n in self.nets.values())
+
+    def wire_lengths(self) -> dict[int, float]:
+        """Per-net routed length in um — the parasitics input for STA."""
+        return {net: rn.wirelength_um for net, rn in self.nets.items()}
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "nets": len(self.nets),
+            "wirelength_um": round(self.total_wirelength_um, 3),
+            "vias": self.total_vias,
+            "overflow": self.overflow,
+            "iterations": self.iterations,
+            "failed": len(self.failed_nets),
+        }
+
+
+class GridRouter:
+    """Two-layer A* maze router over one placement."""
+
+    def __init__(
+        self,
+        mapped: MappedNetlist,
+        placement: Placement,
+        node: ProcessNode,
+        pitch_um: float | None = None,
+        capacity: int = 4,
+    ):
+        self.mapped = mapped
+        self.placement = placement
+        self.node = node
+        fp = placement.floorplan
+        self.pitch = pitch_um or default_pitch(node)
+        self.cols = max(2, int(fp.die_width / self.pitch) + 1)
+        self.rows = max(2, int(fp.die_height / self.pitch) + 1)
+        self.capacity = capacity
+        # usage[(col, row, layer)] -> number of nets using the cell
+        self.usage: dict[tuple[int, int, int], int] = {}
+        self.history: dict[tuple[int, int, int], float] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _snap(self, x: float, y: float) -> tuple[int, int]:
+        col = min(self.cols - 1, max(0, int(round(x / self.pitch))))
+        row = min(self.rows - 1, max(0, int(round(y / self.pitch))))
+        return col, row
+
+    def _neighbors(self, cell: tuple[int, int, int]):
+        col, row, layer = cell
+        if layer == 0:  # horizontal layer
+            if col > 0:
+                yield (col - 1, row, 0), 1.0
+            if col < self.cols - 1:
+                yield (col + 1, row, 0), 1.0
+        else:  # vertical layer
+            if row > 0:
+                yield (col, row - 1, 1), 1.0
+            if row < self.rows - 1:
+                yield (col, row + 1, 1), 1.0
+        yield (col, row, 1 - layer), 0.5  # via
+
+    def _cell_cost(self, cell: tuple[int, int, int]) -> float:
+        used = self.usage.get(cell, 0)
+        congestion = 0.0
+        if used >= self.capacity:
+            congestion = 4.0 * (used - self.capacity + 1)
+        return 1.0 + congestion + self.history.get(cell, 0.0)
+
+    def _astar(
+        self,
+        sources: set[tuple[int, int, int]],
+        target: tuple[int, int],
+    ) -> list[tuple[int, int, int]] | None:
+        """Cheapest path from any source to the target column/row."""
+
+        def heuristic(cell) -> float:
+            return abs(cell[0] - target[0]) + abs(cell[1] - target[1])
+
+        open_heap: list[tuple[float, float, tuple[int, int, int]]] = []
+        best: dict[tuple[int, int, int], float] = {}
+        parent: dict[tuple[int, int, int], tuple[int, int, int]] = {}
+        for source in sources:
+            best[source] = 0.0
+            heapq.heappush(open_heap, (heuristic(source), 0.0, source))
+
+        while open_heap:
+            _, cost, cell = heapq.heappop(open_heap)
+            if cost > best.get(cell, float("inf")):
+                continue
+            if (cell[0], cell[1]) == target:
+                path = [cell]
+                while cell in parent:
+                    cell = parent[cell]
+                    path.append(cell)
+                path.reverse()
+                return path
+            for neighbor, edge in self._neighbors(cell):
+                new_cost = cost + edge * self._cell_cost(neighbor)
+                if new_cost < best.get(neighbor, float("inf")):
+                    best[neighbor] = new_cost
+                    parent[neighbor] = cell
+                    heapq.heappush(
+                        open_heap,
+                        (new_cost + heuristic(neighbor), new_cost, neighbor),
+                    )
+        return None
+
+    # -- routing -------------------------------------------------------------
+
+    def _route_net(self, pins: list[tuple[float, float]]) -> RoutedNet | None:
+        start = self._snap(*pins[0])
+        pin_cells = frozenset(self._snap(*pin) for pin in pins)
+        tree: set[tuple[int, int, int]] = {(start[0], start[1], 0),
+                                           (start[0], start[1], 1)}
+        cells: set[tuple[int, int, int]] = set()
+        for pin in pins[1:]:
+            target = self._snap(*pin)
+            if (target[0], target[1], 0) in tree or (
+                target[0], target[1], 1
+            ) in tree:
+                continue
+            path = self._astar(tree, target)
+            if path is None:
+                return None
+            cells.update(path)
+            for cell in path:
+                tree.add(cell)
+        routed = RoutedNet(net=-1, cells=sorted(cells), pin_cells=pin_cells)
+        steps = 0
+        vias = 0
+        for cell in cells:
+            # Count wire steps by adjacency within the path set.
+            col, row, layer = cell
+            if layer == 0 and (col + 1, row, 0) in cells:
+                steps += 1
+            if layer == 1 and (col, row + 1, 1) in cells:
+                steps += 1
+            if layer == 0 and (col, row, 1) in cells:
+                vias += 1
+        routed.wirelength_um = steps * self.pitch
+        routed.vias = vias
+        return routed
+
+    def _apply_usage(self, routed: RoutedNet, delta: int) -> None:
+        for cell in routed.cells:
+            if (cell[0], cell[1]) in routed.pin_cells:
+                continue
+            self.usage[cell] = self.usage.get(cell, 0) + delta
+
+    def _overflow(self) -> int:
+        return sum(
+            used - self.capacity
+            for used in self.usage.values()
+            if used > self.capacity
+        )
+
+    def route(self, max_iterations: int = 3, rip_up: bool = True) -> RoutingResult:
+        xy = {name: (c.cx, c.cy) for name, c in self.placement.cells.items()}
+        pins_by_net = net_pin_positions(
+            self.mapped, xy, self.placement.floorplan
+        )
+        multi = {
+            net: pins for net, pins in pins_by_net.items() if len(pins) >= 2
+        }
+
+        routed: dict[int, RoutedNet] = {}
+        failed: list[int] = []
+        for net, pins in sorted(multi.items()):
+            result = self._route_net(pins)
+            if result is None:
+                failed.append(net)
+                continue
+            result.net = net
+            routed[net] = result
+            self._apply_usage(result, +1)
+
+        iterations = 1
+        if rip_up:
+            for _ in range(max_iterations - 1):
+                if self._overflow() == 0:
+                    break
+                congested = {
+                    cell
+                    for cell, used in self.usage.items()
+                    if used > self.capacity
+                }
+                for cell in congested:
+                    self.history[cell] = self.history.get(cell, 0.0) + 2.0
+                victims = [
+                    net
+                    for net, rn in routed.items()
+                    if any(cell in congested for cell in rn.cells)
+                ]
+                for net in victims:
+                    self._apply_usage(routed[net], -1)
+                    result = self._route_net(multi[net])
+                    if result is None:
+                        failed.append(net)
+                        del routed[net]
+                        continue
+                    result.net = net
+                    routed[net] = result
+                    self._apply_usage(result, +1)
+                iterations += 1
+
+        return RoutingResult(
+            nets=routed,
+            grid_pitch_um=self.pitch,
+            overflow=self._overflow(),
+            iterations=iterations,
+            failed_nets=failed,
+        )
+
+
+def route(
+    mapped: MappedNetlist,
+    placement: Placement,
+    node: ProcessNode,
+    rip_up: bool = True,
+    max_iterations: int = 3,
+    capacity: int = 4,
+) -> RoutingResult:
+    """Route all nets of ``mapped`` over ``placement``."""
+    router = GridRouter(mapped, placement, node, capacity=capacity)
+    return router.route(max_iterations=max_iterations, rip_up=rip_up)
+
+
+def default_pitch(node: ProcessNode) -> float:
+    """Default routing grid pitch: three placement rows per grid cell."""
+    return max(3.0 * node.row_height_um, 1e-3)
+
+
+def drc_clean_capacity(node: ProcessNode, layers,
+                       pitch_um: float | None = None) -> int:
+    """Track capacity per grid cell that fits width+spacing rules.
+
+    The GDS exporter draws each net in a grid cell on its own track at
+    ``pitch / capacity`` spacing; capping capacity at what the metal rules
+    allow makes the exported layout DRC-clean by construction.
+    """
+    pitch = pitch_um or default_pitch(node)
+    tracks = []
+    for name in ("met1", "met2"):
+        layer = layers.by_name(name)
+        tracks.append(
+            int(pitch // (layer.min_width_um + layer.min_spacing_um))
+        )
+    return max(1, min(tracks))
+
+
+def grid_capacity(node: ProcessNode, layers, pitch_um: float | None = None) -> int:
+    """Routing capacity per grid cell, aggregated over the metal stack.
+
+    The router models two logical layers (horizontal/vertical); a real
+    stack alternates directions over ``metal_layers`` metals, so the
+    capacity of a logical layer is the summed track count of all metals
+    routing in that direction at this node.
+    """
+    pitch = pitch_um or default_pitch(node)
+    per_layer = []
+    for i in range(node.metal_layers):
+        layer = layers.by_name(f"met{i + 1}")
+        per_layer.append(
+            int(pitch // (layer.min_width_um + layer.min_spacing_um))
+        )
+    horizontal = sum(per_layer[0::2])
+    vertical = sum(per_layer[1::2])
+    return max(1, min(horizontal, vertical))

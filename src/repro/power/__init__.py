@@ -1,0 +1,13 @@
+"""Power analysis: activity propagation, dynamic/leakage power,
+clock-gating opportunity analysis."""
+
+from .engine import PowerAnalyzer, PowerReport
+from .gating import GatingCandidate, GatingReport, analyze_clock_gating
+
+__all__ = [
+    "GatingCandidate",
+    "GatingReport",
+    "PowerAnalyzer",
+    "PowerReport",
+    "analyze_clock_gating",
+]

@@ -1,0 +1,124 @@
+"""Clock-gating opportunity analysis.
+
+The enable-mux idiom — ``q.next = mux(en, new_value, q)`` — burns clock
+power every cycle even when nothing changes.  Replacing the recirculating
+mux with a gated clock is the first power optimization every low-power
+course teaches.  This analyzer finds the idiom in the RTL, estimates the
+clock power saved from each enable's activation probability, and reports
+the register coverage — the groundwork for a gating transform pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl.ir import Expr, Module, Mux, Ref, Register
+from ..pdk.node import ProcessNode
+from ..pdk.cells import Library
+
+
+@dataclass(frozen=True)
+class GatingCandidate:
+    """One register bank that could be clock gated."""
+
+    register: str
+    width: int
+    #: Probability the register actually loads a new value per cycle.
+    enable_probability: float
+
+
+@dataclass
+class GatingReport:
+    candidates: list[GatingCandidate] = field(default_factory=list)
+    total_register_bits: int = 0
+    clock_power_before_uw: float = 0.0
+    clock_power_after_uw: float = 0.0
+
+    @property
+    def gated_bits(self) -> int:
+        return sum(c.width for c in self.candidates)
+
+    @property
+    def coverage(self) -> float:
+        if self.total_register_bits == 0:
+            return 0.0
+        return self.gated_bits / self.total_register_bits
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.clock_power_before_uw == 0:
+            return 0.0
+        return 1.0 - self.clock_power_after_uw / self.clock_power_before_uw
+
+    def summary(self) -> str:
+        return (
+            f"clock gating: {len(self.candidates)} banks "
+            f"({self.gated_bits}/{self.total_register_bits} bits), "
+            f"clock power {self.clock_power_before_uw:.3f} -> "
+            f"{self.clock_power_after_uw:.3f} uW "
+            f"({self.saving_fraction:.0%} saved)"
+        )
+
+
+def _enable_of(register: Register) -> Expr | None:
+    """The select expression if ``next`` is the enable-mux idiom."""
+    nxt = register.next
+    if not isinstance(nxt, Mux):
+        return None
+    recirculates = (
+        isinstance(nxt.if_false, Ref) and nxt.if_false.signal is register.signal
+    )
+    if recirculates:
+        return nxt.sel
+    inverted = (
+        isinstance(nxt.if_true, Ref) and nxt.if_true.signal is register.signal
+    )
+    if inverted:
+        return nxt.sel  # enable is active-low; probability handled below
+    return None
+
+
+def analyze_clock_gating(
+    module: Module,
+    library: Library,
+    node: ProcessNode,
+    frequency_mhz: float = 100.0,
+    enable_probability: float = 0.5,
+) -> GatingReport:
+    """Find enable-mux registers and estimate the clock-power saving.
+
+    ``enable_probability`` is the assumed activation rate of every enable
+    (refine per design with profiling data).  Clock power per flip-flop is
+    the DFF clock-pin capacitance switching every cycle; a gated flop only
+    pays it on active cycles plus a 5% gating-cell overhead.
+    """
+    if not 0.0 <= enable_probability <= 1.0:
+        raise ValueError("enable probability must be within [0, 1]")
+    report = GatingReport()
+    report.total_register_bits = sum(
+        reg.signal.width for reg in module.registers
+    )
+    for register in module.registers:
+        if _enable_of(register) is not None:
+            report.candidates.append(
+                GatingCandidate(
+                    register=register.signal.name,
+                    width=register.signal.width,
+                    enable_probability=enable_probability,
+                )
+            )
+
+    dff_cap_f = library.dff.input_cap_ff * 1e-15
+    vdd = node.voltage_v
+    freq_hz = frequency_mhz * 1e6
+    per_bit_w = dff_cap_f * vdd * vdd * freq_hz
+
+    before = report.total_register_bits * per_bit_w
+    ungated_bits = report.total_register_bits - report.gated_bits
+    after = ungated_bits * per_bit_w + sum(
+        c.width * per_bit_w * (c.enable_probability + 0.05)
+        for c in report.candidates
+    )
+    report.clock_power_before_uw = round(before * 1e6, 6)
+    report.clock_power_after_uw = round(min(before, after) * 1e6, 6)
+    return report

@@ -1,0 +1,7 @@
+"""Simulation: RTL simulator, waveform tracing, testbench harness."""
+
+from .engine import Simulator
+from .testbench import Testbench, TestbenchResult
+from .vcd import VcdWriter
+
+__all__ = ["Simulator", "Testbench", "TestbenchResult", "VcdWriter"]

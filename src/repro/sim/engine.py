@@ -1,0 +1,125 @@
+"""Cycle-accurate RTL simulation.
+
+The simulator elaborates (flattens) the design, levelizes the combinational
+assignments once, and then evaluates them in topological order each delta
+cycle — the standard technique for synchronous single-clock designs.  It
+drives the paper's "frontend productivity" story: a design written in the
+HCL can be functionally verified before any backend work.
+"""
+
+from __future__ import annotations
+
+from ..hdl.elaborate import elaborate
+from ..hdl.ir import HdlError, Module, Signal, eval_expr
+
+
+class Simulator:
+    """Simulates a (possibly hierarchical) :class:`~repro.hdl.ir.Module`.
+
+    Typical use::
+
+        sim = Simulator(counter)
+        sim.reset()
+        sim.set("en", 1)
+        sim.step(10)
+        assert sim.get("q") == 10
+
+    ``set``/``get`` address signals of the flattened design by name;
+    hierarchical signals use ``<instance>.<signal>`` paths.
+    """
+
+    def __init__(self, module: Module):
+        self.module = elaborate(module)
+        self._by_name: dict[str, Signal] = {
+            sig.name: sig for sig in self.module.signals
+        }
+        self._order = self.module.comb_order()
+        self._values: dict[Signal, int] = {
+            sig: 0 for sig in self.module.signals
+        }
+        self.cycle = 0
+        self._tracers: list = []
+        self.reset()
+
+    # -- signal access ------------------------------------------------------
+
+    def _signal(self, name: str) -> Signal:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no signal {name!r}; available: "
+                f"{sorted(self._by_name)[:10]}..."
+            ) from None
+
+    def set(self, name: str, value: int) -> None:
+        """Drive an input port; takes effect at the next evaluation."""
+        sig = self._signal(name)
+        if sig not in set(self.module.inputs):
+            raise HdlError(f"signal {name!r} is not an input port")
+        if not 0 <= value <= sig.mask:
+            raise HdlError(
+                f"value {value} does not fit input {name!r} "
+                f"({sig.width} bits)"
+            )
+        self._values[sig] = value
+        self._settle()
+
+    def get(self, name: str) -> int:
+        """Current value of any signal in the flattened design."""
+        return self._values[self._signal(name)]
+
+    def peek_all(self) -> dict[str, int]:
+        """Snapshot of every signal value, keyed by flat name."""
+        return {sig.name: val for sig, val in self._values.items()}
+
+    # -- simulation ----------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Re-evaluate all combinational logic in topological order."""
+        for sig in self._order:
+            self._values[sig] = eval_expr(
+                self.module.assigns[sig], self._values
+            )
+
+    def reset(self) -> None:
+        """Synchronous reset: load every register's reset value."""
+        for reg in self.module.registers:
+            self._values[reg.signal] = reg.reset_value
+        self._settle()
+        for tracer in self._tracers:
+            tracer.sample(self)
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance ``cycles`` rising clock edges."""
+        for _ in range(cycles):
+            next_values = {
+                reg.signal: eval_expr(reg.next, self._values)
+                & reg.signal.mask
+                for reg in self.module.registers
+            }
+            self._values.update(next_values)
+            self.cycle += 1
+            self._settle()
+            for tracer in self._tracers:
+                tracer.sample(self)
+
+    def attach_tracer(self, tracer) -> None:
+        """Register an object with a ``sample(sim)`` method (e.g. VCD)."""
+        self._tracers.append(tracer)
+
+    def run_vectors(
+        self, vectors: list[dict[str, int]], watch: list[str]
+    ) -> list[dict[str, int]]:
+        """Apply one input vector per cycle, recording ``watch`` signals.
+
+        Each vector is applied, outputs are sampled combinationally, then
+        the clock steps.  Returns one record per vector.
+        """
+        records: list[dict[str, int]] = []
+        for vector in vectors:
+            for name, value in vector.items():
+                self.set(name, value)
+            records.append({name: self.get(name) for name in watch})
+            self.step()
+        return records

@@ -1,0 +1,77 @@
+"""Value-change-dump (VCD) waveform writer.
+
+Waveform output is part of the "collateral" story (Recommendation 5): every
+IP ships with a testbench whose traces a student can open in GTKWave.
+"""
+
+from __future__ import annotations
+
+import io
+import string
+
+
+class VcdWriter:
+    """Collects samples from a :class:`~repro.sim.engine.Simulator`.
+
+    Attach with ``sim.attach_tracer(vcd)``; call :meth:`render` (or
+    :meth:`save`) when done.  One sample is taken per reset/step.
+    """
+
+    _ID_ALPHABET = string.ascii_letters + string.digits + "!#$%&"
+
+    def __init__(self, signals: list[str] | None = None, timescale: str = "1ns"):
+        self.signals = signals  # None means "all"
+        self.timescale = timescale
+        self._samples: list[tuple[int, dict[str, int]]] = []
+        self._widths: dict[str, int] = {}
+
+    def sample(self, sim) -> None:
+        values = sim.peek_all()
+        if self.signals is not None:
+            values = {k: values[k] for k in self.signals}
+        if not self._widths:
+            by_name = {s.name: s.width for s in sim.module.signals}
+            self._widths = {name: by_name[name] for name in values}
+        self._samples.append((sim.cycle, dict(values)))
+
+    def _ident(self, index: int) -> str:
+        alphabet = self._ID_ALPHABET
+        ident = ""
+        index += 1
+        while index:
+            index, rem = divmod(index - 1, len(alphabet))
+            ident = alphabet[rem] + ident
+        return ident
+
+    def render(self) -> str:
+        """Produce the VCD file contents."""
+        out = io.StringIO()
+        out.write("$date repro $end\n")
+        out.write(f"$timescale {self.timescale} $end\n")
+        out.write("$scope module top $end\n")
+        idents = {}
+        for i, (name, width) in enumerate(sorted(self._widths.items())):
+            ident = self._ident(i)
+            idents[name] = ident
+            vcd_name = name.replace(".", "_")
+            out.write(f"$var wire {width} {ident} {vcd_name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+
+        previous: dict[str, int] = {}
+        for cycle, values in self._samples:
+            out.write(f"#{cycle}\n")
+            for name in sorted(values):
+                value = values[name]
+                if previous.get(name) == value:
+                    continue
+                previous[name] = value
+                width = self._widths[name]
+                if width == 1:
+                    out.write(f"{value}{idents[name]}\n")
+                else:
+                    out.write(f"b{value:b} {idents[name]}\n")
+        return out.getvalue()
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())

@@ -1,0 +1,35 @@
+"""Static timing analysis, including multi-corner signoff."""
+
+from .corners import (
+    FF,
+    SS,
+    STANDARD_CORNERS,
+    TT,
+    Corner,
+    MultiCornerReport,
+    derated_node,
+    multi_corner_analysis,
+)
+from .engine import (
+    HOLD_FRACTION,
+    SETUP_FRACTION,
+    PathPoint,
+    TimingAnalyzer,
+    TimingReport,
+)
+
+__all__ = [
+    "Corner",
+    "FF",
+    "HOLD_FRACTION",
+    "MultiCornerReport",
+    "SS",
+    "STANDARD_CORNERS",
+    "TT",
+    "PathPoint",
+    "SETUP_FRACTION",
+    "TimingAnalyzer",
+    "TimingReport",
+    "derated_node",
+    "multi_corner_analysis",
+]

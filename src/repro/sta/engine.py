@@ -1,0 +1,211 @@
+"""Graph-based static timing analysis.
+
+Implements the standard two-pass algorithm over the mapped netlist:
+forward propagation of earliest/latest arrival times, backward required
+times from endpoints, slack per endpoint, and critical-path extraction.
+
+Delay model per stage (one linear segment, an educational NLDM):
+
+    stage = intrinsic + R_drive * (C_pins + C_wire) + 0.5 * R_wire * C_wire
+
+Wire parasitics come from routed lengths when available (post-route STA),
+or from a fanout-based wireload model before routing — the same practice
+real flows follow.  Clock skew per sequential cell (from CTS) shifts both
+launch and capture edges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..pdk.node import ProcessNode
+from ..synth.mapped import CellInst, MappedNetlist
+
+#: Setup/hold as fractions of the flip-flop's clk->q intrinsic delay.
+SETUP_FRACTION = 0.5
+HOLD_FRACTION = 0.15
+
+
+@dataclass
+class PathPoint:
+    """One stage on a timing path."""
+
+    instance: str
+    cell: str
+    net: int
+    arrival_ps: float
+
+
+@dataclass
+class TimingReport:
+    """STA results for one clock period."""
+
+    clock_period_ps: float
+    wns_ps: float  # worst negative slack (positive means met)
+    tns_ps: float  # total negative slack (0 when met)
+    worst_hold_slack_ps: float
+    critical_path: list[PathPoint] = field(default_factory=list)
+    endpoint_slacks: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def met(self) -> bool:
+        return self.wns_ps >= 0.0 and self.worst_hold_slack_ps >= 0.0
+
+    @property
+    def fmax_mhz(self) -> float:
+        """Highest clock frequency the critical path supports."""
+        critical = self.clock_period_ps - self.wns_ps
+        if critical <= 0:
+            return math.inf
+        return 1e6 / critical
+
+    def summary(self) -> str:
+        status = "MET" if self.met else "VIOLATED"
+        return (
+            f"{status}: period={self.clock_period_ps:.0f} ps, "
+            f"WNS={self.wns_ps:.1f} ps, TNS={self.tns_ps:.1f} ps, "
+            f"fmax={self.fmax_mhz:.1f} MHz"
+        )
+
+
+class TimingAnalyzer:
+    """STA over a :class:`~repro.synth.mapped.MappedNetlist`."""
+
+    def __init__(
+        self,
+        mapped: MappedNetlist,
+        node: ProcessNode,
+        wire_lengths_um: dict[int, float] | None = None,
+        skew_ps: dict[str, float] | None = None,
+        wireload_fanout_um: float = 6.0,
+    ):
+        self.mapped = mapped
+        self.node = node
+        self.wire_lengths = wire_lengths_um or {}
+        self.skew = skew_ps or {}
+        self.wireload_fanout_um = wireload_fanout_um
+        self._loads = mapped.net_loads()
+        self._order = mapped.topo_comb()
+
+    # -- parasitics -----------------------------------------------------------
+
+    def _wire_length(self, net: int) -> float:
+        if net in self.wire_lengths:
+            return self.wire_lengths[net]
+        # Wireload model: length grows with fanout before routing exists.
+        return self.wireload_fanout_um * len(self._loads.get(net, ()))
+
+    def net_load_ff(self, net: int) -> float:
+        pins = sum(
+            sink.cell.input_cap_ff for sink, _ in self._loads.get(net, ())
+        )
+        wire = self._wire_length(net) * self.node.wire_cap_ff_per_um
+        return pins + wire
+
+    def stage_delay_ps(self, inst: CellInst) -> float:
+        net = inst.output_net
+        load = self.net_load_ff(net)
+        length = self._wire_length(net)
+        wire_r = length * self.node.wire_res_ohm_per_um / 1000.0  # kohm
+        wire_c = length * self.node.wire_cap_ff_per_um
+        return (
+            inst.cell.intrinsic_ps
+            + inst.cell.resistance_kohm * load
+            + 0.5 * wire_r * wire_c
+        )
+
+    # -- arrival propagation -----------------------------------------------
+
+    def _propagate(self, worst: bool) -> tuple[dict[int, float], dict[int, CellInst]]:
+        """Latest (worst=True) or earliest arrival per net, plus the
+        driving instance on the dominant path for backtracking."""
+        pick = max if worst else min
+        arrival: dict[int, float] = {}
+        via: dict[int, CellInst] = {}
+        for nets in self.mapped.inputs.values():
+            for net in nets:
+                arrival[net] = 0.0
+        for inst in self.mapped.seq_cells:
+            q = inst.pins[inst.cell.output]
+            launch = self.skew.get(inst.name, 0.0)
+            arrival[q] = launch + self.stage_delay_ps(inst)
+            via[q] = inst
+        for inst in self._order:
+            ins = inst.input_nets()
+            base = pick((arrival.get(n, 0.0) for n in ins), default=0.0)
+            out = inst.pins[inst.cell.output]
+            arrival[out] = base + self.stage_delay_ps(inst)
+            via[out] = inst
+        return arrival, via
+
+    def analyze(self, clock_period_ps: float) -> TimingReport:
+        arrival, via = self._propagate(worst=True)
+        early, _ = self._propagate(worst=False)
+
+        dff_setup = SETUP_FRACTION * self.mapped.library.dff.intrinsic_ps
+        dff_hold = HOLD_FRACTION * self.mapped.library.dff.intrinsic_ps
+
+        endpoint_slacks: dict[str, float] = {}
+        worst_hold = math.inf
+        worst_endpoint: tuple[float, int] | None = None  # (slack, net)
+
+        for inst in self.mapped.seq_cells:
+            d_net = inst.pins["d"]
+            capture = self.skew.get(inst.name, 0.0)
+            slack = (
+                clock_period_ps + capture - dff_setup
+                - arrival.get(d_net, 0.0)
+            )
+            endpoint_slacks[inst.name] = slack
+            hold_slack = early.get(d_net, 0.0) - (dff_hold + capture)
+            worst_hold = min(worst_hold, hold_slack)
+            if worst_endpoint is None or slack < worst_endpoint[0]:
+                worst_endpoint = (slack, d_net)
+
+        for name, nets in self.mapped.outputs.items():
+            for i, net in enumerate(nets):
+                slack = clock_period_ps - arrival.get(net, 0.0)
+                endpoint_slacks[f"{name}[{i}]"] = slack
+                if worst_endpoint is None or slack < worst_endpoint[0]:
+                    worst_endpoint = (slack, net)
+
+        if not endpoint_slacks:
+            return TimingReport(clock_period_ps, clock_period_ps, 0.0, 0.0)
+
+        wns = min(endpoint_slacks.values())
+        tns = sum(s for s in endpoint_slacks.values() if s < 0)
+        if worst_hold is math.inf:
+            worst_hold = 0.0
+
+        path: list[PathPoint] = []
+        net = worst_endpoint[1]
+        seen: set[int] = set()
+        while net in via and net not in seen:
+            seen.add(net)
+            inst = via[net]
+            path.append(
+                PathPoint(inst.name, inst.cell.name, net,
+                          round(arrival.get(net, 0.0), 2))
+            )
+            if inst.cell.is_sequential:
+                break
+            ins = inst.input_nets()
+            if not ins:
+                break
+            net = max(ins, key=lambda n: arrival.get(n, 0.0))
+        path.reverse()
+
+        return TimingReport(
+            clock_period_ps=clock_period_ps,
+            wns_ps=round(wns, 3),
+            tns_ps=round(tns, 3),
+            worst_hold_slack_ps=round(worst_hold, 3),
+            critical_path=path,
+            endpoint_slacks=endpoint_slacks,
+        )
+
+    def minimum_period_ps(self) -> float:
+        """Smallest period with non-negative setup slack."""
+        report = self.analyze(0.0)
+        return max(0.0, -report.wns_ps)

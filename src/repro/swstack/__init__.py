@@ -1,0 +1,12 @@
+"""Software-productivity substrate: expression compiler + stack VM."""
+
+from .vm import CompileError, Compiler, Instruction, Program, StackVm, compile_source
+
+__all__ = [
+    "CompileError",
+    "Compiler",
+    "Instruction",
+    "Program",
+    "StackVm",
+    "compile_source",
+]

@@ -1,0 +1,39 @@
+"""Logic synthesis: lowering, optimization, technology mapping, checking."""
+
+from .dft import DftError, ScanReport, coverage_estimate, insert_scan_chain
+from .lower import Lowerer, lower
+from .mapped import CellInst, MappedNetlist, MappedSimulator
+from .mapper import MapStats, tech_map
+from .netlist import FlipFlop, Gate, GateNetlist, GateSimulator
+from .opt import ALL_PASSES, OptStats, dead_code_elim, optimize
+from .sizing import SizingStats, size_for_load
+from .synthesize import SynthesisResult, synthesize
+from .verify import EquivalenceResult, check_equivalence
+
+__all__ = [
+    "ALL_PASSES",
+    "CellInst",
+    "DftError",
+    "EquivalenceResult",
+    "FlipFlop",
+    "Gate",
+    "GateNetlist",
+    "GateSimulator",
+    "Lowerer",
+    "MapStats",
+    "MappedNetlist",
+    "MappedSimulator",
+    "OptStats",
+    "ScanReport",
+    "SizingStats",
+    "SynthesisResult",
+    "check_equivalence",
+    "coverage_estimate",
+    "dead_code_elim",
+    "insert_scan_chain",
+    "lower",
+    "optimize",
+    "size_for_load",
+    "synthesize",
+    "tech_map",
+]

@@ -1,0 +1,270 @@
+"""Word-to-bit lowering (bit blasting).
+
+Transforms an elaborated :class:`~repro.hdl.ir.Module` into a
+:class:`~repro.synth.netlist.GateNetlist` of 1/2-input primitive gates.
+Arithmetic uses textbook structures: ripple-carry adders, shift-and-add
+multipliers, borrow-chain comparators and logarithmic barrel shifters.
+The structures are deliberately simple — optimization and mapping improve
+them — mirroring how elaboration works in real synthesis tools.
+
+Bit lists are LSB first throughout.
+"""
+
+from __future__ import annotations
+
+from ..hdl.elaborate import elaborate
+from ..hdl.ir import (
+    BinOp,
+    Cat,
+    Const,
+    Expr,
+    Module,
+    Mux,
+    Ref,
+    Signal,
+    Slice,
+    UnaryOp,
+)
+from .netlist import FlipFlop, GateNetlist
+
+Bits = list[int]
+
+
+class Lowerer:
+    """Stateful lowering of one flat module."""
+
+    def __init__(self, module: Module):
+        if module.instances:
+            module = elaborate(module)
+        module.validate()
+        self.module = module
+        self.netlist = GateNetlist(module.name)
+        self.bits: dict[Signal, Bits] = {}
+
+    # -- primitive helpers ----------------------------------------------------
+
+    def _zero(self) -> int:
+        return self.netlist.const0()
+
+    def _one(self) -> int:
+        return self.netlist.const1()
+
+    def _gate(self, op: str, *ins: int) -> int:
+        return self.netlist.add_gate(op, *ins)
+
+    def _pad(self, bits: Bits, width: int) -> Bits:
+        """Zero-extend (or reject over-width) to exactly ``width`` bits."""
+        if len(bits) > width:
+            raise ValueError(f"cannot narrow {len(bits)} bits to {width}")
+        return bits + [self._zero()] * (width - len(bits))
+
+    def _mux_bit(self, sel: int, if_true: int, if_false: int) -> int:
+        not_sel = self._gate("NOT", sel)
+        a = self._gate("AND", sel, if_true)
+        b = self._gate("AND", not_sel, if_false)
+        return self._gate("OR", a, b)
+
+    def _full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        axb = self._gate("XOR", a, b)
+        total = self._gate("XOR", axb, cin)
+        carry = self._gate(
+            "OR", self._gate("AND", a, b), self._gate("AND", axb, cin)
+        )
+        return total, carry
+
+    def _ripple_add(self, a: Bits, b: Bits, cin: int) -> tuple[Bits, int]:
+        """Equal-length ripple-carry addition; returns (sum bits, carry out)."""
+        assert len(a) == len(b)
+        out: Bits = []
+        carry = cin
+        for bit_a, bit_b in zip(a, b):
+            total, carry = self._full_adder(bit_a, bit_b, carry)
+            out.append(total)
+        return out, carry
+
+    def _invert(self, bits: Bits) -> Bits:
+        return [self._gate("NOT", bit) for bit in bits]
+
+    def _tree(self, op: str, nets: Bits) -> int:
+        """Balanced reduction tree (keeps logic depth logarithmic)."""
+        assert nets
+        level = list(nets)
+        while len(level) > 1:
+            nxt: Bits = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self._gate(op, level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    # -- expression lowering -----------------------------------------------
+
+    def lower_expr(self, expr: Expr) -> Bits:
+        if isinstance(expr, Const):
+            return [
+                self._one() if (expr.value >> i) & 1 else self._zero()
+                for i in range(expr.width)
+            ]
+        if isinstance(expr, Ref):
+            return list(self.bits[expr.signal])
+        if isinstance(expr, UnaryOp):
+            return self._lower_unary(expr)
+        if isinstance(expr, BinOp):
+            return self._lower_binary(expr)
+        if isinstance(expr, Mux):
+            sel = self.lower_expr(expr.sel)[0]
+            width = expr.width
+            t = self._pad(self.lower_expr(expr.if_true), width)
+            f = self._pad(self.lower_expr(expr.if_false), width)
+            return [self._mux_bit(sel, ti, fi) for ti, fi in zip(t, f)]
+        if isinstance(expr, Cat):
+            bits: Bits = []
+            for part in reversed(expr.parts):  # last part is the LSB side
+                bits.extend(self.lower_expr(part))
+            return bits
+        if isinstance(expr, Slice):
+            return self.lower_expr(expr.value)[expr.lo : expr.hi + 1]
+        raise TypeError(f"cannot lower expression {expr!r}")
+
+    def _lower_unary(self, expr: UnaryOp) -> Bits:
+        operand = self.lower_expr(expr.operand)
+        if expr.op == "not":
+            return self._invert(operand)
+        if expr.op == "neg":
+            zero = [self._zero()] * len(operand)
+            out, _ = self._ripple_add(self._invert(operand), zero, self._one())
+            return out
+        if expr.op == "rand":
+            return [self._tree("AND", operand)]
+        if expr.op == "ror":
+            return [self._tree("OR", operand)]
+        if expr.op == "rxor":
+            return [self._tree("XOR", operand)]
+        raise ValueError(f"unhandled unary op {expr.op!r}")
+
+    def _lower_binary(self, expr: BinOp) -> Bits:
+        op = expr.op
+        if op in ("shl", "shr"):
+            return self._lower_shift(expr)
+        a = self.lower_expr(expr.a)
+        b = self.lower_expr(expr.b)
+        if op in ("and", "or", "xor"):
+            width = expr.width
+            a, b = self._pad(a, width), self._pad(b, width)
+            return [
+                self._gate(op.upper(), x, y) for x, y in zip(a, b)
+            ]
+        if op == "add":
+            width = expr.width
+            out, _ = self._ripple_add(
+                self._pad(a, width), self._pad(b, width), self._zero()
+            )
+            return out
+        if op == "sub":
+            width = expr.width
+            out, _ = self._ripple_add(
+                self._pad(a, width),
+                self._invert(self._pad(b, width)),
+                self._one(),
+            )
+            return out
+        if op == "mul":
+            return self._lower_mul(a, b, expr.width)
+        if op in ("eq", "ne"):
+            width = max(len(a), len(b))
+            a, b = self._pad(a, width), self._pad(b, width)
+            diff = [self._gate("XOR", x, y) for x, y in zip(a, b)]
+            any_diff = self._tree("OR", diff)
+            return [any_diff if op == "ne" else self._gate("NOT", any_diff)]
+        if op in ("lt", "le", "gt", "ge"):
+            return [self._lower_compare(op, a, b)]
+        raise ValueError(f"unhandled binary op {op!r}")
+
+    def _lower_mul(self, a: Bits, b: Bits, width: int) -> Bits:
+        """Shift-and-add multiplier producing the full-width product."""
+        acc = [self._zero()] * width
+        for j, b_bit in enumerate(b):
+            partial = [self._zero()] * j
+            partial += [self._gate("AND", a_bit, b_bit) for a_bit in a]
+            partial = partial[:width]
+            partial = self._pad(partial, width)
+            acc, _ = self._ripple_add(acc, partial, self._zero())
+        return acc
+
+    def _lower_compare(self, op: str, a: Bits, b: Bits) -> int:
+        """Unsigned comparison via the borrow chain of ``a - b``.
+
+        The carry out of ``a + ~b + 1`` is 1 exactly when ``a >= b``.
+        """
+        if op == "gt":
+            return self._lower_compare("lt", b, a)
+        if op == "le":
+            return self._lower_compare("ge", b, a)
+        width = max(len(a), len(b))
+        a, b = self._pad(a, width), self._pad(b, width)
+        _, carry = self._ripple_add(a, self._invert(b), self._one())
+        if op == "ge":
+            return carry
+        return self._gate("NOT", carry)  # lt
+
+    def _lower_shift(self, expr: BinOp) -> Bits:
+        a = self.lower_expr(expr.a)
+        width = len(a)
+        left = expr.op == "shl"
+        if isinstance(expr.b, Const):
+            amount = expr.b.value
+            if amount >= width:
+                return [self._zero()] * width
+            if left:
+                return [self._zero()] * amount + a[: width - amount]
+            return a[amount:] + [self._zero()] * amount
+        # Logarithmic barrel shifter: one mux stage per bit of the amount.
+        amount_bits = self.lower_expr(expr.b)
+        current = a
+        for k, sel in enumerate(amount_bits):
+            step = 1 << k
+            if step >= width:
+                # Shifting by this much clears everything when sel is set.
+                zero = self._zero()
+                current = [
+                    self._mux_bit(sel, zero, bit) for bit in current
+                ]
+                continue
+            if left:
+                shifted = [self._zero()] * step + current[: width - step]
+            else:
+                shifted = current[step:] + [self._zero()] * step
+            current = [
+                self._mux_bit(sel, s, c) for s, c in zip(shifted, current)
+            ]
+        return current
+
+    # -- module lowering -------------------------------------------------------
+
+    def lower(self) -> GateNetlist:
+        nl = self.netlist
+        for sig in self.module.inputs:
+            self.bits[sig] = nl.add_input(sig.name, sig.width)
+        for reg in self.module.registers:
+            self.bits[reg.signal] = [nl.new_net() for _ in range(reg.signal.width)]
+
+        for sig in self.module.comb_order():
+            expr_bits = self.lower_expr(self.module.assigns[sig])
+            self.bits[sig] = self._pad(expr_bits, sig.width)
+
+        for reg in self.module.registers:
+            d_bits = self._pad(self.lower_expr(reg.next), reg.signal.width)
+            for i, (d, q) in enumerate(zip(d_bits, self.bits[reg.signal])):
+                nl.dffs.append(
+                    FlipFlop(d, q, (reg.reset_value >> i) & 1)
+                )
+
+        for sig in self.module.outputs:
+            nl.set_output(sig.name, self.bits[sig])
+        return nl
+
+
+def lower(module: Module) -> GateNetlist:
+    """Bit-blast ``module`` (elaborating first if hierarchical)."""
+    return Lowerer(module).lower()

@@ -1,0 +1,196 @@
+"""Technology-mapped netlist: standard-cell instances over nets.
+
+This is the handoff object between synthesis and the physical flow:
+placement arranges its cells, routing connects its nets, STA and power
+read its timing/electrical data, and :class:`MappedSimulator` provides
+gate-level semantics for post-mapping equivalence checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pdk.cells import Library, StandardCell
+
+
+@dataclass
+class CellInst:
+    """One placed-able standard-cell instance.
+
+    ``pins`` maps pin name to net id and includes the output pin.
+    Sequential cells store their reset value for simulation.
+    """
+
+    name: str
+    cell: StandardCell
+    pins: dict[str, int]
+    reset_value: int = 0
+
+    @property
+    def output_net(self) -> int | None:
+        if self.cell.output:
+            return self.pins.get(self.cell.output)
+        return None
+
+    def input_nets(self) -> list[int]:
+        return [self.pins[p] for p in self.cell.inputs]
+
+    def __repr__(self) -> str:
+        return f"CellInst({self.name}:{self.cell.name})"
+
+
+class MappedNetlist:
+    """A netlist of standard cells from one library."""
+
+    def __init__(self, name: str, library: Library):
+        self.name = name
+        self.library = library
+        self.cells: list[CellInst] = []
+        self.n_nets = 0
+        self.inputs: dict[str, list[int]] = {}
+        self.outputs: dict[str, list[int]] = {}
+
+    def add_cell(self, cell: StandardCell, pins: dict[str, int],
+                 reset_value: int = 0) -> CellInst:
+        inst = CellInst(f"u{len(self.cells)}_{cell.kind}", cell, dict(pins),
+                        reset_value)
+        self.cells.append(inst)
+        return inst
+
+    # -- connectivity ------------------------------------------------------
+
+    def net_driver(self) -> dict[int, CellInst]:
+        drivers: dict[int, CellInst] = {}
+        for inst in self.cells:
+            net = inst.output_net
+            if net is None:
+                continue
+            if net in drivers:
+                raise ValueError(f"net {net} has multiple drivers")
+            drivers[net] = inst
+        return drivers
+
+    def net_loads(self) -> dict[int, list[tuple[CellInst, str]]]:
+        loads: dict[int, list[tuple[CellInst, str]]] = {}
+        for inst in self.cells:
+            for pin in inst.cell.inputs:
+                loads.setdefault(inst.pins[pin], []).append((inst, pin))
+        return loads
+
+    def nets(self) -> set[int]:
+        """All nets referenced by any pin or port."""
+        found: set[int] = set()
+        for inst in self.cells:
+            found.update(inst.pins.values())
+        for nets in self.inputs.values():
+            found.update(nets)
+        for nets in self.outputs.values():
+            found.update(nets)
+        return found
+
+    @property
+    def seq_cells(self) -> list[CellInst]:
+        return [c for c in self.cells if c.cell.is_sequential]
+
+    @property
+    def comb_cells(self) -> list[CellInst]:
+        return [c for c in self.cells if not c.cell.is_sequential]
+
+    # -- metrics -------------------------------------------------------------
+
+    def area_um2(self) -> float:
+        return sum(inst.cell.area_um2 for inst in self.cells)
+
+    def leakage_nw(self) -> float:
+        return sum(inst.cell.leakage_nw for inst in self.cells)
+
+    def stats(self) -> dict[str, float]:
+        by_kind: dict[str, int] = {}
+        for inst in self.cells:
+            by_kind[inst.cell.kind] = by_kind.get(inst.cell.kind, 0) + 1
+        return {
+            "cells": len(self.cells),
+            "sequential": len(self.seq_cells),
+            "area_um2": round(self.area_um2(), 3),
+            "leakage_nw": round(self.leakage_nw(), 4),
+            **{f"kind_{k}": n for k, n in sorted(by_kind.items())},
+        }
+
+    def topo_comb(self) -> list[CellInst]:
+        """Combinational cells in topological order (Kahn)."""
+        comb = self.comb_cells
+        driven_by = {c.output_net: i for i, c in enumerate(comb)
+                     if c.output_net is not None}
+        pending = [0] * len(comb)
+        consumers: dict[int, list[int]] = {}
+        ready: list[int] = []
+        for i, inst in enumerate(comb):
+            for net in inst.input_nets():
+                if net in driven_by:
+                    pending[i] += 1
+                    consumers.setdefault(net, []).append(i)
+            if pending[i] == 0:
+                ready.append(i)
+        order: list[CellInst] = []
+        head = 0
+        while head < len(ready):
+            inst = comb[ready[head]]
+            head += 1
+            order.append(inst)
+            net = inst.output_net
+            if net is None:
+                continue
+            for consumer in consumers.get(net, ()):
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(comb):
+            raise ValueError("combinational loop in mapped netlist")
+        return order
+
+    def __repr__(self) -> str:
+        return f"MappedNetlist({self.name!r}, cells={len(self.cells)})"
+
+
+class MappedSimulator:
+    """Gate-level simulator over a :class:`MappedNetlist`."""
+
+    def __init__(self, mapped: MappedNetlist):
+        self.mapped = mapped
+        self._order = mapped.topo_comb()
+        self._values: dict[int, int] = {n: 0 for n in mapped.nets()}
+        self.reset()
+
+    def reset(self) -> None:
+        for inst in self.mapped.seq_cells:
+            self._values[inst.pins[inst.cell.output]] = inst.reset_value
+        self._settle()
+
+    def _settle(self) -> None:
+        values = self._values
+        for inst in self._order:
+            fn = inst.cell.function
+            out = inst.pins[inst.cell.output]
+            values[out] = fn(*(values[inst.pins[p]] for p in inst.cell.inputs))
+
+    def set(self, name: str, value: int) -> None:
+        nets = self.mapped.inputs[name]
+        if not 0 <= value < (1 << len(nets)):
+            raise ValueError(f"value {value} too wide for {name!r}")
+        for i, net in enumerate(nets):
+            self._values[net] = (value >> i) & 1
+        self._settle()
+
+    def get(self, name: str) -> int:
+        nets = self.mapped.outputs[name]
+        return sum(self._values[net] << i for i, net in enumerate(nets))
+
+    def step(self, cycles: int = 1) -> None:
+        for _ in range(cycles):
+            sampled = [
+                (inst, self._values[inst.pins["d"]])
+                for inst in self.mapped.seq_cells
+            ]
+            for inst, value in sampled:
+                self._values[inst.pins[inst.cell.output]] = value
+            self._settle()

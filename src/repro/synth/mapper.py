@@ -1,0 +1,237 @@
+"""Technology mapping: covering the gate netlist with standard cells.
+
+A greedy pattern-folding mapper in two phases:
+
+1. walk the optimized gate netlist in topological order and fold
+   single-fanout gate clusters into complex cells (NAND2/NOR2/XNOR2,
+   AOI21/OAI21, NAND3/NOR3, MUX2);
+2. map every remaining gate one-to-one (AND2/OR2/XOR2/INV/BUF), flip-flops
+   to DFF cells and constants to tie cells.
+
+The ``objective`` knob changes the pattern set: ``"area"`` folds
+aggressively into complex cells (fewer transistors), ``"delay"`` only uses
+the inverting two-input cells that are faster than their AND/OR
+equivalents.  The open-vs-commercial presets (experiment E4) and the
+mapper ablation benchmark both exercise this knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pdk.cells import Library
+from .mapped import MappedNetlist
+from .netlist import Gate, GateNetlist
+
+
+@dataclass
+class MapStats:
+    """Pattern-folding counters."""
+
+    patterns: dict[str, int]
+
+    def total_folds(self) -> int:
+        return sum(self.patterns.values())
+
+
+def _pattern_folds(objective: str) -> bool:
+    if objective not in ("area", "delay"):
+        raise ValueError(f"unknown mapping objective {objective!r}")
+    return objective == "area"
+
+
+def tech_map(
+    netlist: GateNetlist,
+    library: Library,
+    objective: str = "area",
+) -> tuple[MappedNetlist, MapStats]:
+    """Map ``netlist`` onto ``library`` cells.
+
+    Returns the mapped netlist (same net id space) and fold statistics.
+    """
+    fold_complex = _pattern_folds(objective)
+    mapped = MappedNetlist(netlist.name, library)
+    mapped.n_nets = netlist.n_nets
+    mapped.inputs = {k: list(v) for k, v in netlist.inputs.items()}
+    mapped.outputs = {k: list(v) for k, v in netlist.outputs.items()}
+
+    driver: dict[int, Gate] = {g.output: g for g in netlist.gates}
+    fanout = netlist.fanout()
+    consumed: set[int] = set()  # outputs of gates folded into a pattern
+    stats = MapStats(patterns={})
+
+    def inner(net: int, op: str) -> Gate | None:
+        """The driving gate of ``net`` if it is a single-fanout ``op``."""
+        gate = driver.get(net)
+        if gate is not None and gate.op == op and fanout.get(net, 0) == 1:
+            return gate
+        return None
+
+    def fold(name: str, *gates: Gate) -> None:
+        for gate in gates:
+            consumed.add(gate.output)
+        stats.patterns[name] = stats.patterns.get(name, 0) + 1
+
+    def emit(kind: str, pins: dict[str, int]) -> None:
+        mapped.add_cell(library.by_kind(kind), pins)
+
+    # Phase 1+2 combined: walk in reverse topological order so that a root
+    # pattern claims its leaves before the leaves are visited.
+    for gate in reversed(netlist.topo_gates()):
+        if gate.output in consumed:
+            continue
+        out = gate.output
+
+        if gate.op == "NOT":
+            src = gate.inputs[0]
+            and_gate = inner(src, "AND")
+            or_gate = inner(src, "OR")
+            xor_gate = inner(src, "XOR")
+            if and_gate is not None:
+                if fold_complex:
+                    # NAND3: NOT(AND(AND(a,b),c))
+                    for left, right in (
+                        (and_gate.inputs[0], and_gate.inputs[1]),
+                        (and_gate.inputs[1], and_gate.inputs[0]),
+                    ):
+                        deep = inner(left, "AND")
+                        if deep is not None:
+                            fold("NAND3", gate, and_gate, deep)
+                            emit("NAND3", {
+                                "a": deep.inputs[0],
+                                "b": deep.inputs[1],
+                                "c": right,
+                                "y": out,
+                            })
+                            break
+                    else:
+                        fold("NAND2", gate, and_gate)
+                        emit("NAND2", {
+                            "a": and_gate.inputs[0],
+                            "b": and_gate.inputs[1],
+                            "y": out,
+                        })
+                    continue
+                fold("NAND2", gate, and_gate)
+                emit("NAND2", {
+                    "a": and_gate.inputs[0],
+                    "b": and_gate.inputs[1],
+                    "y": out,
+                })
+                continue
+            if or_gate is not None:
+                if fold_complex:
+                    # AOI21: NOT(OR(AND(a,b),c)); NOR3: NOT(OR(OR(a,b),c))
+                    matched = False
+                    for left, right in (
+                        (or_gate.inputs[0], or_gate.inputs[1]),
+                        (or_gate.inputs[1], or_gate.inputs[0]),
+                    ):
+                        and_in = inner(left, "AND")
+                        if and_in is not None:
+                            fold("AOI21", gate, or_gate, and_in)
+                            emit("AOI21", {
+                                "a": and_in.inputs[0],
+                                "b": and_in.inputs[1],
+                                "c": right,
+                                "y": out,
+                            })
+                            matched = True
+                            break
+                        or_in = inner(left, "OR")
+                        if or_in is not None:
+                            fold("NOR3", gate, or_gate, or_in)
+                            emit("NOR3", {
+                                "a": or_in.inputs[0],
+                                "b": or_in.inputs[1],
+                                "c": right,
+                                "y": out,
+                            })
+                            matched = True
+                            break
+                    if matched:
+                        continue
+                fold("NOR2", gate, or_gate)
+                emit("NOR2", {
+                    "a": or_gate.inputs[0],
+                    "b": or_gate.inputs[1],
+                    "y": out,
+                })
+                continue
+            if xor_gate is not None:
+                fold("XNOR2", gate, xor_gate)
+                emit("XNOR2", {
+                    "a": xor_gate.inputs[0],
+                    "b": xor_gate.inputs[1],
+                    "y": out,
+                })
+                continue
+            emit("INV", {"a": src, "y": out})
+            continue
+
+        if gate.op == "OR" and fold_complex:
+            # MUX2: OR(AND(s, b), AND(NOT(s), a)).  The select inverter may
+            # be shared with other logic, so it is not consumed.
+            and_t = inner(gate.inputs[0], "AND")
+            and_f = inner(gate.inputs[1], "AND")
+            matched = False
+            for first, second in ((and_t, and_f), (and_f, and_t)):
+                if first is None or second is None:
+                    continue
+                for sel_pos in (0, 1):
+                    sel = first.inputs[sel_pos]
+                    data_t = first.inputs[1 - sel_pos]
+                    for nsel_pos in (0, 1):
+                        maybe_not = driver.get(second.inputs[nsel_pos])
+                        if (
+                            maybe_not is not None
+                            and maybe_not.op == "NOT"
+                            and maybe_not.inputs[0] == sel
+                        ):
+                            data_f = second.inputs[1 - nsel_pos]
+                            gates = [gate, first, second]
+                            if fanout.get(maybe_not.output, 0) == 1:
+                                gates.append(maybe_not)
+                            fold("MUX2", *gates)
+                            emit("MUX2", {
+                                "a": data_f,
+                                "b": data_t,
+                                "s": sel,
+                                "y": out,
+                            })
+                            matched = True
+                            break
+                    if matched:
+                        break
+                if matched:
+                    break
+            if matched:
+                continue
+
+        simple = {"AND": "AND2", "OR": "OR2", "XOR": "XOR2", "BUF": "BUF"}
+        kind = simple[gate.op]
+        if kind == "BUF":
+            emit("BUF", {"a": gate.inputs[0], "y": out})
+        else:
+            emit(kind, {
+                "a": gate.inputs[0],
+                "b": gate.inputs[1],
+                "y": out,
+            })
+
+    dff_cell = library.dff
+    for ff in netlist.dffs:
+        mapped.add_cell(dff_cell, {"d": ff.d, "q": ff.q},
+                        reset_value=ff.reset_value)
+
+    # Tie cells for constants that survived optimization.
+    used: set[int] = set()
+    for inst in mapped.cells:
+        used.update(inst.input_nets())
+    for nets in mapped.outputs.values():
+        used.update(nets)
+    for net, value in netlist.const_nets.items():
+        if net in used:
+            emit("TIE1" if value else "TIE0", {"y": net})
+
+    return mapped, stats

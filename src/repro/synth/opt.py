@@ -1,0 +1,241 @@
+"""Logic optimization on gate netlists.
+
+A fixed-point rewriting engine in the spirit of ABC's ``strash``-based
+flows: each iteration walks the gates in topological order applying
+
+* **constant folding** — gates with constant inputs collapse;
+* **idempotence / annihilation** — ``AND(x, x) -> x``, ``XOR(x, x) -> 0`` …;
+* **buffer and double-inverter elimination** — ``BUF(x) -> x``,
+  ``NOT(NOT(x)) -> x``;
+* **structural hashing** — gates with identical (op, inputs) merge;
+* **inverter sharing via XOR-const rewriting** — ``XOR(x, 1) -> NOT(x)``.
+
+A final mark-and-sweep removes logic that does not reach an output or a
+flip-flop input.  Every rule fires counted, so ablation benchmarks can
+report which rules matter (DESIGN.md ablation list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .netlist import FlipFlop, Gate, GateNetlist
+
+
+@dataclass
+class OptStats:
+    """Counters for the rewriting rules, plus before/after sizes."""
+
+    gates_before: int = 0
+    gates_after: int = 0
+    iterations: int = 0
+    rules: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, rule: str) -> None:
+        self.rules[rule] = self.rules.get(rule, 0) + 1
+
+    @property
+    def removed(self) -> int:
+        return self.gates_before - self.gates_after
+
+
+class _Rewriter:
+    """One optimization iteration over a netlist."""
+
+    def __init__(self, netlist: GateNetlist, stats: OptStats,
+                 enabled: set[str]):
+        self.src = netlist
+        self.stats = stats
+        self.enabled = enabled
+        self.alias: dict[int, int] = {}
+        self.const_value: dict[int, int] = dict(netlist.const_nets)
+        self.hash_table: dict[tuple, int] = {}
+        self.driver: dict[int, Gate] = {}
+        self.out = GateNetlist(netlist.name)
+        # Preserve the net id space; only the gate list is rebuilt.
+        self.out.n_nets = netlist.n_nets
+        self.out.inputs = {k: list(v) for k, v in netlist.inputs.items()}
+        self.out._const0 = netlist._const0
+        self.out._const1 = netlist._const1
+
+    def resolve(self, net: int) -> int:
+        seen = []
+        while net in self.alias:
+            seen.append(net)
+            net = self.alias[net]
+        for s in seen:  # path compression
+            self.alias[s] = net
+        return net
+
+    def _const_net(self, value: int) -> int:
+        return self.out.const1() if value else self.out.const0()
+
+    def _emit(self, gate: Gate, op: str, ins: tuple[int, ...]) -> None:
+        if "strash" in self.enabled:
+            key = (op, ins)
+            existing = self.hash_table.get(key)
+            if existing is not None:
+                self.alias[gate.output] = existing
+                self.stats.bump("strash")
+                return
+            self.hash_table[key] = gate.output
+        new_gate = Gate(op, ins, gate.output)
+        self.out.gates.append(new_gate)
+        self.driver[gate.output] = new_gate
+
+    def rewrite_gate(self, gate: Gate) -> None:
+        ins = tuple(self.resolve(n) for n in gate.inputs)
+        op = gate.op
+        fold = "fold" in self.enabled
+
+        if op == "BUF":
+            if fold:
+                self.alias[gate.output] = ins[0]
+                self.stats.bump("buf_elim")
+                return
+            self._emit(gate, op, ins)
+            return
+
+        if op == "NOT":
+            a = ins[0]
+            if fold and a in self.const_value:
+                value = self.const_value[a] ^ 1
+                self.alias[gate.output] = self._const_net(value)
+                self.const_value[gate.output] = value
+                self.stats.bump("const_fold")
+                return
+            if fold:
+                inner = self.driver.get(a)
+                if inner is not None and inner.op == "NOT":
+                    self.alias[gate.output] = inner.inputs[0]
+                    self.stats.bump("double_not")
+                    return
+            self._emit(gate, op, ins)
+            return
+
+        # Binary gates: canonical input order for commutative ops.
+        a, b = sorted(ins)
+        if fold:
+            known_a = self.const_value.get(a)
+            known_b = self.const_value.get(b)
+            if known_a is not None and known_b is not None:
+                table = {"AND": known_a & known_b, "OR": known_a | known_b,
+                         "XOR": known_a ^ known_b}
+                value = table[op]
+                self.alias[gate.output] = self._const_net(value)
+                self.const_value[gate.output] = value
+                self.stats.bump("const_fold")
+                return
+            # One constant input.
+            for const_net, other in ((a, b), (b, a)):
+                value = self.const_value.get(const_net)
+                if value is None:
+                    continue
+                if op == "AND":
+                    if value == 0:
+                        self.alias[gate.output] = self._const_net(0)
+                        self.const_value[gate.output] = 0
+                    else:
+                        self.alias[gate.output] = other
+                    self.stats.bump("const_fold")
+                    return
+                if op == "OR":
+                    if value == 1:
+                        self.alias[gate.output] = self._const_net(1)
+                        self.const_value[gate.output] = 1
+                    else:
+                        self.alias[gate.output] = other
+                    self.stats.bump("const_fold")
+                    return
+                if op == "XOR":
+                    if value == 0:
+                        self.alias[gate.output] = other
+                        self.stats.bump("const_fold")
+                    else:
+                        self._emit(gate, "NOT", (other,))
+                        self.stats.bump("xor_to_not")
+                    return
+            if a == b:
+                if op in ("AND", "OR"):
+                    self.alias[gate.output] = a
+                else:  # XOR(x, x) == 0
+                    self.alias[gate.output] = self._const_net(0)
+                    self.const_value[gate.output] = 0
+                self.stats.bump("idempotent")
+                return
+        self._emit(gate, op, (a, b))
+
+    def run(self) -> GateNetlist:
+        for gate in self.src.topo_gates():
+            self.rewrite_gate(gate)
+        for ff in self.src.dffs:
+            self.out.dffs.append(
+                FlipFlop(self.resolve(ff.d), ff.q, ff.reset_value)
+            )
+        for name, nets in self.src.outputs.items():
+            self.out.set_output(name, [self.resolve(n) for n in nets])
+        return self.out
+
+
+def dead_code_elim(netlist: GateNetlist, stats: OptStats | None = None) -> GateNetlist:
+    """Remove gates that reach neither an output nor a flip-flop input."""
+    driver: dict[int, Gate] = {g.output: g for g in netlist.gates}
+    live: set[int] = set()
+    work: list[int] = []
+    for nets in netlist.outputs.values():
+        work.extend(nets)
+    for ff in netlist.dffs:
+        work.append(ff.d)
+    while work:
+        net = work.pop()
+        if net in live:
+            continue
+        live.add(net)
+        gate = driver.get(net)
+        if gate is not None:
+            work.extend(gate.inputs)
+
+    out = GateNetlist(netlist.name)
+    out.n_nets = netlist.n_nets
+    out.inputs = {k: list(v) for k, v in netlist.inputs.items()}
+    out.outputs = {k: list(v) for k, v in netlist.outputs.items()}
+    out._const0 = netlist._const0
+    out._const1 = netlist._const1
+    out.dffs = list(netlist.dffs)
+    removed = 0
+    for gate in netlist.gates:
+        if gate.output in live:
+            out.gates.append(gate)
+        else:
+            removed += 1
+    if stats is not None and removed:
+        stats.rules["dce"] = stats.rules.get("dce", 0) + removed
+    return out
+
+
+#: All rewriting rule groups; pass a subset to ablate.
+ALL_PASSES = frozenset({"fold", "strash", "dce"})
+
+
+def optimize(
+    netlist: GateNetlist,
+    passes: set[str] | frozenset[str] = ALL_PASSES,
+    max_iterations: int = 10,
+) -> tuple[GateNetlist, OptStats]:
+    """Optimize to a fixed point (bounded by ``max_iterations``).
+
+    ``passes`` selects rule groups (``fold``, ``strash``, ``dce``) so the
+    ablation benchmarks can switch individual groups off.
+    """
+    stats = OptStats(gates_before=len(netlist.gates))
+    current = netlist
+    for _ in range(max_iterations):
+        stats.iterations += 1
+        before = len(current.gates)
+        current = _Rewriter(current, stats, set(passes)).run()
+        if "dce" in passes:
+            current = dead_code_elim(current, stats)
+        if len(current.gates) == before:
+            break
+    stats.gates_after = len(current.gates)
+    return current, stats

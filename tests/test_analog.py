@@ -1,0 +1,150 @@
+"""Tests for the analog substrate: DC solving, transient, sizing."""
+
+import math
+
+import pytest
+
+from repro.analog import (
+    AnalogError,
+    Circuit,
+    Nmos,
+    analyze_common_source,
+    build_common_source,
+    size_common_source,
+)
+
+
+class TestDcOperatingPoint:
+    def test_voltage_divider(self):
+        circuit = Circuit("divider")
+        circuit.vsource("vin", "top", 10.0)
+        circuit.resistor("r1", "top", "mid", 6_000.0)
+        circuit.resistor("r2", "mid", "0", 4_000.0)
+        op = circuit.dc_operating_point()
+        assert op.converged
+        assert op.v("mid") == pytest.approx(4.0, rel=1e-6)
+        assert op.device_currents["r1"] == pytest.approx(1e-3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        circuit = Circuit("ir")
+        circuit.isource("i1", "0", "n", 2e-3)
+        circuit.resistor("r1", "n", "0", 1_000.0)
+        op = circuit.dc_operating_point()
+        assert op.v("n") == pytest.approx(2.0, rel=1e-6)
+
+    def test_double_driven_node_rejected(self):
+        circuit = Circuit("bad")
+        circuit.vsource("v1", "n", 1.0)
+        circuit.vsource("v2", "n", 2.0)
+        with pytest.raises(AnalogError):
+            circuit.dc_operating_point()
+
+    def test_kirchhoff_current_law_holds(self):
+        circuit = Circuit("star")
+        circuit.vsource("v1", "a", 5.0)
+        circuit.resistor("r1", "a", "n", 1_000.0)
+        circuit.resistor("r2", "n", "0", 2_000.0)
+        circuit.resistor("r3", "n", "0", 2_000.0)
+        op = circuit.dc_operating_point()
+        into = op.device_currents["r1"]
+        out = (op.v("n") / 2_000.0) * 2
+        assert into == pytest.approx(out, rel=1e-6)
+
+
+class TestMosModel:
+    def test_regions(self):
+        m = Nmos("m", "d", "g", "s", w_over_l=10.0, vth=0.5)
+        assert m.region(0.3, 1.0) == "cutoff"
+        assert m.region(1.0, 0.2) == "triode"
+        assert m.region(1.0, 1.0) == "saturation"
+
+    def test_square_law(self):
+        m = Nmos("m", "d", "g", "s", w_over_l=10.0, k=200e-6, vth=0.5,
+                 lam=0.0)
+        ids = m.ids(1.0, 2.0)
+        assert ids == pytest.approx(0.5 * 200e-6 * 10 * 0.25, rel=1e-9)
+
+    def test_gm_increases_with_overdrive(self):
+        m = Nmos("m", "d", "g", "s", w_over_l=10.0)
+        assert m.gm(1.2, 1.0) > m.gm(0.8, 1.0)
+
+    def test_cutoff_draws_nothing(self):
+        m = Nmos("m", "d", "g", "s", w_over_l=10.0)
+        assert m.ids(0.2, 1.0) == 0.0
+        assert m.gm(0.2, 1.0) == 0.0
+
+
+class TestCommonSource:
+    def test_bias_point_saturated(self):
+        design = analyze_common_source(
+            w_over_l=20.0, load_ohms=10_000.0, vgs=0.7
+        )
+        assert design.region == "saturation"
+        assert 0.0 < design.drain_voltage < 1.8
+        assert design.gain > 1.0
+
+    def test_kvl_across_load(self):
+        design = analyze_common_source(
+            w_over_l=20.0, load_ohms=10_000.0, vgs=0.7
+        )
+        drop = design.drain_current * design.load_ohms
+        assert design.drain_voltage == pytest.approx(1.8 - drop, rel=1e-4)
+
+    def test_more_width_means_more_current(self):
+        small = analyze_common_source(10.0, 5_000.0, 0.7)
+        big = analyze_common_source(40.0, 5_000.0, 0.7)
+        assert big.drain_current > small.drain_current
+        assert big.drain_voltage < small.drain_voltage
+
+    def test_sizing_hits_target_gain(self):
+        target = 6.0
+        design = size_common_source(target_gain=target)
+        assert design.region == "saturation"
+        assert design.gain == pytest.approx(target, rel=0.05)
+        assert design.iterations > 1  # sizing is a search, not a formula
+
+    def test_sizing_validates_input(self):
+        with pytest.raises(ValueError):
+            size_common_source(target_gain=-1.0)
+
+    def test_circuit_builder(self):
+        circuit = build_common_source(20.0, 10_000.0, 0.8)
+        assert circuit.nodes() == ["drain", "gate", "vdd"]
+
+
+class TestTransient:
+    def test_rc_charge_curve(self):
+        circuit = Circuit("rc")
+        circuit.vsource("vin", "in", 1.0)
+        circuit.resistor("r", "in", "out", 1_000.0)
+        circuit.capacitor("c", "out", "0", 1e-6)
+        tau = 1e-3
+        waves = circuit.transient(duration_s=5 * tau, step_s=tau / 100.0)
+        out = waves["out"]
+        assert out[0] == 0.0
+        # After one tau: ~63%; after five: ~99%.
+        one_tau = out[100]
+        assert one_tau == pytest.approx(1 - math.exp(-1), abs=0.02)
+        assert out[-1] > 0.99
+
+    def test_initial_condition_discharge(self):
+        circuit = Circuit("rc2")
+        circuit.resistor("r", "out", "0", 1_000.0)
+        circuit.capacitor("c", "out", "0", 1e-6)
+        waves = circuit.transient(
+            duration_s=3e-3, step_s=1e-5, initial={"out": 2.0}
+        )
+        out = waves["out"]
+        assert out[0] == 2.0
+        assert out[-1] < 0.2  # decays toward ground
+
+    def test_transient_rejects_mosfets(self):
+        circuit = build_common_source(10.0, 10_000.0, 0.8)
+        with pytest.raises(AnalogError):
+            circuit.transient(1e-3, 1e-5)
+
+    def test_transient_validates_steps(self):
+        circuit = Circuit("x")
+        circuit.resistor("r", "a", "0", 1.0)
+        with pytest.raises(AnalogError):
+            circuit.transient(0.0, 1e-5)

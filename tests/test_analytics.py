@@ -1,0 +1,244 @@
+"""Tests for the analytics models (value chain, cost, workforce, MPW)."""
+
+import pytest
+
+from repro.analytics import (
+    SCENARIOS,
+    Interventions,
+    PipelineParams,
+    abstraction_gap,
+    affordable_node_nm,
+    capture_if_design_share,
+    chips_per_budget,
+    cost_table,
+    course_fit_table,
+    design_cost,
+    design_cost_usd,
+    design_gap_table,
+    economics_table,
+    europe_value_capture,
+    instructions_per_python_line,
+    largest_segments,
+    max_line_expansion,
+    mean_gates_per_line,
+    measure_gates_per_line,
+    measure_hls_productivity,
+    required_graduate_multiplier,
+    scenario_table,
+    segment,
+    simulate_pipeline,
+    uplift_per_segment,
+)
+from repro.hdl import ModuleBuilder, mux
+from repro.pdk import get_pdk
+
+
+class TestValueChain:
+    def test_paper_numbers_encoded(self):
+        assert segment("chip_design").value_share == pytest.approx(0.30)
+        assert segment("chip_design").europe_share == pytest.approx(0.10)
+        assert segment("fabrication").value_share == pytest.approx(0.34)
+        assert segment("fabrication").europe_share == pytest.approx(0.08)
+        assert segment("equipment").europe_share == pytest.approx(0.40)
+        assert segment("materials").europe_share == pytest.approx(0.20)
+
+    def test_shares_sum_to_one(self):
+        from repro.analytics import SEGMENTS
+
+        assert sum(s.value_share for s in SEGMENTS) == pytest.approx(1.0)
+
+    def test_design_and_fab_are_largest(self):
+        assert set(largest_segments(2)) == {"chip_design", "fabrication"}
+
+    def test_europe_capture_around_cited_level(self):
+        # Europe's overall semiconductor share is ~10% in the cited studies.
+        capture = europe_value_capture()
+        assert 0.08 < capture < 0.16
+
+    def test_design_uplift_moves_total(self):
+        base = europe_value_capture()
+        lifted = capture_if_design_share(0.20)
+        assert lifted - base == pytest.approx(0.30 * 0.10, abs=1e-9)
+
+    def test_uplift_ranking_follows_value_share(self):
+        uplift = uplift_per_segment(0.05)
+        assert uplift["fabrication"] > uplift["chip_design"] > uplift["materials"]
+
+    def test_gap_table_shape(self):
+        rows = design_gap_table()
+        assert len(rows) == 7
+        design_row = next(r for r in rows if r["segment"] == "chip_design")
+        assert design_row["gap_to_target"] == pytest.approx(0.10)
+
+    def test_unknown_segment(self):
+        with pytest.raises(KeyError):
+            segment("quantum")
+
+
+class TestCostModel:
+    def test_calibration_points_exact(self):
+        assert design_cost_usd(130.0) == pytest.approx(5e6, rel=1e-9)
+        assert design_cost_usd(2.0) == pytest.approx(725e6, rel=1e-9)
+
+    def test_monotone_decreasing_with_feature(self):
+        costs = [design_cost_usd(n) for n in (180, 130, 65, 28, 7, 2)]
+        assert costs == sorted(costs)
+
+    def test_interpolated_nodes_plausible(self):
+        # Industry folklore: ~$30-80M at 28 nm, ~$150-350M at 5 nm.
+        assert 20e6 < design_cost_usd(28.0) < 90e6
+        assert 150e6 < design_cost_usd(5.0) < 350e6
+
+    def test_breakdown_sums_to_total(self):
+        cost = design_cost(28.0)
+        assert sum(cost.breakdown_usd.values()) == pytest.approx(
+            cost.total_usd, rel=1e-6
+        )
+
+    def test_verification_share_grows_at_advanced_nodes(self):
+        old = design_cost(130.0)
+        new = design_cost(2.0)
+        share_old = old.breakdown_usd["verification"] / old.total_usd
+        share_new = new.breakdown_usd["verification"] / new.total_usd
+        assert share_new > share_old
+
+    def test_cost_table(self):
+        rows = cost_table()
+        assert rows[0]["node_nm"] == 180
+        assert rows[-1]["cost_musd"] == pytest.approx(725.0, rel=1e-3)
+
+    def test_affordable_node_inverts(self):
+        node = affordable_node_nm(design_cost_usd(45.0))
+        assert node == pytest.approx(45.0, rel=1e-6)
+
+    def test_academic_budget_buys_old_nodes_only(self):
+        # A 500k EUR research project cannot afford sub-100nm full designs.
+        assert affordable_node_nm(5e5) > 100.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            design_cost_usd(0.0)
+        with pytest.raises(ValueError):
+            affordable_node_nm(-1.0)
+
+
+class TestProductivity:
+    @pytest.fixture(scope="class")
+    def library(self):
+        return get_pdk("edu130").library
+
+    def make_designs(self):
+        designs = []
+        b = ModuleBuilder("cnt")
+        en = b.input("en", 1)
+        c = b.register("c", 8)
+        c.next = mux(en, c + 1, c)
+        b.output("q", c)
+        designs.append(b.build())
+
+        b = ModuleBuilder("addsub")
+        a = b.input("a", 8)
+        x = b.input("x", 8)
+        s = b.input("s", 1)
+        b.output("y", mux(s, (a - x).trunc(8), (a + x).trunc(8)))
+        designs.append(b.build())
+        return designs
+
+    def test_gates_per_line_in_paper_band(self, library):
+        records = measure_gates_per_line(self.make_designs(), library)
+        mean = mean_gates_per_line(records)
+        assert 1.0 < mean < 40.0  # paper band 5-20, wide tolerance
+
+    def test_python_line_expansion(self):
+        assert instructions_per_python_line("y = a + b") == 4.0
+        assert max_line_expansion("vadd(c, a, b, 500)") == 2000
+
+    def test_abstraction_gap(self, library):
+        gap = abstraction_gap(
+            self.make_designs(), library, "vadd(c, a, b, 1000)"
+        )
+        assert gap.instructions_per_python_line > 100
+        assert gap.ratio > 10  # software lines expand much further
+
+    def test_hls_productivity(self, library):
+        def mac(a, b, c):
+            return a * b + c
+
+        record = measure_hls_productivity(mac, library, width=8)
+        assert record.rtl_lines_per_hls_line > 2
+        assert record.gate_count > 0
+        assert record.latency_cycles >= 2
+
+
+class TestWorkforce:
+    def test_baseline_gap_grows(self):
+        result = simulate_pipeline()
+        assert result.records[-1].gap > result.records[0].gap * 0.8
+        assert result.final_gap > 0
+
+    def test_coordinated_beats_single_levers(self):
+        rows = {r["scenario"]: r["final_gap"] for r in scenario_table()}
+        assert rows["coordinated"] < rows["outreach_only"]
+        assert rows["coordinated"] < rows["campaigns_only"]
+        assert rows["coordinated"] < rows["funding_only"]
+        assert rows["coordinated"] < rows["baseline"]
+
+    def test_interventions_ramp(self):
+        fast = simulate_pipeline(
+            interventions=Interventions(outreach=2.0, ramp_years=0)
+        )
+        slow = simulate_pipeline(
+            interventions=Interventions(outreach=2.0, ramp_years=5)
+        )
+        assert fast.records[1].new_graduates >= slow.records[1].new_graduates
+
+    def test_graduation_rate_capped(self):
+        result = simulate_pipeline(
+            interventions=Interventions(funding=5.0, ramp_years=0)
+        )
+        assert result.records[0].new_graduates > 0
+
+    def test_required_multiplier_reasonable(self):
+        multiplier = required_graduate_multiplier()
+        assert 1.0 < multiplier < 50.0
+
+    def test_scenarios_registry(self):
+        assert "baseline" in SCENARIOS and "coordinated" in SCENARIOS
+
+    def test_year_lookup(self):
+        result = simulate_pipeline(start_year=2025, years=3)
+        assert result.year(2026).year == 2026
+        with pytest.raises(KeyError):
+            result.year(2050)
+
+    def test_custom_params(self):
+        params = PipelineParams(demand_growth=0.0, initial_demand=40_000.0)
+        result = simulate_pipeline(params)
+        assert result.gap_closed_year() is not None
+
+
+class TestMpwEconomics:
+    def test_sharing_factor_ordering(self):
+        rows = {r.pdk: r for r in economics_table()}
+        assert rows["edu045"].mask_set_eur > rows["edu130"].mask_set_eur
+        for row in rows.values():
+            assert row.sharing_factor > 10
+
+    def test_chips_per_budget(self):
+        pdk = get_pdk("edu130")
+        base = chips_per_budget(20_000.0, pdk)
+        sponsored = chips_per_budget(20_000.0, pdk, subsidy_fraction=0.5)
+        assert sponsored >= 2 * base - 1
+        assert chips_per_budget(1e3, pdk, subsidy_fraction=1.0) > 1e6
+
+    def test_subsidy_validation(self):
+        with pytest.raises(ValueError):
+            chips_per_budget(1e4, get_pdk("edu130"), subsidy_fraction=1.5)
+
+    def test_course_fit_table(self):
+        rows = course_fit_table()
+        semester = [r for r in rows if r.timebox == "semester_course"]
+        # The paper's claim: no node returns silicon within a course.
+        assert all(not r.fits for r in semester)
+        phd = [r for r in rows if r.timebox == "phd_project_phase"]
+        assert all(r.fits for r in phd)

@@ -1,0 +1,146 @@
+"""Tests for chiplet economics and the RRAM crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.analog.rram import RramCrossbar, RramDeviceModel, mvm_error
+from repro.analytics.chiplets import (
+    chiplet_cost,
+    comparison_table,
+    crossover_area_mm2,
+    die_yield,
+    dies_per_wafer,
+    monolithic_cost,
+)
+
+
+class TestYieldModel:
+    def test_yield_decreases_with_area(self):
+        assert die_yield(50) > die_yield(200) > die_yield(800)
+
+    def test_yield_bounded(self):
+        for area in (1, 10, 100, 1000):
+            assert 0 < die_yield(area) <= 1
+
+    def test_defect_density_hurts(self):
+        assert die_yield(200, d0_per_cm2=0.05) > die_yield(200, d0_per_cm2=0.3)
+
+    def test_dies_per_wafer(self):
+        assert dies_per_wafer(100) > dies_per_wafer(400)
+        assert dies_per_wafer(100, wafer_diameter_mm=300) > dies_per_wafer(
+            100, wafer_diameter_mm=200
+        )
+
+    def test_invalid_area(self):
+        with pytest.raises(ValueError):
+            die_yield(0)
+        with pytest.raises(ValueError):
+            dies_per_wafer(-1)
+
+
+class TestChipletEconomics:
+    def test_small_systems_prefer_monolithic(self):
+        mono = monolithic_cost(40.0)
+        split = chiplet_cost(40.0, 4)
+        assert mono.good_unit_cost < split.good_unit_cost
+
+    def test_large_systems_prefer_chiplets(self):
+        mono = monolithic_cost(800.0)
+        split = chiplet_cost(800.0, 4)
+        assert split.good_unit_cost < mono.good_unit_cost
+
+    def test_crossover_between(self):
+        crossover = crossover_area_mm2(n_chiplets=4)
+        assert 40.0 < crossover < 800.0
+        # Just below: monolithic wins; just above: chiplets win.
+        below, above = crossover * 0.8, crossover * 1.2
+        assert monolithic_cost(below).good_unit_cost <= chiplet_cost(
+            below, 4
+        ).good_unit_cost
+        assert chiplet_cost(above, 4).good_unit_cost <= monolithic_cost(
+            above
+        ).good_unit_cost
+
+    def test_d2d_overhead_costs_silicon(self):
+        lean = chiplet_cost(400.0, 4, d2d_overhead=0.0)
+        fat = chiplet_cost(400.0, 4, d2d_overhead=0.25)
+        assert fat.total_silicon_mm2 > lean.total_silicon_mm2
+        assert fat.good_unit_cost > lean.good_unit_cost
+
+    def test_assembly_yield_punishes_many_chiplets(self):
+        few = chiplet_cost(400.0, 2, assembly_yield_per_die=0.95)
+        many = chiplet_cost(400.0, 16, assembly_yield_per_die=0.95)
+        assert many.system_yield < few.system_yield
+
+    def test_comparison_table_shape(self):
+        rows = comparison_table()
+        assert rows[0]["winner"] == "monolithic"
+        assert rows[-1]["winner"] == "chiplet"
+
+    def test_invalid_chiplet_count(self):
+        with pytest.raises(ValueError):
+            chiplet_cost(100.0, 0)
+
+
+class TestRramCrossbar:
+    def test_ideal_mvm_accurate(self):
+        weights = np.array([[0.2, 0.8], [0.5, 0.1], [1.0, 0.0]])
+        device = RramDeviceModel(levels=256)
+        crossbar = RramCrossbar(3, 2, device=device)
+        crossbar.program(weights)
+        inputs = np.array([1.0, 0.5, 0.25])
+        measured = crossbar.mvm_weights(inputs)
+        exact = weights.T @ inputs
+        assert np.allclose(measured, exact, atol=0.02)
+
+    def test_quantization_limits_accuracy(self):
+        weights = np.random.default_rng(1).uniform(0, 1, (8, 4))
+        inputs = np.random.default_rng(2).uniform(0, 1, 8)
+        coarse = mvm_error(weights, inputs, RramDeviceModel(levels=2))
+        fine = mvm_error(weights, inputs, RramDeviceModel(levels=64))
+        assert fine < coarse
+
+    def test_variation_degrades_accuracy(self):
+        weights = np.random.default_rng(1).uniform(0, 1, (8, 4))
+        inputs = np.random.default_rng(2).uniform(0, 1, 8)
+        clean = mvm_error(weights, inputs, RramDeviceModel(levels=64))
+        noisy = mvm_error(
+            weights, inputs,
+            RramDeviceModel(levels=64, variation_sigma=0.3),
+        )
+        assert noisy > clean
+
+    def test_stuck_cells_hurt(self):
+        weights = np.full((8, 4), 0.9)
+        inputs = np.ones(8)
+        healthy = mvm_error(weights, inputs, RramDeviceModel(levels=64))
+        broken = mvm_error(
+            weights, inputs,
+            RramDeviceModel(levels=64, stuck_fraction=0.5), seed=3,
+        )
+        assert broken > healthy
+
+    def test_energy_scales_with_conductance(self):
+        low = RramCrossbar(4, 4)
+        low.program(np.zeros((4, 4)))
+        high = RramCrossbar(4, 4)
+        high.program(np.ones((4, 4)))
+        assert high.energy_per_mvm_j() > low.energy_per_mvm_j()
+
+    def test_shape_validation(self):
+        crossbar = RramCrossbar(4, 4)
+        with pytest.raises(ValueError):
+            crossbar.program(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            crossbar.mvm(np.zeros(3))
+        with pytest.raises(ValueError):
+            RramCrossbar(0, 4)
+        with pytest.raises(ValueError):
+            RramDeviceModel(levels=1)
+
+    def test_weights_clipped(self):
+        crossbar = RramCrossbar(1, 1, device=RramDeviceModel(levels=4))
+        crossbar.program(np.array([[5.0]]))
+        assert crossbar.conductances[0, 0] == pytest.approx(
+            crossbar.device.g_max_s
+        )

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_pdks(self, capsys):
+        assert main(["pdks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("edu045", "edu130", "edu180"):
+            assert name in out
+
+    def test_cells(self, capsys):
+        assert main(["cells", "edu130"]) == 0
+        out = capsys.readouterr().out
+        assert "NAND2_X1" in out
+        assert "DFF_X4" in out
+
+    def test_ips(self, capsys):
+        assert main(["ips"]) == 0
+        out = capsys.readouterr().out
+        assert "tinycpu" in out
+        assert "fifo" in out
+
+    def test_liberty(self, capsys):
+        assert main(["liberty", "edu180"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("library (edu180_stdcells)")
+
+    def test_lef(self, capsys):
+        assert main(["lef", "edu180"]) == 0
+        out = capsys.readouterr().out
+        assert "MACRO INV_X1" in out
+
+    def test_flow_with_collaterals(self, capsys, tmp_path):
+        code = main([
+            "flow", "--ip", "counter", "--pdk", "edu130",
+            "--verify-cycles", "50", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "OK" in out
+        for suffix in (".v", ".rpt", ".def", ".gds"):
+            assert (tmp_path / f"counter8{suffix}").exists()
+
+    def test_flow_unknown_ip(self, capsys):
+        assert main(["flow", "--ip", "gpu"]) == 2
+        assert "unknown IP" in capsys.readouterr().err
+
+    def test_bad_pdk_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cells", "sky130"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_flow_from_verilog_file(self, capsys, tmp_path):
+        source = tmp_path / "inv.v"
+        source.write_text(
+            "module inv4 (a, y);\n  input [3:0] a;\n  output [3:0] y;\n"
+            "  assign y = ~a;\nendmodule\n"
+        )
+        assert main(["flow", "--verilog", str(source), "--pdk", "edu180"]) == 0
+        out = capsys.readouterr().out
+        assert "parsed inv4" in out
+        assert "OK" in out
+
+    def test_flow_requires_a_source(self, capsys):
+        assert main(["flow"]) == 2
+        assert "required" in capsys.readouterr().err

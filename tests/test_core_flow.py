@@ -1,0 +1,108 @@
+"""Tests for the end-to-end flow runner and presets."""
+
+import pytest
+
+from repro.core import (
+    COMMERCIAL,
+    OPEN,
+    FlowError,
+    FlowStep,
+    get_preset,
+    run_flow,
+)
+from repro.hdl import ModuleBuilder, mux
+from repro.layout import read_gds
+from repro.pdk import get_pdk
+
+
+def build_counter(width=8):
+    b = ModuleBuilder("counter")
+    en = b.input("en", 1)
+    count = b.register("count", width)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    return b.build()
+
+
+def build_datapath():
+    b = ModuleBuilder("datapath")
+    a = b.input("a", 8)
+    c = b.input("c", 8)
+    acc = b.register("acc", 16)
+    acc.next = (acc + a * c).trunc(16)
+    b.output("y", acc)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def counter_flow():
+    return run_flow(build_counter(), get_pdk("edu130"), preset=OPEN)
+
+
+class TestRunFlow:
+    def test_flow_completes(self, counter_flow):
+        assert counter_flow.ok
+        assert "OK" in counter_flow.summary()
+
+    def test_all_steps_reported(self, counter_flow):
+        reported = {report.step for report in counter_flow.steps}
+        for step in (
+            FlowStep.RTL_DESIGN, FlowStep.SYNTHESIS, FlowStep.PLACEMENT,
+            FlowStep.ROUTING, FlowStep.STATIC_TIMING_ANALYSIS,
+            FlowStep.POWER_ANALYSIS, FlowStep.DESIGN_RULE_CHECK,
+            FlowStep.GDS_EXPORT,
+        ):
+            assert step in reported
+
+    def test_gds_is_valid(self, counter_flow):
+        library = read_gds(counter_flow.gds_bytes)
+        assert any(s.name == "counter" for s in library.structs)
+
+    def test_equivalence_checked(self, counter_flow):
+        report = counter_flow.step(FlowStep.EQUIVALENCE_CHECK)
+        assert report.ok
+        assert report.metrics["checked"]
+
+    def test_ppa_summary_consistent(self, counter_flow):
+        ppa = counter_flow.ppa
+        assert ppa.area_um2 > 0
+        assert ppa.fmax_mhz > 0
+        assert ppa.cell_count == len(counter_flow.synthesis.mapped.cells)
+        row = ppa.as_row()
+        assert set(row) == {"cells", "area_um2", "die_mm2", "fmax_mhz",
+                            "power_uw", "wns_ps"}
+
+    def test_drc_clean(self, counter_flow):
+        assert counter_flow.drc.clean
+
+    def test_missing_step_lookup(self, counter_flow):
+        with pytest.raises(KeyError):
+            counter_flow.step(FlowStep.TAPEOUT)
+
+
+class TestPresets:
+    def test_get_preset(self):
+        assert get_preset("open") is OPEN
+        assert get_preset("commercial") is COMMERCIAL
+        with pytest.raises(KeyError):
+            get_preset("free")
+
+    def test_override(self):
+        tweaked = OPEN.with_overrides(utilization=0.4)
+        assert tweaked.utilization == 0.4
+        assert OPEN.utilization == 0.35  # original untouched
+
+    def test_commercial_beats_open_on_fmax(self):
+        module = build_datapath()
+        pdk = get_pdk("edu130")
+        open_result = run_flow(module, pdk, preset=OPEN)
+        commercial_result = run_flow(module, pdk, preset=COMMERCIAL)
+        assert commercial_result.ppa.fmax_mhz >= open_result.ppa.fmax_mhz
+
+    def test_presets_produce_equivalent_logic(self):
+        # Same RTL, both presets: both pass their equivalence checks.
+        module = build_datapath()
+        pdk = get_pdk("edu130")
+        for preset in (OPEN, COMMERCIAL):
+            result = run_flow(module, pdk, preset=preset)
+            assert result.synthesis.equivalence.passed

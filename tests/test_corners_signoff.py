@@ -1,0 +1,161 @@
+"""Tests for multi-corner STA and the tapeout signoff checklist."""
+
+import pytest
+
+from repro.core import OPEN, run_flow
+from repro.core.signoff import run_signoff
+from repro.hdl import ModuleBuilder, mux
+from repro.pdk import get_pdk
+from repro.sta.corners import (
+    FF,
+    SS,
+    TT,
+    Corner,
+    derated_node,
+    multi_corner_analysis,
+)
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def datapath_mapped():
+    b = ModuleBuilder("dp")
+    a = b.input("a", 8)
+    c = b.input("c", 8)
+    acc = b.register("acc", 16)
+    acc.next = (acc + a * c).trunc(16)
+    b.output("y", acc)
+    return synthesize(b.build(), get_pdk("edu130").library).mapped
+
+
+@pytest.fixture(scope="module")
+def counter_flow():
+    b = ModuleBuilder("snf")
+    en = b.input("en", 1)
+    count = b.register("count", 6)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    return run_flow(b.build(), get_pdk("edu130"), preset=OPEN,
+                    clock_period_ps=5_000.0)
+
+
+class TestCorners:
+    def test_derates_ordering(self, datapath_mapped):
+        report = multi_corner_analysis(
+            datapath_mapped, get_pdk("edu130").node, 5_000.0
+        )
+        # SS is slower than TT is slower than FF.
+        assert (report.reports["ss"].wns_ps
+                < report.reports["tt"].wns_ps
+                < report.reports["ff"].wns_ps)
+
+    def test_setup_and_hold_corner_selection(self, datapath_mapped):
+        report = multi_corner_analysis(
+            datapath_mapped, get_pdk("edu130").node, 5_000.0
+        )
+        assert report.setup_corner == "ss"
+        assert report.hold_corner == "ff"
+        assert report.signoff_fmax_mhz == min(
+            r.fmax_mhz for r in report.reports.values()
+        )
+
+    def test_met_requires_slow_corner(self, datapath_mapped):
+        node = get_pdk("edu130").node
+        # Pick a period that passes at TT but fails at SS.
+        from repro.sta import TimingAnalyzer
+
+        tt_min = TimingAnalyzer(datapath_mapped, node).minimum_period_ps()
+        period = tt_min * 1.05  # 5% margin: not enough for a 20% derate
+        report = multi_corner_analysis(datapath_mapped, node, period)
+        assert report.reports["tt"].wns_ps >= 0
+        assert not report.met
+        assert "VIOLATED" in report.summary()
+
+    def test_derated_node_values(self):
+        node = get_pdk("edu130").node
+        slow = derated_node(node, SS)
+        fast = derated_node(node, FF)
+        assert slow.inv_intrinsic_ps > node.inv_intrinsic_ps > fast.inv_intrinsic_ps
+        assert slow.name.endswith("_ss")
+
+    def test_custom_corner_validation(self):
+        with pytest.raises(ValueError):
+            Corner("bad", delay_derate=0.0)
+        with pytest.raises(ValueError):
+            multi_corner_analysis(None, None, 1.0, corners=())
+
+    def test_tt_matches_plain_sta(self, datapath_mapped):
+        from repro.sta import TimingAnalyzer
+
+        node = get_pdk("edu130").node
+        plain = TimingAnalyzer(datapath_mapped, node).analyze(5_000.0)
+        report = multi_corner_analysis(
+            datapath_mapped, node, 5_000.0, corners=(TT,)
+        )
+        assert report.reports["tt"].wns_ps == pytest.approx(
+            plain.wns_ps, abs=1e-6
+        )
+
+
+class TestSignoff:
+    def test_clean_flow_is_ready(self, counter_flow):
+        report = run_signoff(counter_flow)
+        assert report.ready_for_tapeout, report.summary()
+        assert "READY" in report.summary()
+        names = {item.name for item in report.items}
+        assert {"logic_equivalence", "drc_clean", "setup_timing",
+                "multi_corner_timing", "gds_generated"} <= names
+
+    def test_timing_failure_blocks(self):
+        b = ModuleBuilder("fast")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        acc = b.register("acc", 16)
+        acc.next = (acc + a * c).trunc(16)
+        b.output("y", acc)
+        result = run_flow(b.build(), get_pdk("edu130"), preset=OPEN,
+                          clock_period_ps=100.0, strict_drc=False)
+        report = run_signoff(result)
+        assert not report.ready_for_tapeout
+        failing = {item.name for item in report.failures}
+        assert "setup_timing" in failing
+
+    def test_waiver_unblocks_waivable_item(self):
+        b = ModuleBuilder("fast2")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        acc = b.register("acc", 16)
+        acc.next = (acc + a * c).trunc(16)
+        b.output("y", acc)
+        result = run_flow(b.build(), get_pdk("edu130"), preset=OPEN,
+                          clock_period_ps=100.0, strict_drc=False)
+        report = run_signoff(
+            result,
+            waivers={"setup_timing", "multi_corner_timing"},
+        )
+        assert report.ready_for_tapeout
+
+    def test_die_budget_check(self, counter_flow):
+        generous = run_signoff(counter_flow, max_die_area_mm2=10.0,
+                               check_corners=False)
+        assert generous.ready_for_tapeout
+        tight = run_signoff(counter_flow, max_die_area_mm2=1e-9,
+                            check_corners=False)
+        assert not tight.ready_for_tapeout
+        assert any(i.name == "die_area_budget" for i in tight.failures)
+
+    def test_equivalence_cannot_be_waived(self, counter_flow):
+        # Forge a failing equivalence and try to waive it.
+        class Fake:
+            passed = False
+            mismatches = []
+
+        original = counter_flow.synthesis.equivalence
+        counter_flow.synthesis.equivalence = Fake()
+        try:
+            report = run_signoff(counter_flow, waivers={"logic_equivalence"},
+                                 check_corners=False)
+            assert not report.ready_for_tapeout
+            assert report.unwaivable_failures
+        finally:
+            counter_flow.synthesis.equivalence = original

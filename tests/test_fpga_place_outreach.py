@@ -1,0 +1,106 @@
+"""Tests for FPGA array placement and the outreach program models."""
+
+import pytest
+
+from repro.analytics import simulate_pipeline
+from repro.core.outreach import (
+    PROGRAMS,
+    best_value_programs,
+    portfolio_conversions,
+    portfolio_cost,
+    portfolio_to_interventions,
+)
+from repro.fpga import get_device, lut_map
+from repro.fpga.place import place_on_array
+from repro.hdl import ModuleBuilder
+from repro.synth import lower, optimize
+
+
+@pytest.fixture(scope="module")
+def mapped_adder():
+    b = ModuleBuilder("adder16")
+    a = b.input("a", 16)
+    c = b.input("c", 16)
+    b.output("y", a + c)
+    netlist, _ = optimize(lower(b.build()))
+    return netlist, lut_map(netlist, get_device("edu-ice40"))
+
+
+class TestFpgaPlacement:
+    def test_all_luts_placed_distinctly(self, mapped_adder):
+        netlist, mapping = mapped_adder
+        placement = place_on_array(netlist, mapping)
+        assert len(placement.positions) == mapping.luts
+        assert len(set(placement.positions.values())) == mapping.luts
+
+    def test_grid_fits(self, mapped_adder):
+        netlist, mapping = mapped_adder
+        placement = place_on_array(netlist, mapping)
+        assert placement.grid * placement.grid >= mapping.luts
+        for col, row in placement.positions.values():
+            assert 0 <= col < placement.grid
+            assert 0 <= row < placement.grid
+
+    def test_swaps_reduce_wirelength(self, mapped_adder):
+        netlist, mapping = mapped_adder
+        unrefined = place_on_array(netlist, mapping, passes=0)
+        refined = place_on_array(netlist, mapping, passes=6)
+        assert refined.wirelength <= unrefined.wirelength
+        assert refined.swaps_accepted > 0
+
+    def test_channel_width_positive(self, mapped_adder):
+        netlist, mapping = mapped_adder
+        placement = place_on_array(netlist, mapping)
+        assert placement.channel_width >= 1
+        report = placement.report()
+        assert "x" in report["grid"]
+
+
+class TestOutreachPrograms:
+    def test_catalogue_covers_all_recommendations(self):
+        assert {p.recommendation for p in PROGRAMS} == {1, 2, 3}
+
+    def test_localization_widens_reach(self):
+        portal = next(p for p in PROGRAMS if p.name == "online_career_portal")
+        assert portal.effective_reach(localized=True) > portal.effective_reach(
+            localized=False
+        )
+        assert portal.cost_per_convert(True) < portal.cost_per_convert(False)
+
+    def test_top_performer_focus_shrinks_funnel(self):
+        contest = next(p for p in PROGRAMS if p.name == "olympiad_contest")
+        assert contest.effective_reach() < contest.students_reached
+
+    def test_portfolio_totals(self):
+        names = ["tinytapeout_school", "industry_visit_days"]
+        assert portfolio_conversions(names) > 0
+        assert portfolio_cost(names) == pytest.approx(210_000.0)
+        with pytest.raises(KeyError):
+            portfolio_conversions(["chipflix"])
+
+    def test_best_value_excludes_indirect(self):
+        best = best_value_programs()
+        assert "network_coordination_hub" not in best
+        assert len(best) == 3
+
+    def test_interventions_from_portfolio(self):
+        names = [p.name for p in PROGRAMS]
+        interventions = portfolio_to_interventions(names)
+        assert interventions.outreach > 1.0
+        assert interventions.campaigns > 1.0
+        assert interventions.funding > 1.0
+
+    def test_hub_amplifies(self):
+        base = ["tinytapeout_school", "online_career_portal"]
+        with_hub = base + ["network_coordination_hub"]
+        iv_base = portfolio_to_interventions(base)
+        iv_hub = portfolio_to_interventions(with_hub)
+        assert iv_hub.outreach > iv_base.outreach
+        assert iv_hub.funding > iv_base.funding
+
+    def test_portfolio_improves_pipeline(self):
+        names = [p.name for p in PROGRAMS]
+        interventions = portfolio_to_interventions(names)
+        funded = simulate_pipeline(interventions=interventions)
+        baseline = simulate_pipeline()
+        assert funded.final_gap < baseline.final_gap

@@ -1,0 +1,137 @@
+"""Tests for the FPGA prototyping path and the software-stack substrate."""
+
+import pytest
+
+from repro.fpga import (
+    coverage_fraction,
+    flow_coverage,
+    get_device,
+    lut_map,
+)
+from repro.hdl import ModuleBuilder, mux
+from repro.swstack import CompileError, StackVm, compile_source
+from repro.synth import lower, optimize
+
+
+def adder_netlist(width=8):
+    b = ModuleBuilder("adder")
+    a = b.input("a", width)
+    c = b.input("c", width)
+    b.output("y", a + c)
+    netlist, _ = optimize(lower(b.build()))
+    return netlist
+
+
+def counter_netlist(width=8):
+    b = ModuleBuilder("counter")
+    en = b.input("en", 1)
+    count = b.register("count", width)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    netlist, _ = optimize(lower(b.build()))
+    return netlist
+
+
+class TestLutMap:
+    def test_luts_fewer_than_gates(self):
+        netlist = adder_netlist()
+        mapping = lut_map(netlist, get_device("edu-ice40"))
+        assert 0 < mapping.luts < len(netlist.gates)
+
+    def test_ffs_counted(self):
+        mapping = lut_map(counter_netlist(), get_device("edu-ice40"))
+        assert mapping.ffs == 8
+
+    def test_fits_small_device(self):
+        mapping = lut_map(adder_netlist(), get_device("edu-ice40"))
+        assert mapping.fits
+        assert 0 < mapping.utilization < 1
+
+    def test_bigger_k_gives_fewer_luts(self):
+        netlist = adder_netlist(16)
+        k4 = lut_map(netlist, get_device("edu-ice40"))
+        k6 = lut_map(netlist, get_device("edu-big"))
+        assert k6.luts <= k4.luts
+        assert k6.depth <= k4.depth
+
+    def test_depth_and_fmax(self):
+        mapping = lut_map(adder_netlist(16), get_device("edu-ice40"))
+        assert mapping.depth >= 2
+        assert mapping.fmax_mhz > 0
+
+    def test_report(self):
+        report = lut_map(adder_netlist(), get_device("edu-ecp5")).report()
+        for key in ("device", "luts", "ffs", "depth", "fits", "fmax_mhz"):
+            assert key in report
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("virtex")
+
+
+class TestFlowCoverage:
+    def test_partial_coverage(self):
+        coverage = flow_coverage()
+        assert coverage["rtl_design"]
+        assert coverage["synthesis"]
+        assert not coverage["gds_export"]
+        assert not coverage["tapeout"]
+        assert 0.3 < coverage_fraction() < 0.9
+
+
+class TestSwCompiler:
+    def test_scalar_expression(self):
+        # LOAD a, LOAD b, PUSH 2, MUL, ADD, STORE y
+        program = compile_source("y = a + b * 2")
+        assert program.instruction_count == 6
+        assert program.source_lines == 1
+
+    def test_vm_executes(self):
+        program = compile_source("a = 6\nb = 7\ny = a * b")
+        vm = StackVm()
+        result = vm.run(program)
+        assert result["y"] == 42
+
+    def test_vector_one_liner_explodes(self):
+        # The paper: "a single line of Python code can generate thousands
+        # of assembly instructions".
+        program = compile_source("vadd(c, a, b, 1000)")
+        assert program.source_lines == 1
+        assert program.instruction_count == 4000
+        assert program.max_expansion() == 4000
+
+    def test_vector_semantics(self):
+        program = compile_source("vmul(c, a, b, 3)")
+        vm = StackVm()
+        vm.variables.update({"a[0]": 2, "a[1]": 3, "a[2]": 4,
+                             "b[0]": 5, "b[1]": 6, "b[2]": 7})
+        result = vm.run(program)
+        assert [result["c[0]"], result["c[1]"], result["c[2]"]] == [10, 18, 28]
+
+    def test_instructions_per_line(self):
+        program = compile_source("# comment\ny = a + 1\n\nz = y * y")
+        assert program.source_lines == 2
+        assert program.instructions_per_line() == pytest.approx(4.0)
+
+    def test_operators(self):
+        source = "y = ((a | b) & 255) ^ (a >> 2) % 7"
+        program = compile_source(source)
+        vm = StackVm()
+        vm.variables.update({"a": 200, "b": 77})
+        result = vm.run(program)
+        assert result["y"] == ((200 | 77) & 255) ^ ((200 >> 2) % 7)
+
+    def test_negation(self):
+        vm = StackVm()
+        assert vm.run(compile_source("y = -5 + 8"))["y"] == 3
+
+    def test_errors(self):
+        for bad in ("y = f(x)", "if a: b", "y = 'str'", "vadd(c, a, b)",
+                    "y = a ** 2"):
+            with pytest.raises(CompileError):
+                compile_source(bad)
+
+    def test_listing(self):
+        listing = compile_source("y = a + 1").listing()
+        assert "LOAD a" in listing
+        assert "STORE y" in listing

@@ -1,0 +1,206 @@
+"""Unit tests for the HCL builder frontend."""
+
+import pytest
+
+from repro.hdl import HdlError, ModuleBuilder, cat, mux
+from repro.sim import Simulator
+
+
+def build_counter(width=8):
+    b = ModuleBuilder("counter")
+    en = b.input("en", 1)
+    count = b.register("count", width)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    return b.build()
+
+
+class TestBuilderBasics:
+    def test_counter_counts(self):
+        sim = Simulator(build_counter())
+        sim.set("en", 1)
+        sim.step(5)
+        assert sim.get("q") == 5
+
+    def test_counter_holds_when_disabled(self):
+        sim = Simulator(build_counter())
+        sim.set("en", 1)
+        sim.step(3)
+        sim.set("en", 0)
+        sim.step(10)
+        assert sim.get("q") == 3
+
+    def test_counter_wraps(self):
+        sim = Simulator(build_counter(width=2))
+        sim.set("en", 1)
+        sim.step(5)
+        assert sim.get("q") == 1
+
+    def test_register_reset_value(self):
+        b = ModuleBuilder("m")
+        r = b.register("r", 8, reset=42)
+        r.next = r
+        b.output("q", r)
+        sim = Simulator(b.build())
+        assert sim.get("q") == 42
+
+    def test_int_lifting(self):
+        b = ModuleBuilder("m")
+        a = b.input("a", 8)
+        b.output("y", a + 200)
+        sim = Simulator(b.build())
+        sim.set("a", 100)
+        assert sim.get("y") == 44  # (100 + 200) mod 256
+
+    def test_mixing_builders_rejected(self):
+        b1 = ModuleBuilder("m1")
+        b2 = ModuleBuilder("m2")
+        a = b1.input("a", 4)
+        c = b2.input("c", 4)
+        with pytest.raises(HdlError):
+            _ = a + c
+
+
+class TestOperators:
+    def build_unary(self, fn, width=8):
+        b = ModuleBuilder("m")
+        a = b.input("a", width)
+        b.output("y", fn(a))
+        return b.build()
+
+    def build_binary(self, fn, width=8):
+        b = ModuleBuilder("m")
+        a = b.input("a", width)
+        c = b.input("c", width)
+        b.output("y", fn(a, c))
+        return b.build()
+
+    def check_binary(self, fn, a, c, want, width=8):
+        sim = Simulator(self.build_binary(fn, width))
+        sim.set("a", a)
+        sim.set("c", c)
+        assert sim.get("y") == want
+
+    def test_arith(self):
+        self.check_binary(lambda a, c: a + c, 200, 100, 44)
+        self.check_binary(lambda a, c: a - c, 5, 10, 251)
+        self.check_binary(lambda a, c: a * c, 20, 13, 260)
+
+    def test_bitwise(self):
+        self.check_binary(lambda a, c: a & c, 0b1100, 0b1010, 0b1000)
+        self.check_binary(lambda a, c: a | c, 0b1100, 0b1010, 0b1110)
+        self.check_binary(lambda a, c: a ^ c, 0b1100, 0b1010, 0b0110)
+
+    def test_shifts(self):
+        self.check_binary(lambda a, c: a << c, 3, 2, 12)
+        self.check_binary(lambda a, c: a >> c, 12, 2, 3)
+
+    def test_comparisons(self):
+        self.check_binary(lambda a, c: a.lt(c), 3, 5, 1)
+        self.check_binary(lambda a, c: a.ge(c), 3, 5, 0)
+        self.check_binary(lambda a, c: a.eq(c), 7, 7, 1)
+        self.check_binary(lambda a, c: a.ne(c), 7, 7, 0)
+        self.check_binary(lambda a, c: a.le(c), 5, 5, 1)
+        self.check_binary(lambda a, c: a.gt(c), 6, 5, 1)
+
+    def test_invert_and_neg(self):
+        sim = Simulator(self.build_unary(lambda a: ~a))
+        sim.set("a", 0b10101010)
+        assert sim.get("y") == 0b01010101
+        sim = Simulator(self.build_unary(lambda a: -a))
+        sim.set("a", 1)
+        assert sim.get("y") == 255
+
+    def test_reductions(self):
+        sim = Simulator(self.build_unary(lambda a: a.reduce_xor()))
+        sim.set("a", 0b0110)
+        assert sim.get("y") == 0
+
+    def test_radd(self):
+        b = ModuleBuilder("m")
+        a = b.input("a", 8)
+        b.output("y", 1 + a)
+        sim = Simulator(b.build())
+        sim.set("a", 41)
+        assert sim.get("y") == 42
+
+
+class TestBitAccess:
+    def test_single_bit(self):
+        b = ModuleBuilder("m")
+        a = b.input("a", 8)
+        b.output("y", a[7])
+        sim = Simulator(b.build())
+        sim.set("a", 0x80)
+        assert sim.get("y") == 1
+
+    def test_negative_index(self):
+        b = ModuleBuilder("m")
+        a = b.input("a", 8)
+        b.output("y", a[-1])
+        sim = Simulator(b.build())
+        sim.set("a", 0x80)
+        assert sim.get("y") == 1
+
+    def test_slice_msb_lsb(self):
+        b = ModuleBuilder("m")
+        a = b.input("a", 8)
+        b.output("y", a[7:4])
+        sim = Simulator(b.build())
+        sim.set("a", 0xA5)
+        assert sim.get("y") == 0xA
+
+    def test_wrong_direction_slice_rejected(self):
+        b = ModuleBuilder("m")
+        a = b.input("a", 8)
+        with pytest.raises(HdlError):
+            _ = a[0:7]
+
+    def test_cat(self):
+        b = ModuleBuilder("m")
+        a = b.input("a", 4)
+        c = b.input("c", 4)
+        b.output("y", cat(a, c))
+        sim = Simulator(b.build())
+        sim.set("a", 0xA)
+        sim.set("c", 0x5)
+        assert sim.get("y") == 0xA5
+
+    def test_zext_trunc(self):
+        b = ModuleBuilder("m")
+        a = b.input("a", 4)
+        b.output("y", a.zext(8))
+        b.output("z", (a + a).trunc(2))
+        sim = Simulator(b.build())
+        sim.set("a", 0xF)
+        assert sim.get("y") == 0xF
+        assert sim.get("z") == (0xF + 0xF) % 16 % 4
+
+
+class TestHierarchy:
+    def test_instance_through_builder(self):
+        inner_b = ModuleBuilder("inverter")
+        a = inner_b.input("a", 4)
+        inner_b.output("y", ~a)
+        inverter = inner_b.build()
+
+        b = ModuleBuilder("top")
+        x = b.input("x", 4)
+        outs = b.instance("u0", inverter, a=x)
+        b.output("y", outs["y"])
+        top = b.build()
+
+        sim = Simulator(top)
+        sim.set("x", 0b0011)
+        assert sim.get("y") == 0b1100
+
+    def test_missing_input_rejected(self):
+        inner_b = ModuleBuilder("inverter")
+        a = inner_b.input("a", 4)
+        inner_b.output("y", ~a)
+        inverter = inner_b.build()
+
+        b = ModuleBuilder("top")
+        b.input("x", 4)
+        with pytest.raises(HdlError, match="unconnected"):
+            b.instance("u0", inverter)

@@ -1,0 +1,289 @@
+"""Unit tests for the word-level RTL IR."""
+
+import pytest
+
+from repro.hdl.ir import (
+    BinOp,
+    Cat,
+    Const,
+    HdlError,
+    Module,
+    Mux,
+    Ref,
+    Signal,
+    Slice,
+    UnaryOp,
+    eval_expr,
+)
+
+
+class TestSignal:
+    def test_width_and_mask(self):
+        sig = Signal("data", 8)
+        assert sig.width == 8
+        assert sig.mask == 0xFF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(HdlError):
+            Signal("bad", 0)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(HdlError):
+            Signal("has space", 1)
+
+    def test_identity_hashing(self):
+        a = Signal("x", 1)
+        b = Signal("x", 1)
+        assert a != b
+        assert len({a, b}) == 2
+
+
+class TestConst:
+    def test_masking_of_negative(self):
+        assert Const(-1, 4).value == 0xF
+
+    def test_overflow_rejected(self):
+        with pytest.raises(HdlError):
+            Const(16, 4)
+
+    def test_fits_exactly(self):
+        assert Const(15, 4).value == 15
+
+
+class TestWidthRules:
+    def test_add_takes_max_width(self):
+        expr = BinOp("add", Const(0, 8), Const(0, 4))
+        assert expr.width == 8
+
+    def test_mul_sums_widths(self):
+        expr = BinOp("mul", Const(0, 8), Const(0, 4))
+        assert expr.width == 12
+
+    def test_comparison_is_one_bit(self):
+        for op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            assert BinOp(op, Const(0, 8), Const(0, 8)).width == 1
+
+    def test_shift_keeps_lhs_width(self):
+        assert BinOp("shl", Const(0, 8), Const(0, 3)).width == 8
+
+    def test_cat_sums_widths(self):
+        assert Cat([Const(0, 3), Const(0, 5)]).width == 8
+
+    def test_slice_width(self):
+        assert Slice(Const(0, 8), 5, 2).width == 4
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(HdlError):
+            Slice(Const(0, 8), 8, 0)
+        with pytest.raises(HdlError):
+            Slice(Const(0, 8), 2, 5)
+
+    def test_reduction_is_one_bit(self):
+        assert UnaryOp("rxor", Const(0, 8)).width == 1
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(HdlError):
+            BinOp("pow", Const(0, 1), Const(0, 1))
+        with pytest.raises(HdlError):
+            UnaryOp("abs", Const(0, 1))
+
+    def test_mux_needs_one_bit_select(self):
+        with pytest.raises(HdlError):
+            Mux(Const(0, 2), Const(0, 1), Const(0, 1))
+
+
+class TestEvalExpr:
+    def test_add_wraps(self):
+        expr = BinOp("add", Const(255, 8), Const(1, 8))
+        assert eval_expr(expr, {}) == 0
+
+    def test_sub_wraps(self):
+        expr = BinOp("sub", Const(0, 8), Const(1, 8))
+        assert eval_expr(expr, {}) == 255
+
+    def test_mul_full_width(self):
+        expr = BinOp("mul", Const(255, 8), Const(255, 8))
+        assert eval_expr(expr, {}) == 255 * 255
+
+    def test_not(self):
+        assert eval_expr(UnaryOp("not", Const(0b1010, 4)), {}) == 0b0101
+
+    def test_neg(self):
+        assert eval_expr(UnaryOp("neg", Const(1, 4)), {}) == 15
+
+    def test_reductions(self):
+        assert eval_expr(UnaryOp("rand", Const(0xF, 4)), {}) == 1
+        assert eval_expr(UnaryOp("rand", Const(0xE, 4)), {}) == 0
+        assert eval_expr(UnaryOp("ror", Const(0, 4)), {}) == 0
+        assert eval_expr(UnaryOp("ror", Const(2, 4)), {}) == 1
+        assert eval_expr(UnaryOp("rxor", Const(0b0111, 4)), {}) == 1
+
+    def test_shift_overflow_is_zero(self):
+        expr = BinOp("shl", Const(1, 4), Const(9, 4))
+        assert eval_expr(expr, {}) == 0
+        expr = BinOp("shr", Const(8, 4), Const(9, 4))
+        assert eval_expr(expr, {}) == 0
+
+    def test_cat_msb_first(self):
+        expr = Cat([Const(0b10, 2), Const(0b01, 2)])
+        assert eval_expr(expr, {}) == 0b1001
+
+    def test_slice(self):
+        expr = Slice(Const(0b11010, 5), 3, 1)
+        assert eval_expr(expr, {}) == 0b101
+
+    def test_mux(self):
+        m = Mux(Const(1, 1), Const(5, 4), Const(9, 4))
+        assert eval_expr(m, {}) == 5
+        m = Mux(Const(0, 1), Const(5, 4), Const(9, 4))
+        assert eval_expr(m, {}) == 9
+
+    def test_ref_masks_value(self):
+        sig = Signal("s", 4)
+        assert eval_expr(Ref(sig), {sig: 0xFF}) == 0xF
+
+    def test_comparisons(self):
+        def check(op, a, b, want):
+            assert eval_expr(BinOp(op, Const(a, 8), Const(b, 8)), {}) == want
+
+        check("eq", 3, 3, 1)
+        check("ne", 3, 4, 1)
+        check("lt", 3, 4, 1)
+        check("le", 4, 4, 1)
+        check("gt", 5, 4, 1)
+        check("ge", 4, 5, 0)
+
+
+class TestModule:
+    def make_passthrough(self):
+        mod = Module("pass")
+        a = mod.add_input("a", 4)
+        y = mod.add_output("y", 4)
+        mod.assign(y, Ref(a))
+        return mod
+
+    def test_validate_ok(self):
+        self.make_passthrough().validate()
+
+    def test_double_assign_rejected(self):
+        mod = Module("m")
+        a = mod.add_input("a", 1)
+        y = mod.add_output("y", 1)
+        mod.assign(y, Ref(a))
+        with pytest.raises(HdlError):
+            mod.assign(y, Ref(a))
+
+    def test_undriven_output_rejected(self):
+        mod = Module("m")
+        mod.add_input("a", 1)
+        mod.add_output("y", 1)
+        with pytest.raises(HdlError):
+            mod.validate()
+
+    def test_driven_input_rejected(self):
+        mod = Module("m")
+        a = mod.add_input("a", 1)
+        b = mod.add_input("b", 1)
+        mod.assign(a, Ref(b))
+        with pytest.raises(HdlError):
+            mod.validate()
+
+    def test_width_overflow_on_assign_rejected(self):
+        mod = Module("m")
+        a = mod.add_input("a", 8)
+        y = mod.add_output("y", 4)
+        with pytest.raises(HdlError):
+            mod.assign(y, Ref(a))
+
+    def test_comb_loop_detected(self):
+        mod = Module("m")
+        mod.add_input("a", 1)
+        x = mod.add_wire("x", 1)
+        y = mod.add_output("y", 1)
+        mod.assign(x, Ref(y))
+        mod.assign(y, Ref(x))
+        with pytest.raises(HdlError, match="loop"):
+            mod.validate()
+
+    def test_register_breaks_loop(self):
+        mod = Module("m")
+        reg = mod.add_register("q", 4)
+        from repro.hdl.ir import BinOp as B, Const as C
+
+        reg.next = B("add", Ref(reg.signal), C(1, 4))
+        y = mod.add_output("y", 4)
+        mod.assign(y, Ref(reg.signal))
+        mod.validate()
+
+    def test_duplicate_names_rejected(self):
+        mod = Module("m")
+        mod.add_input("a", 1)
+        y = mod.add_output("a", 1)
+        mod.assign(y, Const(0, 1))
+        with pytest.raises(HdlError, match="duplicate"):
+            mod.validate()
+
+    def test_foreign_signal_rejected(self):
+        mod = Module("m")
+        y = mod.add_output("y", 1)
+        foreign = Signal("x", 1)
+        mod.assign(y, Ref(foreign))
+        with pytest.raises(HdlError, match="foreign"):
+            mod.validate()
+
+    def test_stats(self):
+        mod = self.make_passthrough()
+        stats = mod.stats()
+        assert stats["inputs"] == 1
+        assert stats["outputs"] == 1
+        assert stats["assigns"] == 1
+
+    def test_signal_by_name(self):
+        mod = self.make_passthrough()
+        assert mod.signal_by_name("a").width == 4
+        with pytest.raises(KeyError):
+            mod.signal_by_name("zzz")
+
+
+class TestInstances:
+    def make_child(self):
+        child = Module("child")
+        a = child.add_input("a", 4)
+        y = child.add_output("y", 4)
+        child.assign(y, UnaryOp("not", Ref(a)))
+        return child
+
+    def test_instance_validates(self):
+        child = self.make_child()
+        top = Module("top")
+        a = top.add_input("a", 4)
+        y = top.add_output("y", 4)
+        top.add_instance("u0", child, {"a": a, "y": y})
+        top.validate()
+
+    def test_unconnected_port_rejected(self):
+        child = self.make_child()
+        top = Module("top")
+        a = top.add_input("a", 4)
+        top.add_output("y", 4)
+        top.add_instance("u0", child, {"a": a})
+        with pytest.raises(HdlError, match="no driver|unconnected"):
+            top.validate()
+
+    def test_width_mismatch_rejected(self):
+        child = self.make_child()
+        top = Module("top")
+        a = top.add_input("a", 8)
+        y = top.add_output("y", 4)
+        top.add_instance("u0", child, {"a": a, "y": y})
+        with pytest.raises(HdlError, match="width"):
+            top.validate()
+
+    def test_unknown_port_rejected(self):
+        child = self.make_child()
+        top = Module("top")
+        a = top.add_input("a", 4)
+        y = top.add_output("y", 4)
+        top.add_instance("u0", child, {"a": a, "y": y, "zz": a})
+        with pytest.raises(HdlError, match="no port"):
+            top.validate()

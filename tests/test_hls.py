@@ -1,0 +1,193 @@
+"""Tests for the HLS compiler: DFG building, scheduling, codegen."""
+
+import pytest
+
+from repro.hls import (
+    HlsError,
+    alap_schedule,
+    asap_schedule,
+    build_dfg,
+    compile_function,
+    emulate_dfg,
+    list_schedule,
+    run_hls_module,
+)
+
+
+def mac(a, b, c):
+    return a * b + c
+
+
+def poly3(x, c0, c1, c2):
+    # c0 + c1*x + c2*x^2, Horner form
+    acc = c2
+    acc = acc * x + c1
+    acc = acc * x + c0
+    return acc
+
+
+def fir4(x0, x1, x2, x3):
+    acc = 0
+    acc = acc + x0 * 3
+    acc = acc + x1 * 7
+    acc = acc + x2 * 7
+    acc = acc + x3 * 3
+    return acc
+
+
+def mixed_logic(a, b):
+    t = (a ^ b) & 255
+    u = (a + b) >> 1
+    return t | u
+
+
+class TestDfg:
+    def test_mac_shape(self):
+        dfg, widths = build_dfg(mac)
+        assert len(dfg.inputs) == 3
+        counts = dfg.counts_by_resource()
+        assert counts["mul"] == 1
+        assert counts["addsub"] == 1
+        assert widths == {"a": 8, "b": 8, "c": 8}
+
+    def test_width_annotations(self):
+        def wide(a: 16, b: 4):
+            return a + b
+
+        _, widths = build_dfg(wide)
+        assert widths == {"a": 16, "b": 4}
+
+    def test_loop_unrolling(self):
+        def summer(a):
+            acc = 0
+            for i in range(5):
+                acc = acc + a
+            return acc
+
+        dfg, _ = build_dfg(summer)
+        assert dfg.counts_by_resource()["addsub"] == 5
+
+    def test_const_dedup(self):
+        def f(a):
+            return (a + 7) * (a - 7)
+
+        dfg, _ = build_dfg(f)
+        consts = [n for n in dfg.nodes if n.op == "const"]
+        assert len(consts) == 1
+
+    def test_depth(self):
+        dfg, _ = build_dfg(poly3)
+        assert dfg.depth() == 4  # alternating mul/add chain
+
+    def test_unsupported_constructs_rejected(self):
+        def with_if(a):
+            if a:
+                return 1
+            return 0
+
+        def with_div(a, b):
+            return a / b
+
+        def no_return(a):
+            x = a + 1
+
+        def var_shift(a, b):
+            return a << b
+
+        for fn in (with_if, with_div, no_return, var_shift):
+            with pytest.raises(HlsError):
+                build_dfg(fn)
+
+    def test_huge_unroll_rejected(self):
+        def big(a):
+            acc = 0
+            for i in range(1000):
+                acc = acc + a
+            return acc
+
+        with pytest.raises(HlsError, match="unroll"):
+            build_dfg(big)
+
+
+class TestScheduling:
+    def test_asap_respects_dependencies(self):
+        dfg, _ = build_dfg(poly3)
+        schedule = asap_schedule(dfg)
+        for node in dfg.operation_nodes():
+            for operand in node.operands:
+                if operand in schedule.cycle:
+                    assert schedule.cycle[operand] < schedule.cycle[node.index]
+
+    def test_alap_within_asap_latency(self):
+        dfg, _ = build_dfg(fir4)
+        asap = asap_schedule(dfg)
+        alap = alap_schedule(dfg)
+        assert alap.latency == asap.latency
+        for index, cycle in alap.cycle.items():
+            assert cycle >= asap.cycle[index]
+
+    def test_resource_constraint_respected(self):
+        dfg, _ = build_dfg(fir4)  # 4 independent multiplies
+        schedule = list_schedule(dfg, {"mul": 1})
+        mul_nodes = [n for n in dfg.operation_nodes() if n.resource == "mul"]
+        cycles = [schedule.cycle[n.index] for n in mul_nodes]
+        assert len(set(cycles)) == len(cycles)  # serialized
+
+    def test_more_resources_reduce_latency(self):
+        dfg, _ = build_dfg(fir4)
+        slow = list_schedule(dfg, {"mul": 1})
+        fast = list_schedule(dfg, {"mul": 4, "addsub": 4})
+        assert fast.latency <= slow.latency
+
+
+class TestCodegen:
+    @pytest.mark.parametrize("fn,args", [
+        (mac, {"a": 5, "b": 7, "c": 11}),
+        (poly3, {"x": 3, "c0": 1, "c1": 2, "c2": 3}),
+        (fir4, {"x0": 1, "x1": 2, "x2": 3, "x3": 4}),
+        (mixed_logic, {"a": 200, "b": 100}),
+    ])
+    def test_generated_rtl_matches_python(self, fn, args):
+        result = compile_function(fn, width=16)
+        got = run_hls_module(result, args)
+        want = fn(**args) & 0xFFFF
+        assert got == want
+
+    def test_matches_emulation_with_overflow(self):
+        result = compile_function(mac, width=8)
+        args = {"a": 250, "b": 250, "c": 99}
+        got = run_hls_module(result, args)
+        dfg, _ = build_dfg(mac)
+        assert got == emulate_dfg(dfg, 8, args)
+
+    def test_resource_sharing_reduces_multipliers(self):
+        shared = compile_function(fir4, resources={"mul": 1}, width=16)
+        parallel = compile_function(fir4, resources={"mul": 4}, width=16)
+        assert shared.fu_instances["mul"] == 1
+        assert parallel.fu_instances["mul"] >= 2
+        assert shared.latency >= parallel.latency
+        args = {"x0": 9, "x1": 8, "x2": 7, "x3": 6}
+        assert run_hls_module(shared, args) == run_hls_module(parallel, args)
+
+    def test_report_fields(self):
+        result = compile_function(mac)
+        report = result.report()
+        assert report["function"] == "mac"
+        assert report["latency_cycles"] == result.latency
+        assert report["source_lines"] >= 2
+
+    def test_passthrough_function(self):
+        def ident(a):
+            return a
+
+        result = compile_function(ident)
+        assert run_hls_module(result, {"a": 42}) == 42
+
+    def test_hls_output_synthesizes(self):
+        from repro.pdk import get_pdk
+        from repro.synth import synthesize
+
+        result = compile_function(mac, width=8)
+        synth = synthesize(result.module, get_pdk("edu130").library,
+                           verify=True, verify_cycles=16)
+        assert synth.equivalence.passed

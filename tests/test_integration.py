@@ -1,0 +1,204 @@
+"""Cross-module integration tests: full platform scenarios end to end."""
+
+import pytest
+
+from repro.core import (
+    AccessTier,
+    CloudPlatform,
+    EnablementHub,
+    OPEN,
+    ResidencyStatus,
+    User,
+    estimate_job_minutes,
+    run_flow,
+)
+from repro.fpga import get_device, lut_map, place_on_array
+from repro.hdl import ModuleBuilder, elaborate, mux
+from repro.hls import compile_function
+from repro.ip import assemble, generate, generate_cpu
+from repro.layout import read_gds
+from repro.pdk import get_pdk
+from repro.sta import TimingAnalyzer
+from repro.synth import check_equivalence, lower, optimize, synthesize
+
+
+class TestDeepHierarchy:
+    def build_three_levels(self):
+        leaf_b = ModuleBuilder("leaf")
+        d = leaf_b.input("d", 4)
+        q = leaf_b.register("q", 4)
+        q.next = d
+        leaf_b.output("out", q)
+        leaf = leaf_b.build()
+
+        mid_b = ModuleBuilder("mid")
+        d = mid_b.input("d", 4)
+        s0 = mid_b.instance("s0", leaf, d=d)
+        s1 = mid_b.instance("s1", leaf, d=s0["out"])
+        mid_b.output("out", s1["out"])
+        mid = mid_b.build()
+
+        top_b = ModuleBuilder("top3")
+        d = top_b.input("d", 4)
+        m0 = top_b.instance("m0", mid, d=d)
+        m1 = top_b.instance("m1", mid, d=m0["out"])
+        top_b.output("q", m1["out"])
+        return top_b.build()
+
+    def test_three_level_elaboration(self):
+        flat = elaborate(self.build_three_levels())
+        assert len(flat.registers) == 4
+        names = {sig.name for sig in flat.signals}
+        assert "m0.s1.q" in names
+
+    def test_three_level_flow(self):
+        result = run_flow(
+            self.build_three_levels(), get_pdk("edu130"), preset=OPEN
+        )
+        assert result.ok
+        assert len(result.synthesis.mapped.seq_cells) == 16
+
+
+class TestHlsToSilicon:
+    def test_hls_module_through_full_flow(self):
+        def mac(a, b, c):
+            return a * b + c
+
+        hls = compile_function(mac, width=8)
+        result = run_flow(hls.module, get_pdk("edu130"), preset=OPEN,
+                          clock_period_ps=4_000.0)
+        assert result.ok
+        assert result.synthesis.equivalence.passed
+
+    def test_same_netlist_feeds_asic_and_fpga(self):
+        def poly(x, c0, c1):
+            return c1 * x + c0
+
+        hls = compile_function(poly, width=8)
+        netlist, _ = optimize(lower(hls.module))
+        mapping = lut_map(netlist, get_device("edu-ecp5"))
+        placement = place_on_array(netlist, mapping)
+        assert mapping.fits
+        assert placement.channel_width >= 0
+
+        synth = synthesize(hls.module, get_pdk("edu130").library)
+        assert check_equivalence(hls.module, synth.mapped, cycles=20).passed
+
+
+class TestCpuSocStory:
+    def test_cpu_program_to_gds(self):
+        program = assemble("LDI 5\nADD 5\nOUT\nHALT")
+        module = generate_cpu(program)
+        result = run_flow(module, get_pdk("edu180"), preset=OPEN,
+                          clock_period_ps=10_000.0)
+        assert result.ok
+        library = read_gds(result.gds_bytes)
+        top = library.struct("tinycpu")
+        assert len(top.srefs) == len(result.synthesis.mapped.cells)
+
+
+class TestHubSemester:
+    """A full semester through the hub: enrollment to shuttle."""
+
+    def test_semester_story(self):
+        hub = EnablementHub(cloud=CloudPlatform(servers=2))
+        students = [
+            User(name=f"student{i}", institution="uni") for i in range(3)
+        ]
+        for student in students:
+            hub.enroll(student, AccessTier.INTERMEDIATE)
+
+        minute = 0.0
+        for i, student in enumerate(students):
+            ip = hub.fetch_ip("counter", width=4 + i)
+            assert ip.verify(100).passed
+            record = hub.run_design(
+                student.name, ip.module, "edu130",
+                clock_period_ps=10_000.0, submit_minute=minute,
+            )
+            assert record.result.ok
+            minute += 5.0
+
+        stats = hub.cloud.run()
+        assert stats.jobs == 3
+        assert stats.utilization > 0
+
+        quote = hub.book_shuttle_seat("student0", "edu130", area_mm2=0.5)
+        assert quote.chips_back_day > 100  # next term, as the paper says
+
+    def test_restricted_student_can_still_use_open_nodes(self):
+        hub = EnablementHub()
+        visitor = User(
+            name="visitor", institution="uni",
+            residency=ResidencyStatus.RESTRICTED,
+        )
+        hub.enroll(visitor, AccessTier.ADVANCED)
+        available = hub.available_pdks("visitor")
+        assert "edu130" in available and "edu180" in available
+        assert "edu045" not in available  # export control bites
+
+        b = ModuleBuilder("ok_design")
+        a = b.input("a", 4)
+        b.output("y", ~a)
+        record = hub.run_design("visitor", b.build(), "edu130")
+        assert record.result.ok
+
+
+class TestTimingCorners:
+    def test_hold_violation_from_large_negative_skew(self):
+        b = ModuleBuilder("pipe")
+        d = b.input("d", 4)
+        s1 = b.register("s1", 4)
+        s1.next = d
+        s2 = b.register("s2", 4)
+        s2.next = s1
+        b.output("q", s2)
+        mapped = synthesize(b.build(), get_pdk("edu130").library).mapped
+
+        # Give capture flops a huge early/late skew imbalance: the s2
+        # flops capture far later than the s1 flops launch.
+        skew = {}
+        for inst in mapped.seq_cells:
+            skew[inst.name] = 0.0
+        capture_like = [c.name for c in mapped.seq_cells][: len(skew) // 2]
+        for name in capture_like:
+            skew[name] = 500.0
+        report = TimingAnalyzer(
+            mapped, get_pdk("edu130").node, skew_ps=skew
+        ).analyze(10_000.0)
+        assert report.worst_hold_slack_ps < 0  # skew-induced hold risk
+
+    def test_router_reports_failures_on_hopeless_grid(self):
+        from repro.pnr import GridRouter, make_floorplan, place
+
+        pdk = get_pdk("edu130")
+        b = ModuleBuilder("wide")
+        a = b.input("a", 16)
+        c = b.input("c", 16)
+        b.output("y", a + c)
+        mapped = synthesize(b.build(), pdk.library).mapped
+        fp = make_floorplan(mapped, pdk.node, utilization=0.6)
+        placement = place(mapped, fp)
+        # A 2x2 grid cannot host this many nets without huge overflow,
+        # but the router must still terminate and report.
+        router = GridRouter(mapped, placement, pdk.node,
+                            pitch_um=fp.die_width, capacity=1)
+        result = router.route(max_iterations=2)
+        assert result.overflow >= 0
+        assert result.iterations <= 2
+
+
+class TestCloudDimensioning:
+    def test_semester_peak_load(self):
+        # 40 students submit their project in the same afternoon.
+        for servers, expect_fast in ((1, False), (16, True)):
+            cloud = CloudPlatform(servers=servers)
+            for i in range(40):
+                cloud.submit(
+                    f"s{i}", estimate_job_minutes(500), submit_min=i * 2.0
+                )
+            stats = cloud.run()
+            if expect_fast:
+                assert stats.mean_wait_min < 10.0
+            else:
+                assert stats.mean_wait_min > 60.0

@@ -1,0 +1,214 @@
+"""Tests for geometry, the GDSII codec, chip assembly and DRC."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder, mux
+from repro.layout import (
+    GdsLibrary,
+    GdsSRef,
+    GdsStruct,
+    GdsText,
+    Rect,
+    bounding_box,
+    build_chip_gds,
+    check_drc,
+    flatten_rects,
+    from_db,
+    read_gds,
+    to_db,
+    wire_rect,
+    write_gds,
+)
+from repro.layout.gds import _parse_real8, _real8
+from repro.pdk import get_pdk
+from repro.pnr import implement
+from repro.synth import synthesize
+
+
+class TestGeometry:
+    def test_basic_properties(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 4
+        assert r.height == 2
+        assert r.area == 8
+        assert r.min_dimension == 2
+        assert r.center == (2, 1)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(2, 0, 0, 2)
+
+    def test_intersects_excludes_touching(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert not a.intersects(Rect(2, 0, 4, 2))  # shared edge
+        assert not a.intersects(Rect(5, 5, 6, 6))
+
+    def test_distance(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.distance(Rect(4, 0, 5, 1)) == pytest.approx(3.0)
+        assert a.distance(Rect(4, 5, 5, 6)) == pytest.approx(5.0)
+        assert a.distance(Rect(0.5, 0.5, 2, 2)) == 0.0
+
+    def test_grow_translate_union(self):
+        a = Rect(1, 1, 2, 2)
+        assert a.grown(1) == Rect(0, 0, 3, 3)
+        assert a.translated(1, -1) == Rect(2, 0, 3, 1)
+        assert a.union_bbox(Rect(5, 5, 6, 6)) == Rect(1, 1, 6, 6)
+
+    def test_bounding_box(self):
+        assert bounding_box([Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)]) == Rect(0, 0, 3, 3)
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_wire_rect(self):
+        horizontal = wire_rect(0, 5, 10, 5, 1.0)
+        assert horizontal == Rect(-0.5, 4.5, 10.5, 5.5)
+        vertical = wire_rect(3, 0, 3, 8, 0.5)
+        assert vertical == Rect(2.75, -0.25, 3.25, 8.25)
+        with pytest.raises(ValueError):
+            wire_rect(0, 0, 1, 1, 0.5)
+
+
+class TestGdsCodec:
+    def test_real8_roundtrip(self):
+        for value in (0.0, 1.0, 0.001, 1e-9, 123.456, -42.5):
+            encoded = _real8(value)
+            assert len(encoded) == 8
+            assert _parse_real8(encoded) == pytest.approx(value, rel=1e-12)
+
+    def test_db_unit_conversion(self):
+        assert to_db(1.234) == 1234
+        assert from_db(1234) == pytest.approx(1.234)
+
+    def test_library_roundtrip(self):
+        library = GdsLibrary("testlib")
+        cell = library.add(GdsStruct("cell"))
+        cell.add_rect_um(1, 0, 0.0, 0.0, 2.5, 1.0)
+        top = library.add(GdsStruct("top"))
+        top.srefs.append(GdsSRef("cell", (to_db(10.0), to_db(20.0))))
+        top.texts.append(GdsText(60, "pin_a", (0, 0)))
+        top.add_rect_um(10, 0, 0.0, 0.0, 100.0, 100.0)
+
+        data = write_gds(library)
+        assert data[:4] == b"\x00\x06\x00\x02"  # HEADER record
+        parsed = read_gds(data)
+        assert parsed.name == "testlib"
+        assert [s.name for s in parsed.structs] == ["cell", "top"]
+        parsed_cell = parsed.struct("cell")
+        assert parsed_cell.boundaries[0].layer == 1
+        assert parsed_cell.boundaries[0].points[2] == (2500, 1000)
+        parsed_top = parsed.struct("top")
+        assert parsed_top.srefs[0].struct_name == "cell"
+        assert parsed_top.srefs[0].position == (10000, 20000)
+        assert parsed_top.texts[0].text == "pin_a"
+
+    def test_truncated_stream_rejected(self):
+        library = GdsLibrary("x")
+        library.add(GdsStruct("s"))
+        data = write_gds(library)
+        with pytest.raises(ValueError):
+            read_gds(data[:7] + b"\x01")
+
+    def test_odd_length_names_padded(self):
+        library = GdsLibrary("abc")  # odd length
+        library.add(GdsStruct("wxy"))
+        parsed = read_gds(write_gds(library))
+        assert parsed.name == "abc"
+        assert parsed.structs[0].name == "wxy"
+
+    def test_flatten_rects_translates(self):
+        library = GdsLibrary("lib")
+        cell = library.add(GdsStruct("cell"))
+        cell.add_rect_um(5, 0, 0, 0, 1, 1)
+        top = library.add(GdsStruct("top"))
+        top.srefs.append(GdsSRef("cell", (to_db(10), to_db(0))))
+        rects = flatten_rects(library, "top")
+        assert rects[5][0] == Rect(10, 0, 11, 1)
+
+
+@pytest.fixture(scope="module")
+def chip_design():
+    pdk = get_pdk("edu130")
+    b = ModuleBuilder("counter")
+    en = b.input("en", 1)
+    count = b.register("count", 8)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    mapped = synthesize(b.build(), pdk.library).mapped
+    return implement(mapped, pdk), pdk
+
+
+class TestChipAssembly:
+    def test_gds_builds_and_roundtrips(self, chip_design):
+        design, pdk = chip_design
+        library = build_chip_gds(design)
+        data = write_gds(library)
+        assert len(data) > 500
+        parsed = read_gds(data)
+        assert parsed.struct("counter").srefs  # placed cells
+
+    def test_every_cell_placed_in_gds(self, chip_design):
+        design, pdk = chip_design
+        library = build_chip_gds(design)
+        top = library.struct("counter")
+        assert len(top.srefs) == len(design.mapped.cells)
+
+    def test_pin_labels_present(self, chip_design):
+        design, pdk = chip_design
+        top = build_chip_gds(design).struct("counter")
+        texts = {t.text for t in top.texts}
+        assert "en[0]" in texts
+        assert "q[7]" in texts
+
+    def test_die_outline_present(self, chip_design):
+        design, pdk = chip_design
+        top = build_chip_gds(design).struct("counter")
+        outline_layer = pdk.layers.outline.gds_layer
+        outlines = [b for b in top.boundaries if b.layer == outline_layer]
+        assert len(outlines) == 1
+
+
+class TestDrc:
+    def test_generated_chip_is_clean(self, chip_design):
+        design, pdk = chip_design
+        library = build_chip_gds(design)
+        report = check_drc(library, pdk.layers, "counter")
+        assert report.clean, report.violations[:5]
+        assert "CLEAN" in report.summary()
+
+    def test_width_violation_detected(self, chip_design):
+        design, pdk = chip_design
+        library = build_chip_gds(design)
+        met1 = pdk.layers.by_name("met1")
+        sliver = met1.min_width_um / 3.0
+        library.struct("counter").add_rect_um(
+            met1.gds_layer, met1.gds_datatype, 0.0, 0.0, 10.0, sliver
+        )
+        report = check_drc(library, pdk.layers, "counter")
+        assert any(v.rule == "min_width" for v in report.violations)
+
+    def test_spacing_violation_detected(self, chip_design):
+        design, pdk = chip_design
+        library = build_chip_gds(design)
+        met1 = pdk.layers.by_name("met1")
+        w = met1.min_width_um
+        gap = met1.min_spacing_um / 2.0
+        top = library.struct("counter")
+        # Two parallel wires far outside the real layout, too close together.
+        top.add_rect_um(met1.gds_layer, 0, 1000.0, 1000.0, 1010.0, 1000.0 + w)
+        top.add_rect_um(met1.gds_layer, 0, 1000.0, 1000.0 + w + gap,
+                        1010.0, 1000.0 + 2 * w + gap)
+        report = check_drc(library, pdk.layers, "counter")
+        assert any(v.rule == "min_spacing" for v in report.violations)
+
+    def test_overlapping_rects_are_not_spacing_violations(self, chip_design):
+        design, pdk = chip_design
+        library = GdsLibrary("t")
+        top = library.add(GdsStruct("top"))
+        met1 = pdk.layers.by_name("met1")
+        w = met1.min_width_um * 4
+        top.add_rect_um(met1.gds_layer, 0, 0, 0, 10, w)
+        top.add_rect_um(met1.gds_layer, 0, 5, 0, 15, w)
+        report = check_drc(library, pdk.layers, "top")
+        assert report.clean

@@ -1,0 +1,127 @@
+"""Tests for the Liberty and LEF enablement artifacts."""
+
+import pytest
+
+from repro.pdk import get_pdk
+from repro.pdk.lef import from_library, read_lef, write_lef, write_library_lef
+from repro.pdk.liberty import parse_liberty, read_liberty, write_liberty
+
+
+@pytest.fixture(scope="module")
+def library():
+    return get_pdk("edu130").library
+
+
+class TestLibertyWriter:
+    def test_header_and_cells(self, library):
+        text = write_liberty(library)
+        assert text.startswith("library (edu130_stdcells)")
+        assert "cell (NAND2_X1)" in text
+        assert "cell (DFF_X4)" in text
+        assert '"generic_cmos"' in text
+
+    def test_functions_emitted(self, library):
+        text = write_liberty(library)
+        assert 'function : "!(a*b)";' in text  # NAND2
+        assert 'function : "!((a*b)+c)";' in text  # AOI21
+
+    def test_sequential_cells_have_ff_group(self, library):
+        text = write_liberty(library)
+        assert 'ff ("IQ")' in text
+        assert 'related_pin : "clk";' in text
+
+
+class TestLibertyRoundTrip:
+    def test_parse_structure(self, library):
+        root = parse_liberty(write_liberty(library))
+        assert root["args"] == ["edu130_stdcells"]
+        cells = [g for g in root["groups"] if g["name"] == "cell"]
+        assert len(cells) == len(library.cells)
+
+    def test_full_roundtrip(self, library):
+        text = write_liberty(library)
+        recovered = read_liberty(text, library.node)
+        assert set(recovered.cells) == set(library.cells)
+        for name, original in library.cells.items():
+            loaded = recovered.cells[name]
+            assert loaded.kind == original.kind
+            assert loaded.drive == original.drive
+            assert loaded.area_um2 == pytest.approx(original.area_um2)
+            assert loaded.input_cap_ff == pytest.approx(original.input_cap_ff)
+            assert loaded.intrinsic_ps == pytest.approx(original.intrinsic_ps)
+            assert loaded.resistance_kohm == pytest.approx(
+                original.resistance_kohm
+            )
+            assert loaded.leakage_nw == pytest.approx(original.leakage_nw)
+            assert loaded.is_sequential == original.is_sequential
+
+    def test_recovered_library_synthesizes(self, library):
+        from repro.hdl import ModuleBuilder
+        from repro.synth import check_equivalence, synthesize
+
+        recovered = read_liberty(write_liberty(library), library.node)
+        b = ModuleBuilder("m")
+        a = b.input("a", 4)
+        c = b.input("c", 4)
+        b.output("y", (a + c) ^ (a & c))
+        module = b.build()
+        result = synthesize(module, recovered)
+        assert check_equivalence(module, result.mapped, cycles=30).passed
+
+    def test_bad_file_rejected(self, library):
+        with pytest.raises(ValueError):
+            parse_liberty("module counter; endmodule")
+
+
+class TestLef:
+    def test_macros_match_library(self, library):
+        lef = from_library(library)
+        assert len(lef.macros) == len(library.cells)
+        assert lef.site_height == pytest.approx(library.node.row_height_um)
+
+    def test_macro_geometry(self, library):
+        lef = from_library(library)
+        nand = lef.macro("NAND2_X1")
+        cell = library.get("NAND2_X1")
+        assert nand.width == pytest.approx(
+            cell.area_um2 / library.node.row_height_um, rel=1e-3
+        )
+        pin_names = {p.name for p in nand.pins}
+        assert pin_names == {"a", "b", "y"}
+        directions = {p.name: p.direction for p in nand.pins}
+        assert directions["y"] == "OUTPUT"
+        assert directions["a"] == "INPUT"
+
+    def test_dff_has_clk_pin(self, library):
+        lef = from_library(library)
+        dff = lef.macro("DFF_X1")
+        assert any(p.name == "clk" for p in dff.pins)
+
+    def test_pins_inside_macro(self, library):
+        lef = from_library(library)
+        for macro in lef.macros:
+            for pin in macro.pins:
+                x0, y0, x1, y1 = pin.rect
+                assert 0 <= x0 < x1 <= macro.width + 1e-6
+                assert 0 <= y0 < y1 <= macro.height + 1e-6
+
+    def test_roundtrip(self, library):
+        original = from_library(library)
+        parsed = read_lef(write_lef(original))
+        assert parsed.site_name == original.site_name
+        assert parsed.site_width == pytest.approx(original.site_width)
+        assert len(parsed.macros) == len(original.macros)
+        for a, b in zip(original.macros, parsed.macros):
+            assert a.name == b.name
+            assert b.width == pytest.approx(a.width)
+            assert b.height == pytest.approx(a.height)
+            assert [(p.name, p.direction) for p in a.pins] == [
+                (p.name, p.direction) for p in b.pins
+            ]
+            for pa, pb in zip(a.pins, b.pins):
+                assert pb.rect == pytest.approx(pa.rect)
+
+    def test_convenience_writer(self, library):
+        text = write_library_lef(library)
+        assert "MACRO INV_X1" in text
+        assert text.strip().endswith("END LIBRARY")

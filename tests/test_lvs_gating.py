@@ -1,0 +1,131 @@
+"""Tests for LVS-lite checking and clock-gating analysis."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder, mux
+from repro.layout import GdsSRef, build_chip_gds
+from repro.layout.lvs import check_lvs
+from repro.pdk import get_pdk
+from repro.pnr import implement
+from repro.power.gating import analyze_clock_gating
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def chip():
+    pdk = get_pdk("edu130")
+    b = ModuleBuilder("lvs_target")
+    en = b.input("en", 1)
+    count = b.register("count", 6)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    module = b.build()
+    mapped = synthesize(module, pdk.library).mapped
+    design = implement(mapped, pdk)
+    return module, design, build_chip_gds(design)
+
+
+class TestLvs:
+    def test_generated_chip_is_clean(self, chip):
+        _, design, library = chip
+        report = check_lvs(library, design)
+        assert report.clean, report.mismatches[:5]
+        assert report.cells_checked == len(design.mapped.cells)
+        assert "CLEAN" in report.summary()
+
+    def test_missing_cell_detected(self, chip):
+        _, design, library = chip
+        top = library.struct(design.mapped.name)
+        removed = top.srefs.pop()
+        try:
+            report = check_lvs(library, design)
+            assert not report.clean
+            assert any("netlist has" in m for m in report.mismatches)
+        finally:
+            top.srefs.append(removed)
+
+    def test_foreign_cell_detected(self, chip):
+        _, design, library = chip
+        top = library.struct(design.mapped.name)
+        top.srefs.append(GdsSRef("ROGUE_MACRO", (0, 0)))
+        try:
+            report = check_lvs(library, design)
+            assert any("unknown cell" in m for m in report.mismatches)
+            assert any("missing structure" in m for m in report.mismatches)
+        finally:
+            top.srefs.pop()
+
+    def test_missing_pin_label_detected(self, chip):
+        _, design, library = chip
+        top = library.struct(design.mapped.name)
+        removed = top.texts.pop(0)
+        try:
+            report = check_lvs(library, design)
+            assert any("no pin label" in m for m in report.mismatches)
+        finally:
+            top.texts.insert(0, removed)
+
+    def test_missing_top_detected(self, chip):
+        _, design, library = chip
+        top = library.struct(design.mapped.name)
+        top.name = "renamed"
+        try:
+            report = check_lvs(library, design)
+            assert any("top structure" in m for m in report.mismatches)
+        finally:
+            top.name = design.mapped.name
+
+
+class TestClockGating:
+    def build_mixed(self):
+        b = ModuleBuilder("mixed")
+        en = b.input("en", 1)
+        d = b.input("d", 8)
+        gated = b.register("gated", 8)
+        gated.next = mux(en, d, gated)  # enable-mux idiom
+        free = b.register("free", 8)
+        free.next = (free + 1).trunc(8)  # always toggling: not gateable
+        b.output("y", gated ^ free)
+        return b.build()
+
+    def test_finds_only_enable_muxes(self):
+        module = self.build_mixed()
+        pdk = get_pdk("edu130")
+        report = analyze_clock_gating(module, pdk.library, pdk.node)
+        assert [c.register for c in report.candidates] == ["gated"]
+        assert report.gated_bits == 8
+        assert report.total_register_bits == 16
+        assert report.coverage == pytest.approx(0.5)
+
+    def test_saving_scales_with_idleness(self):
+        module = self.build_mixed()
+        pdk = get_pdk("edu130")
+        busy = analyze_clock_gating(module, pdk.library, pdk.node,
+                                    enable_probability=0.9)
+        idle = analyze_clock_gating(module, pdk.library, pdk.node,
+                                    enable_probability=0.05)
+        assert idle.saving_fraction > busy.saving_fraction
+        assert idle.clock_power_after_uw < busy.clock_power_after_uw
+        assert "saved" in idle.summary()
+
+    def test_never_worse_than_ungated(self):
+        module = self.build_mixed()
+        pdk = get_pdk("edu130")
+        report = analyze_clock_gating(module, pdk.library, pdk.node,
+                                      enable_probability=1.0)
+        assert report.clock_power_after_uw <= report.clock_power_before_uw
+
+    def test_combinational_module(self):
+        b = ModuleBuilder("comb")
+        a = b.input("a", 4)
+        b.output("y", ~a)
+        pdk = get_pdk("edu130")
+        report = analyze_clock_gating(b.build(), pdk.library, pdk.node)
+        assert report.coverage == 0.0
+        assert report.clock_power_before_uw == 0.0
+
+    def test_probability_validated(self):
+        pdk = get_pdk("edu130")
+        with pytest.raises(ValueError):
+            analyze_clock_gating(self.build_mixed(), pdk.library, pdk.node,
+                                 enable_probability=1.5)

@@ -1,0 +1,191 @@
+"""Tests for the memory generator and the TinyCPU core."""
+
+import pytest
+
+from repro.ip import (
+    AssemblerError,
+    OPCODES,
+    assemble,
+    generate_cpu,
+    make_tinycpu,
+    run_program,
+)
+from repro.pdk import generate_register_file, get_pdk, macro_model, sweep_table
+from repro.sim import Simulator
+from repro.synth import check_equivalence, synthesize
+
+
+class TestMacroModel:
+    def test_bigger_memory_is_bigger(self):
+        node = get_pdk("edu130").node
+        small = macro_model(node, 64, 8)
+        big = macro_model(node, 1024, 32)
+        assert big.area_um2 > small.area_um2
+        assert big.access_time_ps > small.access_time_ps
+        assert big.leakage_nw > small.leakage_nw
+
+    def test_density_improves_with_scaling(self):
+        small_node = get_pdk("edu045").node
+        old_node = get_pdk("edu180").node
+        dense = macro_model(small_node, 256, 32)
+        sparse = macro_model(old_node, 256, 32)
+        assert dense.bit_density_kb_per_mm2 > sparse.bit_density_kb_per_mm2
+
+    def test_cycle_exceeds_access(self):
+        macro = macro_model(get_pdk("edu130").node, 256, 16)
+        assert macro.cycle_time_ps > macro.access_time_ps
+
+    def test_sweep_table(self):
+        rows = sweep_table(get_pdk("edu130").node)
+        assert len(rows) == 4
+        areas = [r.area_um2 for r in rows]
+        assert areas == sorted(areas)
+
+    def test_invalid_config(self):
+        node = get_pdk("edu130").node
+        with pytest.raises(ValueError):
+            macro_model(node, 1, 8)
+
+
+class TestRegisterFile:
+    def test_write_then_read(self):
+        module = generate_register_file(8, 16)
+        sim = Simulator(module)
+        sim.set("wen", 1)
+        for addr in range(8):
+            sim.set("waddr", addr)
+            sim.set("wdata", 100 + addr)
+            sim.step()
+        sim.set("wen", 0)
+        for addr in range(8):
+            sim.set("raddr", addr)
+            assert sim.get("rdata") == 100 + addr
+
+    def test_write_disabled_holds(self):
+        module = generate_register_file(4, 8)
+        sim = Simulator(module)
+        sim.set("wen", 0)
+        sim.set("waddr", 2)
+        sim.set("wdata", 0xFF)
+        sim.step(3)
+        sim.set("raddr", 2)
+        assert sim.get("rdata") == 0
+
+    def test_synthesizes_and_checks(self):
+        module = generate_register_file(4, 4)
+        result = synthesize(module, get_pdk("edu130").library, verify=True,
+                            verify_cycles=40)
+        assert result.equivalence.passed
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            generate_register_file(6, 8)
+        with pytest.raises(ValueError):
+            generate_register_file(8, 0)
+
+
+class TestAssembler:
+    def test_labels_and_comments(self):
+        program = assemble("""
+            LDI 3      ; counter
+        loop:
+            SUB 1
+            JNZ loop
+            HALT
+        """)
+        assert len(program) == 4
+        assert program[2].opcode == OPCODES["JNZ"]
+        assert program[2].operand == 1  # label 'loop'
+
+    def test_hex_literals(self):
+        program = assemble("LDI 0xFF\nHALT")
+        assert program[0].operand == 255
+
+    def test_errors(self):
+        for bad in (
+            "FLY 1",            # unknown mnemonic
+            "LDI",              # missing operand
+            "HALT 3",           # unexpected operand
+            "JMP nowhere",      # undefined label
+            "LDI 300",          # out of range
+            "",                 # empty program
+            "x: x: HALT",       # duplicate label
+        ):
+            with pytest.raises(AssemblerError):
+                assemble(bad)
+
+
+class TestInterpreter:
+    def test_arithmetic_program(self):
+        program = assemble("LDI 10\nADD 5\nSUB 3\nXOR 0xF\nOUT\nHALT")
+        state = run_program(program)
+        assert state["out"] == (10 + 5 - 3) ^ 0xF
+        assert state["halted"]
+
+    def test_loop_terminates(self):
+        program = assemble("""
+            LDI 5
+        again:
+            SUB 1
+            JNZ again
+            OUT
+            HALT
+        """)
+        state = run_program(program)
+        assert state["out"] == 0
+        assert state["halted"]
+
+    def test_shift_ops(self):
+        state = run_program(assemble("LDI 3\nSHL\nSHL\nSHR\nOUT\nHALT"))
+        assert state["out"] == 6
+
+
+class TestCpuRtl:
+    def run_rtl(self, source, max_cycles=500):
+        program = assemble(source)
+        module = generate_cpu(program)
+        sim = Simulator(module)
+        sim.set("run", 1)
+        for _ in range(max_cycles):
+            if sim.get("halted_out"):
+                break
+            sim.step()
+        return sim, run_program(program)
+
+    def test_rtl_matches_interpreter(self):
+        source = """
+            LDI 0
+            ADD 9
+            ADD 9
+            ADD 9
+            OUT
+        spin:
+            SUB 1
+            JNZ spin
+            HALT
+        """
+        sim, reference = self.run_rtl(source)
+        assert sim.get("halted_out") == 1
+        assert sim.get("out") == reference["out"] == 27
+
+    def test_run_gates_execution(self):
+        program = assemble("LDI 1\nOUT\nHALT")
+        sim = Simulator(generate_cpu(program))
+        sim.set("run", 0)
+        sim.step(10)
+        assert sim.get("pc_out") == 0  # frozen without run
+
+    def test_packaged_ip_verifies(self):
+        ip = make_tinycpu()
+        assert ip.verify(400).passed
+        assert ip.params["reference_out"] == 42
+
+    def test_cpu_through_synthesis(self):
+        program = assemble("LDI 2\nSHL\nOUT\nHALT")
+        module = generate_cpu(program)
+        result = synthesize(module, get_pdk("edu130").library)
+        assert check_equivalence(module, result.mapped, cycles=30).passed
+
+    def test_custom_program_ip(self):
+        ip = make_tinycpu("LDI 7\nADD 3\nOUT\nHALT")
+        assert ip.verify(100).passed

@@ -1,0 +1,167 @@
+"""Tests for process nodes, standard-cell libraries and PDK access terms."""
+
+import pytest
+
+from repro.pdk import (
+    Library,
+    get_pdk,
+    list_pdks,
+    make_layer_stack,
+    make_library,
+    scale_node,
+)
+
+
+class TestNodeScaling:
+    def test_reference_values(self):
+        node = scale_node("ref", 130.0, 5)
+        assert node.inv_intrinsic_ps == pytest.approx(18.0)
+        assert node.inv_input_cap_ff == pytest.approx(2.0)
+        assert node.row_height_um == pytest.approx(2.6)
+
+    def test_smaller_is_faster(self):
+        big = scale_node("a", 180.0, 4)
+        small = scale_node("b", 45.0, 7)
+        assert small.fo4_delay_ps < big.fo4_delay_ps
+
+    def test_smaller_is_denser(self):
+        big = scale_node("a", 180.0, 4)
+        small = scale_node("b", 45.0, 7)
+        assert small.site_width_um < big.site_width_um
+        assert small.row_height_um < big.row_height_um
+
+    def test_smaller_is_leakier(self):
+        big = scale_node("a", 180.0, 4)
+        small = scale_node("b", 45.0, 7)
+        assert small.inv_leakage_nw > big.inv_leakage_nw
+
+    def test_smaller_has_more_resistive_wires(self):
+        big = scale_node("a", 180.0, 4)
+        small = scale_node("b", 45.0, 7)
+        assert small.wire_res_ohm_per_um > big.wire_res_ohm_per_um
+
+    def test_voltage_bounded(self):
+        for nm in (250, 180, 130, 90, 65, 45, 28, 16, 7):
+            node = scale_node("n", float(nm), 5)
+            assert 0.7 <= node.voltage_v <= 1.8
+
+    def test_invalid_feature_rejected(self):
+        with pytest.raises(ValueError):
+            scale_node("bad", -1.0, 4)
+
+
+class TestLibrary:
+    @pytest.fixture(scope="class")
+    def lib(self) -> Library:
+        return make_library(scale_node("t", 130.0, 5))
+
+    def test_expected_kinds_present(self, lib):
+        kinds = lib.kinds()
+        for kind in ("INV", "NAND2", "NOR2", "XOR2", "AOI21", "OAI21",
+                     "MUX2", "DFF", "TIE0", "TIE1", "BUF", "NAND3"):
+            assert kind in kinds
+
+    def test_drive_strengths(self, lib):
+        assert lib.drives_for("INV") == [1, 2, 4]
+        assert lib.drives_for("TIE0") == [1]
+
+    def test_stronger_variant_has_less_resistance(self, lib):
+        x1 = lib.by_kind("NAND2", 1)
+        x2 = lib.stronger_variant(x1)
+        assert x2.drive == 2
+        assert x2.resistance_kohm < x1.resistance_kohm
+        assert x2.area_um2 > x1.area_um2
+
+    def test_top_drive_has_no_stronger_variant(self, lib):
+        x4 = lib.by_kind("INV", 4)
+        assert lib.stronger_variant(x4) is None
+
+    def test_cell_functions(self, lib):
+        nand = lib.by_kind("NAND2")
+        assert [nand.function(a, b) for a, b in
+                ((0, 0), (0, 1), (1, 0), (1, 1))] == [1, 1, 1, 0]
+        aoi = lib.by_kind("AOI21")
+        assert aoi.function(1, 1, 0) == 0
+        assert aoi.function(0, 0, 0) == 1
+        mux = lib.by_kind("MUX2")
+        assert mux.function(0, 1, 1) == 1  # s=1 selects b
+        assert mux.function(0, 1, 0) == 0
+
+    def test_delay_increases_with_load(self, lib):
+        inv = lib.by_kind("INV")
+        assert inv.delay_ps(10.0) > inv.delay_ps(1.0)
+
+    def test_dff_is_sequential(self, lib):
+        assert lib.dff.is_sequential
+        assert lib.dff.output == "q"
+
+    def test_missing_cell_raises(self, lib):
+        with pytest.raises(KeyError):
+            lib.by_kind("NAND9")
+
+    def test_complex_cells_smaller_than_composition(self, lib):
+        # The area argument for AOI cells: one AOI21 beats AND2+NOR2.
+        aoi = lib.by_kind("AOI21")
+        composed = lib.by_kind("AND2").area_um2 + lib.by_kind("NOR2").area_um2
+        assert aoi.area_um2 < composed
+
+
+class TestLayerStack:
+    def test_metal_count_matches_node(self):
+        node = scale_node("t", 130.0, 5)
+        stack = make_layer_stack(node)
+        mets = [l for l in stack.layers if l.name.startswith("met")]
+        assert len(mets) == 5
+
+    def test_upper_metals_are_fatter(self):
+        stack = make_layer_stack(scale_node("t", 130.0, 5))
+        assert stack.by_name("met5").min_width_um > stack.by_name("met1").min_width_um
+
+    def test_unique_gds_numbers(self):
+        stack = make_layer_stack(scale_node("t", 130.0, 5))
+        numbers = [(l.gds_layer, l.gds_datatype) for l in stack.layers]
+        assert len(numbers) == len(set(numbers))
+
+    def test_lookup(self):
+        stack = make_layer_stack(scale_node("t", 130.0, 4))
+        assert stack.by_name("poly").gds_layer == 2
+        with pytest.raises(KeyError):
+            stack.by_name("met9")
+
+
+class TestBuiltinPdks:
+    def test_all_three_available(self):
+        assert list_pdks() == ["edu045", "edu130", "edu180"]
+
+    def test_cached(self):
+        assert get_pdk("edu130") is get_pdk("edu130")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_pdk("sky130")
+
+    def test_open_nodes_have_no_nda(self):
+        for name in ("edu130", "edu180"):
+            pdk = get_pdk(name)
+            assert pdk.is_open
+            assert not pdk.terms.nda_required
+            assert pdk.terms.min_prior_tapeouts == 0
+
+    def test_commercial_node_is_gated(self):
+        pdk = get_pdk("edu045")
+        assert not pdk.is_open
+        assert pdk.terms.nda_required
+        assert pdk.terms.export_controlled
+        assert pdk.terms.min_prior_tapeouts > 0
+
+    def test_advanced_node_costs_more(self):
+        assert (
+            get_pdk("edu045").terms.mpw_cost_per_mm2_eur
+            > get_pdk("edu130").terms.mpw_cost_per_mm2_eur
+            > get_pdk("edu180").terms.mpw_cost_per_mm2_eur
+        )
+
+    def test_turnaround_exceeds_a_teaching_term(self):
+        # Section III-C: turnaround exceeds typical course lengths (~90 days).
+        for name in list_pdks():
+            assert get_pdk(name).terms.total_turnaround_days > 90

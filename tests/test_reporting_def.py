@@ -1,0 +1,91 @@
+"""Tests for flow reports and the DEF writer/reader."""
+
+import pytest
+
+from repro.core import (
+    OPEN,
+    full_report,
+    physical_report,
+    power_report,
+    run_flow,
+    synthesis_report,
+    timing_report,
+)
+from repro.hdl import ModuleBuilder, mux
+from repro.layout import from_physical, read_def, write_def
+from repro.pdk import get_pdk
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    b = ModuleBuilder("reportee")
+    en = b.input("en", 1)
+    count = b.register("count", 6)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    return run_flow(b.build(), get_pdk("edu130"), preset=OPEN)
+
+
+class TestReports:
+    def test_synthesis_report(self, flow_result):
+        text = synthesis_report(flow_result)
+        assert "Synthesis report" in text
+        assert "optimized gates" in text
+        assert "EQUIVALENT" in text
+
+    def test_timing_report_contains_path(self, flow_result):
+        text = timing_report(flow_result)
+        assert "critical path" in text
+        assert "fmax" in text
+        assert "MET" in text or "VIOLATED" in text
+
+    def test_power_report(self, flow_result):
+        text = power_report(flow_result)
+        assert "dynamic" in text and "leakage" in text
+
+    def test_physical_report(self, flow_result):
+        text = physical_report(flow_result)
+        assert "die_area_mm2" in text
+        assert "DRC" in text
+
+    def test_full_report_bundles_everything(self, flow_result):
+        text = full_report(flow_result)
+        for heading in ("Flow summary", "Synthesis report", "Timing report",
+                        "Power report", "Physical report"):
+            assert heading in text
+        # Every flow step appears with a runtime.
+        for step in flow_result.steps:
+            assert step.step.value in text
+
+
+class TestDef:
+    def test_roundtrip(self, flow_result):
+        original = from_physical(flow_result.physical)
+        text = write_def(original)
+        assert text.startswith("VERSION 5.8")
+        parsed = read_def(text)
+        assert parsed.name == original.name
+        assert parsed.die == original.die
+        assert len(parsed.components) == len(original.components)
+        assert len(parsed.pins) == len(original.pins)
+        assert parsed.nets == original.nets
+        for a, b in zip(original.components, parsed.components):
+            assert (a.name, a.cell, a.x, a.y) == (b.name, b.cell, b.x, b.y)
+        for a, b in zip(original.pins, parsed.pins):
+            assert (a.name, a.net, a.direction, a.x, a.y) == (
+                b.name, b.net, b.direction, b.x, b.y
+            )
+
+    def test_pins_have_directions(self, flow_result):
+        design = from_physical(flow_result.physical)
+        directions = {p.direction for p in design.pins}
+        assert directions == {"INPUT", "OUTPUT"}
+
+    def test_components_match_placement(self, flow_result):
+        design = from_physical(flow_result.physical)
+        assert len(design.components) == len(
+            flow_result.physical.placement.cells
+        )
+        for comp in design.components:
+            assert comp.status == "PLACED"
+            assert 0 <= comp.x <= design.die[2]

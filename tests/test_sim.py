@@ -1,0 +1,184 @@
+"""Tests for the RTL simulator, elaboration, VCD and testbench harness."""
+
+import pytest
+
+from repro.hdl import HdlError, ModuleBuilder, cat, elaborate, mux, to_verilog
+from repro.hdl.verilog import count_rtl_lines
+from repro.sim import Simulator, Testbench, VcdWriter
+
+
+def build_accumulator(width=8):
+    b = ModuleBuilder("accum")
+    data = b.input("data", width)
+    load = b.input("load", 1)
+    acc = b.register("acc", width)
+    acc.next = mux(load, data, (acc + data).trunc(width))
+    b.output("q", acc)
+    return b.build()
+
+
+class TestSimulator:
+    def test_accumulator(self):
+        sim = Simulator(build_accumulator())
+        sim.set("data", 5)
+        sim.set("load", 1)
+        sim.step()
+        sim.set("load", 0)
+        sim.step(3)
+        assert sim.get("q") == 20
+
+    def test_set_rejects_non_input(self):
+        sim = Simulator(build_accumulator())
+        with pytest.raises(HdlError):
+            sim.set("q", 0)
+
+    def test_set_rejects_overflow(self):
+        sim = Simulator(build_accumulator())
+        with pytest.raises(HdlError):
+            sim.set("data", 256)
+
+    def test_unknown_signal(self):
+        sim = Simulator(build_accumulator())
+        with pytest.raises(KeyError):
+            sim.get("nope")
+
+    def test_reset_restores_registers(self):
+        sim = Simulator(build_accumulator())
+        sim.set("data", 7)
+        sim.set("load", 1)
+        sim.step()
+        sim.reset()
+        assert sim.get("q") == 0
+
+    def test_cycle_counter(self):
+        sim = Simulator(build_accumulator())
+        sim.step(7)
+        assert sim.cycle == 7
+
+    def test_run_vectors(self):
+        sim = Simulator(build_accumulator())
+        records = sim.run_vectors(
+            [{"data": 1, "load": 1}, {"data": 2, "load": 0}, {"data": 0, "load": 0}],
+            watch=["q"],
+        )
+        assert [r["q"] for r in records] == [0, 1, 3]
+
+
+class TestHierarchySim:
+    def build_two_stage(self):
+        stage_b = ModuleBuilder("stage")
+        d = stage_b.input("d", 8)
+        q = stage_b.register("q", 8)
+        q.next = d
+        stage_b.output("out", q)
+        stage = stage_b.build()
+
+        b = ModuleBuilder("pipe2")
+        d = b.input("d", 8)
+        s0 = b.instance("s0", stage, d=d)
+        s1 = b.instance("s1", stage, d=s0["out"])
+        b.output("q", s1["out"])
+        return b.build()
+
+    def test_two_stage_delay(self):
+        sim = Simulator(self.build_two_stage())
+        sim.set("d", 0xAB)
+        sim.step(2)
+        assert sim.get("q") == 0xAB
+
+    def test_hierarchical_names_visible(self):
+        sim = Simulator(self.build_two_stage())
+        assert "s0.q" in sim.peek_all()
+
+    def test_elaborate_flattens(self):
+        flat = elaborate(self.build_two_stage())
+        assert not flat.instances
+        assert len(flat.registers) == 2
+
+
+class TestVcd:
+    def test_vcd_renders_header_and_changes(self):
+        sim = Simulator(build_accumulator())
+        vcd = VcdWriter(signals=["q", "data"])
+        sim.attach_tracer(vcd)
+        sim.set("data", 3)
+        sim.set("load", 1)
+        sim.step(2)
+        text = vcd.render()
+        assert "$timescale" in text
+        assert "$var wire 8" in text
+        assert "#1" in text
+
+    def test_vcd_save(self, tmp_path):
+        sim = Simulator(build_accumulator())
+        vcd = VcdWriter()
+        sim.attach_tracer(vcd)
+        sim.step(2)
+        path = tmp_path / "wave.vcd"
+        vcd.save(str(path))
+        assert path.read_text().startswith("$date")
+
+
+class TestTestbench:
+    def test_passing_model(self):
+        def model(inputs, state):
+            acc = state.get("acc", 0)
+            expected = {"q": acc}
+            if inputs["load"]:
+                state["acc"] = inputs["data"]
+            else:
+                state["acc"] = (acc + inputs["data"]) % 256
+            return expected
+
+        tb = Testbench(build_accumulator(), model, seed=7)
+        result = tb.run_random(cycles=100)
+        assert result.passed, result.mismatches[:3]
+        assert "PASS" in result.summary()
+
+    def test_failing_model_reports_mismatches(self):
+        def wrong_model(inputs, state):
+            return {"q": 123}
+
+        tb = Testbench(build_accumulator(), wrong_model, seed=7)
+        result = tb.run_random(cycles=10)
+        assert not result.passed
+        assert result.mismatches
+        assert "FAIL" in result.summary()
+
+
+class TestVerilogEmission:
+    def test_counter_verilog_shape(self):
+        b = ModuleBuilder("counter")
+        en = b.input("en", 1)
+        count = b.register("count", 8)
+        count.next = mux(en, count + 1, count)
+        b.output("q", count)
+        text = to_verilog(b.build())
+        assert "module counter" in text
+        assert "always @(posedge clk)" in text
+        assert "assign q" in text
+        assert text.count("endmodule") == 1
+
+    def test_hierarchical_emission_orders_children_first(self):
+        inner_b = ModuleBuilder("leaf")
+        a = inner_b.input("a", 2)
+        inner_b.output("y", ~a)
+        leaf = inner_b.build()
+        b = ModuleBuilder("top")
+        x = b.input("x", 2)
+        outs = b.instance("u0", leaf, a=x)
+        b.output("y", outs["y"])
+        text = to_verilog(b.build())
+        assert text.index("module leaf") < text.index("module top")
+        assert "leaf u0" in text
+
+    def test_count_rtl_lines(self):
+        assert count_rtl_lines(build_accumulator()) > 5
+
+    def test_cat_and_slice_emission(self):
+        b = ModuleBuilder("m")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        b.output("y", cat(a[3:0], c[7]))
+        text = to_verilog(b.build())
+        assert "{" in text and "[3:0]" in text and "[7]" in text

@@ -1,0 +1,177 @@
+"""Tests for static timing analysis and power analysis."""
+
+import math
+
+import pytest
+
+from repro.hdl import ModuleBuilder, mux
+from repro.pdk import get_pdk
+from repro.power import PowerAnalyzer
+from repro.power.engine import _output_probability
+from repro.sta import TimingAnalyzer
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def pdk():
+    return get_pdk("edu130")
+
+
+@pytest.fixture(scope="module")
+def counter_mapped(pdk):
+    b = ModuleBuilder("counter")
+    en = b.input("en", 1)
+    count = b.register("count", 8)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    return synthesize(b.build(), pdk.library).mapped
+
+
+@pytest.fixture(scope="module")
+def adder_mapped(pdk):
+    b = ModuleBuilder("adder16")
+    a = b.input("a", 16)
+    c = b.input("c", 16)
+    b.output("y", a + c)
+    return synthesize(b.build(), pdk.library).mapped
+
+
+class TestTimingAnalyzer:
+    def test_loose_clock_meets(self, counter_mapped, pdk):
+        sta = TimingAnalyzer(counter_mapped, pdk.node)
+        report = sta.analyze(clock_period_ps=100_000.0)
+        assert report.met
+        assert report.wns_ps > 0
+        assert report.tns_ps == 0
+
+    def test_tight_clock_violates(self, counter_mapped, pdk):
+        sta = TimingAnalyzer(counter_mapped, pdk.node)
+        report = sta.analyze(clock_period_ps=1.0)
+        assert not report.met
+        assert report.wns_ps < 0
+        assert report.tns_ps < 0
+
+    def test_minimum_period_consistent(self, counter_mapped, pdk):
+        sta = TimingAnalyzer(counter_mapped, pdk.node)
+        tmin = sta.minimum_period_ps()
+        assert tmin > 0
+        assert sta.analyze(tmin + 1.0).wns_ps >= 0
+        assert sta.analyze(tmin - 10.0).wns_ps < 0
+
+    def test_critical_path_nonempty_and_monotone(self, adder_mapped, pdk):
+        sta = TimingAnalyzer(adder_mapped, pdk.node)
+        report = sta.analyze(1_000.0)
+        path = report.critical_path
+        assert len(path) >= 2
+        arrivals = [p.arrival_ps for p in path]
+        assert arrivals == sorted(arrivals)
+
+    def test_wider_adder_is_slower(self, pdk):
+        def min_period(width):
+            b = ModuleBuilder(f"add{width}")
+            a = b.input("a", width)
+            c = b.input("c", width)
+            b.output("y", a + c)
+            mapped = synthesize(b.build(), pdk.library).mapped
+            return TimingAnalyzer(mapped, pdk.node).minimum_period_ps()
+
+        assert min_period(16) > min_period(4)
+
+    def test_smaller_node_is_faster(self, adder_mapped):
+        # Same RTL mapped on each node: delay tracks feature size.
+        b = ModuleBuilder("add8")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        b.output("y", a + c)
+        module = b.build()
+        periods = {}
+        for name in ("edu180", "edu130", "edu045"):
+            pdk = get_pdk(name)
+            mapped = synthesize(module, pdk.library).mapped
+            periods[name] = TimingAnalyzer(mapped, pdk.node).minimum_period_ps()
+        assert periods["edu045"] < periods["edu130"] < periods["edu180"]
+
+    def test_skew_shifts_slack(self, counter_mapped, pdk):
+        sta = TimingAnalyzer(counter_mapped, pdk.node)
+        base = sta.analyze(2_000.0)
+        # Giving every capture flop extra useful skew loosens setup.
+        names = {c.name: 50.0 for c in counter_mapped.seq_cells}
+        skewed = TimingAnalyzer(counter_mapped, pdk.node, skew_ps=names)
+        report = skewed.analyze(2_000.0)
+        # Launch also shifts, so slack change is bounded by the skew.
+        assert abs(report.wns_ps - base.wns_ps) <= 50.0 + 1e-6
+
+    def test_routed_lengths_slow_the_design(self, adder_mapped, pdk):
+        base = TimingAnalyzer(adder_mapped, pdk.node, wire_lengths_um={})
+        nets = {n: 500.0 for n in adder_mapped.nets()}
+        loaded = TimingAnalyzer(adder_mapped, pdk.node, wire_lengths_um=nets)
+        assert loaded.minimum_period_ps() > base.minimum_period_ps()
+
+    def test_fmax_positive(self, counter_mapped, pdk):
+        sta = TimingAnalyzer(counter_mapped, pdk.node)
+        report = sta.analyze(5_000.0)
+        assert 0 < report.fmax_mhz < math.inf
+        assert "MET" in report.summary() or "VIOLATED" in report.summary()
+
+    def test_hold_met_with_zero_skew(self, counter_mapped, pdk):
+        report = TimingAnalyzer(counter_mapped, pdk.node).analyze(10_000.0)
+        assert report.worst_hold_slack_ps >= 0
+
+
+class TestPowerAnalyzer:
+    def test_power_scales_with_frequency(self, adder_mapped, pdk):
+        pa = PowerAnalyzer(adder_mapped, pdk.node)
+        p100 = pa.analyze(100.0)
+        p200 = pa.analyze(200.0)
+        assert p200.dynamic_uw == pytest.approx(2 * p100.dynamic_uw, rel=1e-6)
+        assert p200.leakage_uw == p100.leakage_uw
+
+    def test_idle_inputs_reduce_dynamic_power(self, adder_mapped, pdk):
+        active = PowerAnalyzer(adder_mapped, pdk.node).analyze(100.0)
+        quiet = PowerAnalyzer(
+            adder_mapped, pdk.node,
+            input_probabilities={"a": 0.01, "c": 0.01},
+        ).analyze(100.0)
+        assert quiet.dynamic_uw < active.dynamic_uw
+
+    def test_leakage_fraction_grows_on_advanced_node(self):
+        b = ModuleBuilder("add8")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        b.output("y", a + c)
+        module = b.build()
+        fractions = {}
+        for name in ("edu180", "edu045"):
+            pdk = get_pdk(name)
+            mapped = synthesize(module, pdk.library).mapped
+            fractions[name] = PowerAnalyzer(mapped, pdk.node).analyze(100.0).leakage_fraction
+        assert fractions["edu045"] > fractions["edu180"]
+
+    def test_report_totals(self, counter_mapped, pdk):
+        report = PowerAnalyzer(counter_mapped, pdk.node).analyze(50.0)
+        assert report.total_uw == pytest.approx(
+            report.dynamic_uw + report.leakage_uw
+        )
+        assert "uW" in report.summary()
+
+    def test_probabilities_bounded(self, adder_mapped, pdk):
+        pa = PowerAnalyzer(adder_mapped, pdk.node)
+        for p in pa.signal_probabilities().values():
+            assert 0.0 <= p <= 1.0
+
+
+class TestOutputProbability:
+    def test_and_gate(self):
+        p = _output_probability(lambda a, b: a & b, [0.5, 0.5])
+        assert p == pytest.approx(0.25)
+
+    def test_inverter(self):
+        p = _output_probability(lambda a: a ^ 1, [0.3])
+        assert p == pytest.approx(0.7)
+
+    def test_constant(self):
+        assert _output_probability(lambda: 1, []) == 1.0
+
+    def test_xor_uniform(self):
+        p = _output_probability(lambda a, b: a ^ b, [0.5, 0.5])
+        assert p == pytest.approx(0.5)
