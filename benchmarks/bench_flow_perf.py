@@ -11,7 +11,7 @@ from conftest import build_alu_design, build_counter, build_mac_pipe
 from repro.core import OPEN, run_flow
 from repro.layout import build_chip_gds, write_gds
 from repro.pdk import get_pdk
-from repro.pnr import implement
+from repro.pnr import implement, make_floorplan, place
 from repro.sim import Simulator
 from repro.synth import lower, optimize, synthesize
 
@@ -37,6 +37,19 @@ def test_perf_synthesis(benchmark):
     module = build_mac_pipe()
     result = benchmark(synthesize, module, library)
     assert result.mapped.cells
+
+
+def test_perf_detailed_place(benchmark):
+    """Detailed placement with the incremental-HPWL swap kernel."""
+    pdk = get_pdk("edu130")
+    mapped = synthesize(build_alu_design(), pdk.library).mapped
+    floorplan = make_floorplan(mapped, pdk.node)
+
+    def run():
+        return place(mapped, floorplan, detailed_passes=2, seed=1)
+
+    placement = benchmark(run)
+    assert placement.hpwl_um > 0
 
 
 def test_perf_backend(benchmark):

@@ -4,10 +4,12 @@ from .cts import ClockBuffer, ClockTree, synthesize_clock_tree
 from .floorplan import Floorplan, IoPin, Row, make_floorplan
 from .physical import PhysicalDesign, implement
 from .placement import (
+    IncrementalHpwl,
     PlacedCell,
     Placement,
     hpwl,
     net_pin_positions,
+    net_pin_templates,
     place,
     random_place,
 )
@@ -25,6 +27,7 @@ __all__ = [
     "ClockTree",
     "Floorplan",
     "GridRouter",
+    "IncrementalHpwl",
     "IoPin",
     "PhysicalDesign",
     "PlacedCell",
@@ -38,6 +41,7 @@ __all__ = [
     "implement",
     "make_floorplan",
     "net_pin_positions",
+    "net_pin_templates",
     "place",
     "random_place",
     "route",

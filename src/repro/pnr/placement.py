@@ -58,6 +58,36 @@ class Placement:
         return (cell.cx, cell.cy)
 
 
+def net_pin_templates(
+    mapped: MappedNetlist, floorplan: Floorplan
+) -> dict[int, list]:
+    """Per-net pin template, driver first.
+
+    Each entry is either a cell name (``str`` — the pin tracks that cell's
+    centre) or a fixed ``(x, y)`` tuple (IO pins on the die boundary).
+    :func:`net_pin_positions` resolves templates against one position map;
+    :class:`IncrementalHpwl` re-resolves only the nets a move touches.
+    """
+    io_position = floorplan.pin_positions()
+    templates: dict[int, list] = {}
+
+    driver = mapped.net_driver()
+    loads = mapped.net_loads()
+    nets = set(driver) | set(loads) | set(io_position)
+    for net in nets:
+        entries: list = []
+        if net in driver:
+            entries.append(driver[net].name)
+        elif net in io_position:
+            entries.append(io_position[net])
+        for sink, _pin in loads.get(net, ()):
+            entries.append(sink.name)
+        if net in io_position and net in driver:
+            entries.append(io_position[net])
+        templates[net] = entries
+    return templates
+
+
 def net_pin_positions(
     mapped: MappedNetlist,
     cell_xy: dict[str, tuple[float, float]],
@@ -68,24 +98,13 @@ def net_pin_positions(
     Cell pins are approximated at the cell centre (abstract cells have no
     internal pin geometry); IO pins sit at their boundary positions.
     """
-    io_position = floorplan.pin_positions()
-    pins: dict[int, list[tuple[float, float]]] = {}
-
-    driver = mapped.net_driver()
-    loads = mapped.net_loads()
-    nets = set(driver) | set(loads) | set(io_position)
-    for net in nets:
-        plist: list[tuple[float, float]] = []
-        if net in driver:
-            plist.append(cell_xy[driver[net].name])
-        elif net in io_position:
-            plist.append(io_position[net])
-        for sink, _pin in loads.get(net, ()):
-            plist.append(cell_xy[sink.name])
-        if net in io_position and net in driver:
-            plist.append(io_position[net])
-        pins[net] = plist
-    return pins
+    return {
+        net: [
+            cell_xy[entry] if isinstance(entry, str) else entry
+            for entry in entries
+        ]
+        for net, entries in net_pin_templates(mapped, floorplan).items()
+    }
 
 
 def hpwl(pins_by_net: dict[int, list[tuple[float, float]]]) -> float:
@@ -217,25 +236,192 @@ def _legalize(
     return placed
 
 
+class IncrementalHpwl:
+    """Per-net bounding-box HPWL cache with O(nets touched) updates.
+
+    The classic detailed-placement bookkeeping: net pin templates are
+    resolved once, each net's half-perimeter cost is cached, and a
+    cell→nets incidence index maps a candidate move to the only nets
+    whose cost can change.  A candidate swap recomputes just those nets'
+    costs — O(pins on the affected nets) instead of O(all pins) — and is
+    either committed (cache refreshed) or reverted.
+
+    Bit-exactness contract: per-net costs use exactly the same float
+    operations (and pin order) as :func:`hpwl`, and totals are summed in
+    the same net order as :func:`net_pin_positions` builds its dict.  A
+    cached cost is always bitwise equal to a fresh recompute at the same
+    positions, so :meth:`total`/:meth:`trial_total` reproduce a
+    from-scratch ``hpwl(net_pin_positions(...))`` bit for bit — greedy
+    accept/reject decisions (including exact ties) match the naive
+    implementation float-for-float.
+    """
+
+    def __init__(
+        self,
+        mapped: MappedNetlist,
+        cell_xy: dict[str, tuple[float, float]],
+        floorplan: Floorplan,
+    ):
+        self.templates = net_pin_templates(mapped, floorplan)
+        self.xy = dict(cell_xy)
+        self.cost: dict[int, float] = {}
+        self._pending: dict[int, float] = {}
+        # Per multi-pin net: unique member cell names plus the bounding
+        # box of its fixed IO pins.  max/min are exact and insensitive to
+        # order and multiplicity, so deduplication and pre-folding the
+        # fixed pins leave every cost bit-identical to hpwl()'s.
+        self._members: dict[
+            int, tuple[tuple[str, ...], tuple[float, float, float, float] | None]
+        ] = {}
+        incidence: dict[str, set[int]] = {}
+        for net, entries in self.templates.items():
+            if len(entries) < 2:
+                self.cost[net] = 0.0  # single-pin nets cost 0 under any move
+                continue
+            names: list[str] = []
+            seen: set[str] = set()
+            fixed: list[float] | None = None
+            for entry in entries:
+                if isinstance(entry, str):
+                    if entry not in seen:
+                        seen.add(entry)
+                        names.append(entry)
+                else:
+                    x, y = entry
+                    if fixed is None:
+                        fixed = [x, x, y, y]
+                    else:
+                        if x < fixed[0]:
+                            fixed[0] = x
+                        elif x > fixed[1]:
+                            fixed[1] = x
+                        if y < fixed[2]:
+                            fixed[2] = y
+                        elif y > fixed[3]:
+                            fixed[3] = y
+            self._members[net] = (
+                tuple(names), tuple(fixed) if fixed is not None else None
+            )
+            self.cost[net] = self._net_cost(net)
+            for name in names:
+                incidence.setdefault(name, set()).add(net)
+        self.cell_nets: dict[str, tuple[int, ...]] = {
+            name: tuple(sorted(nets)) for name, nets in incidence.items()
+        }
+
+    def _net_cost(self, net: int) -> float:
+        members = self._members.get(net)
+        if members is None:
+            return 0.0
+        names, fixed = members
+        xy = self.xy
+        if fixed is None:
+            min_x, min_y = max_x, max_y = xy[names[0]]
+        else:
+            min_x, max_x, min_y, max_y = fixed
+        for name in names:
+            x, y = xy[name]
+            if x < min_x:
+                min_x = x
+            elif x > max_x:
+                max_x = x
+            if y < min_y:
+                min_y = y
+            elif y > max_y:
+                max_y = y
+        return (max_x - min_x) + (max_y - min_y)
+
+    def affected(self, a: str, b: str) -> tuple[int, ...]:
+        """Nets whose cost can change when cells ``a`` and ``b`` move."""
+        nets_a = self.cell_nets.get(a, ())
+        nets_b = self.cell_nets.get(b, ())
+        if not nets_b:
+            return nets_a
+        if not nets_a:
+            return nets_b
+        seen = set(nets_a)
+        extra = [n for n in nets_b if n not in seen]
+        if not extra:
+            return nets_a
+        return nets_a + tuple(extra)
+
+    def move(self, name: str, position: tuple[float, float]) -> None:
+        """Update one cell's position (cost caches are refreshed on commit)."""
+        self.xy[name] = position
+
+    def cached(self, nets: tuple[int, ...]) -> float:
+        """Cached cost sum over ``nets``."""
+        cost = self.cost
+        return sum(cost[n] for n in nets)
+
+    def recompute(self, nets: tuple[int, ...]) -> float:
+        """Fresh cost sum over ``nets`` at current positions (kept
+        pending until :meth:`commit`)."""
+        pending = self._pending
+        pending.clear()
+        total = 0.0
+        for net in nets:
+            pending[net] = value = self._net_cost(net)
+            total += value
+        return total
+
+    def trial_total(self, nets: tuple[int, ...]) -> float:
+        """Total HPWL with ``nets`` recomputed at the current positions.
+
+        Only ``nets`` do per-pin work; the rest reuse cached costs.  The
+        sum runs over every net in template order so the result is
+        bit-identical to the naive full recompute.
+        """
+        self.recompute(nets)
+        return self.pending_total()
+
+    def pending_total(self) -> float:
+        """Template-order total mixing pending values over cached ones."""
+        pending = self._pending
+        total = 0.0
+        cost = self.cost
+        for net in self.templates:
+            value = pending.get(net)
+            total += cost[net] if value is None else value
+        return total
+
+    def commit(self, nets: tuple[int, ...]) -> None:
+        """Adopt the last :meth:`trial_total` values for ``nets``."""
+        pending = self._pending
+        for net in nets:
+            self.cost[net] = pending[net]
+
+    def total(self) -> float:
+        """Total HPWL; bit-identical to ``hpwl(net_pin_positions(...))``."""
+        return sum(self.cost[net] for net in self.templates)
+
+
 def _swap_pass(
     mapped: MappedNetlist,
     placed: dict[str, PlacedCell],
     floorplan: Floorplan,
     passes: int,
     seed: int,
-) -> None:
-    """Greedy equal-width swap refinement (in place)."""
+) -> float:
+    """Greedy equal-width swap refinement (in place, incremental cost).
+
+    Returns the final total HPWL (bit-identical to a full recompute).
+    """
     rng = random.Random(seed)
     names = list(placed)
     by_width: dict[float, list[str]] = {}
     for name in names:
         by_width.setdefault(round(placed[name].width, 4), []).append(name)
 
-    def current_hpwl() -> float:
-        xy = {n: (c.cx, c.cy) for n, c in placed.items()}
-        return hpwl(net_pin_positions(mapped, xy, floorplan))
-
-    cost = current_hpwl()
+    state = IncrementalHpwl(
+        mapped, {n: (c.cx, c.cy) for n, c in placed.items()}, floorplan
+    )
+    # Deltas larger than this are decided by sign alone; anything closer
+    # to a tie falls back to full template-order sums so accept/reject
+    # matches the naive full-recompute comparison float-for-float.
+    # Summation noise is bounded by ~n_nets * eps * total, orders of
+    # magnitude below this threshold.
+    tie_band = 1e-9 * (1.0 + state.total())
     for _ in range(passes):
         for group in by_width.values():
             if len(group) < 2:
@@ -243,14 +429,27 @@ def _swap_pass(
             for _ in range(len(group)):
                 a, b = rng.sample(group, 2)
                 ca, cb = placed[a], placed[b]
+                nets = state.affected(a, b)
+                old_part = state.cached(nets)
                 ca.x, cb.x = cb.x, ca.x
                 ca.y, cb.y = cb.y, ca.y
-                new_cost = current_hpwl()
-                if new_cost < cost:
-                    cost = new_cost
+                state.move(a, (ca.cx, ca.cy))
+                state.move(b, (cb.cx, cb.cy))
+                delta = state.recompute(nets) - old_part
+                if delta <= -tie_band:
+                    accept = True
+                elif delta >= tie_band:
+                    accept = False
+                else:
+                    accept = state.pending_total() < state.total()
+                if accept:
+                    state.commit(nets)
                 else:  # revert
                     ca.x, cb.x = cb.x, ca.x
                     ca.y, cb.y = cb.y, ca.y
+                    state.move(a, (ca.cx, ca.cy))
+                    state.move(b, (cb.cx, cb.cy))
+    return state.total()
 
 
 def place(
@@ -265,9 +464,10 @@ def place(
     desired = _quadratic_positions(mapped, floorplan)
     placed = _legalize(mapped, floorplan, desired)
     if detailed_passes > 0:
-        _swap_pass(mapped, placed, floorplan, detailed_passes, seed)
-    xy = {n: (c.cx, c.cy) for n, c in placed.items()}
-    total = hpwl(net_pin_positions(mapped, xy, floorplan))
+        total = _swap_pass(mapped, placed, floorplan, detailed_passes, seed)
+    else:
+        xy = {n: (c.cx, c.cy) for n, c in placed.items()}
+        total = hpwl(net_pin_positions(mapped, xy, floorplan))
     return Placement(placed, floorplan, round(total, 3))
 
 

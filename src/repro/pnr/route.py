@@ -86,6 +86,11 @@ class GridRouter:
         # usage[(col, row, layer)] -> number of nets using the cell
         self.usage: dict[tuple[int, int, int], int] = {}
         self.history: dict[tuple[int, int, int], float] = {}
+        # Pin positions per net, resolved once against the placement; the
+        # netlist connectivity behind them is memoized on MappedNetlist,
+        # so this costs one template resolution, not an index rebuild.
+        xy = {name: (c.cx, c.cy) for name, c in placement.cells.items()}
+        self.pins_by_net = net_pin_positions(mapped, xy, placement.floorplan)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -204,12 +209,10 @@ class GridRouter:
         )
 
     def route(self, max_iterations: int = 3, rip_up: bool = True) -> RoutingResult:
-        xy = {name: (c.cx, c.cy) for name, c in self.placement.cells.items()}
-        pins_by_net = net_pin_positions(
-            self.mapped, xy, self.placement.floorplan
-        )
         multi = {
-            net: pins for net, pins in pins_by_net.items() if len(pins) >= 2
+            net: pins
+            for net, pins in self.pins_by_net.items()
+            if len(pins) >= 2
         }
 
         routed: dict[int, RoutedNet] = {}

@@ -34,6 +34,7 @@ class Simulator:
             sig.name: sig for sig in self.module.signals
         }
         self._order = self.module.comb_order()
+        self._inputs = frozenset(self.module.inputs)
         self._values: dict[Signal, int] = {
             sig: 0 for sig in self.module.signals
         }
@@ -52,18 +53,37 @@ class Simulator:
                 f"{sorted(self._by_name)[:10]}..."
             ) from None
 
-    def set(self, name: str, value: int) -> None:
-        """Drive an input port; takes effect at the next evaluation."""
+    def _check_input(self, name: str, value: int) -> Signal:
         sig = self._signal(name)
-        if sig not in set(self.module.inputs):
+        if sig not in self._inputs:
             raise HdlError(f"signal {name!r} is not an input port")
         if not 0 <= value <= sig.mask:
             raise HdlError(
                 f"value {value} does not fit input {name!r} "
                 f"({sig.width} bits)"
             )
-        self._values[sig] = value
+        return sig
+
+    def set(self, name: str, value: int) -> None:
+        """Drive an input port; takes effect at the next evaluation."""
+        self._values[self._check_input(name, value)] = value
         self._settle()
+
+    def set_many(self, values: dict[str, int]) -> None:
+        """Drive several input ports, settling combinational logic once.
+
+        Equivalent to calling :meth:`set` per entry but with a single
+        re-evaluation sweep — the batched path :meth:`run_vectors` uses.
+        All values are validated before any is applied.
+        """
+        signals = [
+            (self._check_input(name, value), value)
+            for name, value in values.items()
+        ]
+        for sig, value in signals:
+            self._values[sig] = value
+        if signals:
+            self._settle()
 
     def get(self, name: str) -> int:
         """Current value of any signal in the flattened design."""
@@ -118,8 +138,7 @@ class Simulator:
         """
         records: list[dict[str, int]] = []
         for vector in vectors:
-            for name, value in vector.items():
-                self.set(name, value)
+            self.set_many(vector)
             records.append({name: self.get(name) for name in watch})
             self.step()
         return records

@@ -95,11 +95,13 @@ class CornerScaledAnalyzer(TimingAnalyzer):
     """
 
     def __init__(self, *args, cell_derate: float = 1.0, **kwargs):
-        super().__init__(*args, **kwargs)
+        # Must be set before super().__init__: the base analyzer builds its
+        # stage-delay table there, dispatching to _compute_stage_delay_ps.
         self.cell_derate = cell_derate
+        super().__init__(*args, **kwargs)
 
-    def stage_delay_ps(self, inst) -> float:
-        base = super().stage_delay_ps(inst)
+    def _compute_stage_delay_ps(self, inst) -> float:
+        base = super()._compute_stage_delay_ps(inst)
         return base * self.cell_derate
 
 

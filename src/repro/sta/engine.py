@@ -87,6 +87,15 @@ class TimingAnalyzer:
         self.wireload_fanout_um = wireload_fanout_um
         self._loads = mapped.net_loads()
         self._order = mapped.topo_comb()
+        # Stage delays depend only on static loads and routed lengths, so
+        # the whole table is computed once per analyzer and shared by the
+        # worst/early propagation passes, analyze() and minimum_period_ps.
+        self._net_load_ff: dict[int, float] = {}
+        self._stage_delay_ps: dict[str, float] = {
+            inst.name: self._compute_stage_delay_ps(inst)
+            for inst in mapped.cells
+            if inst.output_net is not None
+        }
 
     # -- parasitics -----------------------------------------------------------
 
@@ -97,13 +106,16 @@ class TimingAnalyzer:
         return self.wireload_fanout_um * len(self._loads.get(net, ()))
 
     def net_load_ff(self, net: int) -> float:
-        pins = sum(
-            sink.cell.input_cap_ff for sink, _ in self._loads.get(net, ())
-        )
-        wire = self._wire_length(net) * self.node.wire_cap_ff_per_um
-        return pins + wire
+        cached = self._net_load_ff.get(net)
+        if cached is None:
+            pins = sum(
+                sink.cell.input_cap_ff for sink, _ in self._loads.get(net, ())
+            )
+            wire = self._wire_length(net) * self.node.wire_cap_ff_per_um
+            cached = self._net_load_ff[net] = pins + wire
+        return cached
 
-    def stage_delay_ps(self, inst: CellInst) -> float:
+    def _compute_stage_delay_ps(self, inst: CellInst) -> float:
         net = inst.output_net
         load = self.net_load_ff(net)
         length = self._wire_length(net)
@@ -115,6 +127,21 @@ class TimingAnalyzer:
             + 0.5 * wire_r * wire_c
         )
 
+    def stage_delay_ps(self, inst: CellInst) -> float:
+        """Precomputed stage delay for one of this netlist's instances.
+
+        Subclasses that scale delays (e.g. corner derates) must override
+        :meth:`_compute_stage_delay_ps`, which feeds both the eager table
+        and this compute-on-miss fallback — overriding this lookup alone
+        would be bypassed by the propagation passes.
+        """
+        cached = self._stage_delay_ps.get(inst.name)
+        if cached is None:
+            cached = self._stage_delay_ps[inst.name] = (
+                self._compute_stage_delay_ps(inst)
+            )
+        return cached
+
     # -- arrival propagation -----------------------------------------------
 
     def _propagate(self, worst: bool) -> tuple[dict[int, float], dict[int, CellInst]]:
@@ -123,19 +150,20 @@ class TimingAnalyzer:
         pick = max if worst else min
         arrival: dict[int, float] = {}
         via: dict[int, CellInst] = {}
+        delay = self._stage_delay_ps
         for nets in self.mapped.inputs.values():
             for net in nets:
                 arrival[net] = 0.0
         for inst in self.mapped.seq_cells:
             q = inst.pins[inst.cell.output]
             launch = self.skew.get(inst.name, 0.0)
-            arrival[q] = launch + self.stage_delay_ps(inst)
+            arrival[q] = launch + delay[inst.name]
             via[q] = inst
         for inst in self._order:
             ins = inst.input_nets()
             base = pick((arrival.get(n, 0.0) for n in ins), default=0.0)
             out = inst.pins[inst.cell.output]
-            arrival[out] = base + self.stage_delay_ps(inst)
+            arrival[out] = base + delay[inst.name]
             via[out] = inst
         return arrival, via
 

@@ -6,12 +6,13 @@ from .mapped import CellInst, MappedNetlist, MappedSimulator
 from .mapper import MapStats, tech_map
 from .netlist import FlipFlop, Gate, GateNetlist, GateSimulator
 from .opt import ALL_PASSES, OptStats, dead_code_elim, optimize
-from .sizing import SizingStats, size_for_load
+from .sizing import BufferStats, SizingStats, buffer_heavy_nets, size_for_load
 from .synthesize import SynthesisResult, synthesize
 from .verify import EquivalenceResult, check_equivalence
 
 __all__ = [
     "ALL_PASSES",
+    "BufferStats",
     "CellInst",
     "DftError",
     "EquivalenceResult",
@@ -27,6 +28,7 @@ __all__ = [
     "ScanReport",
     "SizingStats",
     "SynthesisResult",
+    "buffer_heavy_nets",
     "check_equivalence",
     "coverage_estimate",
     "dead_code_elim",

@@ -57,29 +57,26 @@ def insert_scan_chain(mapped: MappedNetlist) -> ScanReport:
         raise DftError("design already has a scan chain")
 
     area_before = mapped.area_um2()
-    scan_en = mapped.n_nets
-    mapped.n_nets += 1
-    scan_in = mapped.n_nets
-    mapped.n_nets += 1
-    mapped.inputs["scan_en"] = [scan_en]
-    mapped.inputs["scan_in"] = [scan_in]
+    scan_en = mapped.new_net()
+    scan_in = mapped.new_net()
+    mapped.set_port("input", "scan_en", [scan_en])
+    mapped.set_port("input", "scan_in", [scan_in])
 
     mux_cell = mapped.library.by_kind("MUX2")
     previous = scan_in
     added = 0
     for flop in flops:
         functional_d = flop.pins["d"]
-        mux_out = mapped.n_nets
-        mapped.n_nets += 1
+        mux_out = mapped.new_net()
         mapped.add_cell(
             mux_cell,
             {"a": functional_d, "b": previous, "s": scan_en, "y": mux_out},
         )
         added += 1
-        flop.pins["d"] = mux_out
+        mapped.rewire(flop, "d", mux_out)
         previous = flop.pins[flop.cell.output]
 
-    mapped.outputs["scan_out"] = [previous]
+    mapped.set_port("output", "scan_out", [previous])
     return ScanReport(
         chain_length=len(flops),
         mux_cells_added=added,

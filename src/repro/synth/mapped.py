@@ -40,7 +40,17 @@ class CellInst:
 
 
 class MappedNetlist:
-    """A netlist of standard cells from one library."""
+    """A netlist of standard cells from one library.
+
+    The connectivity indexes (:meth:`net_driver`, :meth:`net_loads`,
+    :meth:`topo_comb`, :meth:`nets`) are memoized: placement, routing,
+    STA and power all walk them repeatedly, so they are computed once
+    and invalidated on structural mutation.  Mutations made through the
+    netlist API (:meth:`add_cell`, :meth:`rewire`, :meth:`set_port`)
+    invalidate automatically; code that pokes ``cells``/``pins`` or the
+    port dicts directly must call :meth:`invalidate` afterwards.
+    Callers must treat the returned indexes as read-only.
+    """
 
     def __init__(self, name: str, library: Library):
         self.name = name
@@ -49,52 +59,102 @@ class MappedNetlist:
         self.n_nets = 0
         self.inputs: dict[str, list[int]] = {}
         self.outputs: dict[str, list[int]] = {}
+        self._index_cache: dict[str, object] = {}
+        #: Bumped on every invalidation; consumers holding derived data
+        #: (e.g. placement pin templates) can compare versions for staleness.
+        self.index_version = 0
 
     def add_cell(self, cell: StandardCell, pins: dict[str, int],
                  reset_value: int = 0) -> CellInst:
         inst = CellInst(f"u{len(self.cells)}_{cell.kind}", cell, dict(pins),
                         reset_value)
         self.cells.append(inst)
+        self.invalidate()
         return inst
+
+    # -- mutation ----------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop the memoized connectivity indexes after a mutation."""
+        self._index_cache.clear()
+        self.index_version += 1
+
+    def new_net(self) -> int:
+        """Allocate a fresh net id."""
+        net = self.n_nets
+        self.n_nets += 1
+        return net
+
+    def rewire(self, inst: CellInst, pin: str, net: int) -> None:
+        """Reconnect one pin of ``inst`` to ``net``."""
+        if pin not in inst.pins:
+            raise KeyError(f"{inst.name} has no pin {pin!r}")
+        inst.pins[pin] = net
+        self.invalidate()
+
+    def set_port(self, direction: str, name: str, nets: list[int]) -> None:
+        """Declare or reconnect a top-level port (``input``/``output``)."""
+        ports = {"input": self.inputs, "output": self.outputs}[direction]
+        ports[name] = list(nets)
+        self.invalidate()
 
     # -- connectivity ------------------------------------------------------
 
     def net_driver(self) -> dict[int, CellInst]:
-        drivers: dict[int, CellInst] = {}
-        for inst in self.cells:
-            net = inst.output_net
-            if net is None:
-                continue
-            if net in drivers:
-                raise ValueError(f"net {net} has multiple drivers")
-            drivers[net] = inst
-        return drivers
+        cached = self._index_cache.get("driver")
+        if cached is None:
+            drivers: dict[int, CellInst] = {}
+            for inst in self.cells:
+                net = inst.output_net
+                if net is None:
+                    continue
+                if net in drivers:
+                    raise ValueError(f"net {net} has multiple drivers")
+                drivers[net] = inst
+            cached = self._index_cache["driver"] = drivers
+        return cached
 
     def net_loads(self) -> dict[int, list[tuple[CellInst, str]]]:
-        loads: dict[int, list[tuple[CellInst, str]]] = {}
-        for inst in self.cells:
-            for pin in inst.cell.inputs:
-                loads.setdefault(inst.pins[pin], []).append((inst, pin))
-        return loads
+        cached = self._index_cache.get("loads")
+        if cached is None:
+            loads: dict[int, list[tuple[CellInst, str]]] = {}
+            for inst in self.cells:
+                for pin in inst.cell.inputs:
+                    loads.setdefault(inst.pins[pin], []).append((inst, pin))
+            cached = self._index_cache["loads"] = loads
+        return cached
 
     def nets(self) -> set[int]:
         """All nets referenced by any pin or port."""
-        found: set[int] = set()
-        for inst in self.cells:
-            found.update(inst.pins.values())
-        for nets in self.inputs.values():
-            found.update(nets)
-        for nets in self.outputs.values():
-            found.update(nets)
-        return found
+        cached = self._index_cache.get("nets")
+        if cached is None:
+            found: set[int] = set()
+            for inst in self.cells:
+                found.update(inst.pins.values())
+            for nets in self.inputs.values():
+                found.update(nets)
+            for nets in self.outputs.values():
+                found.update(nets)
+            cached = self._index_cache["nets"] = found
+        return cached
 
     @property
     def seq_cells(self) -> list[CellInst]:
-        return [c for c in self.cells if c.cell.is_sequential]
+        cached = self._index_cache.get("seq")
+        if cached is None:
+            cached = self._index_cache["seq"] = [
+                c for c in self.cells if c.cell.is_sequential
+            ]
+        return cached
 
     @property
     def comb_cells(self) -> list[CellInst]:
-        return [c for c in self.cells if not c.cell.is_sequential]
+        cached = self._index_cache.get("comb")
+        if cached is None:
+            cached = self._index_cache["comb"] = [
+                c for c in self.cells if not c.cell.is_sequential
+            ]
+        return cached
 
     # -- metrics -------------------------------------------------------------
 
@@ -118,6 +178,12 @@ class MappedNetlist:
 
     def topo_comb(self) -> list[CellInst]:
         """Combinational cells in topological order (Kahn)."""
+        cached = self._index_cache.get("topo")
+        if cached is None:
+            cached = self._index_cache["topo"] = self._topo_comb()
+        return cached
+
+    def _topo_comb(self) -> list[CellInst]:
         comb = self.comb_cells
         driven_by = {c.output_net: i for i, c in enumerate(comb)
                      if c.output_net is not None}

@@ -1,10 +1,20 @@
-"""Gate sizing: upsize drivers of heavily loaded nets.
+"""Gate sizing and fanout buffering: drive-strength fixes on mapped netlists.
 
-One of the optimizations the "commercial" flow preset enables (experiment
-E4): after mapping, any cell whose output load exceeds a target is swapped
-for the next drive strength up until the load per unit drive falls under
-the target or no stronger variant exists.  This trades area and leakage
-for delay — exactly the PPA lever the preset comparison measures.
+Two of the optimizations the "commercial" flow preset enables (experiment
+E4):
+
+* **Sizing** — any cell whose output load exceeds a target is swapped for
+  the next drive strength up until the load per unit drive falls under the
+  target or no stronger variant exists.  This trades area and leakage for
+  delay — exactly the PPA lever the preset comparison measures.
+* **Buffering** — nets with more sinks than a fanout bound get BUF cells
+  inserted, splitting the sink list into chunks so no single driver sees
+  the whole load.  Logic function is unchanged (BUF is the identity).
+
+Both passes mutate the netlist in place through the
+:class:`~repro.synth.mapped.MappedNetlist` mutation API, so the memoized
+connectivity indexes (``net_loads``/``topo_comb``/...) are invalidated and
+downstream consumers never see stale graphs.
 """
 
 from __future__ import annotations
@@ -18,6 +28,13 @@ from .mapped import MappedNetlist
 class SizingStats:
     upsized: int = 0
     examined: int = 0
+
+
+@dataclass
+class BufferStats:
+    nets_buffered: int = 0
+    buffers_inserted: int = 0
+    sinks_moved: int = 0
 
 
 def size_for_load(
@@ -40,4 +57,37 @@ def size_for_load(
                 break
             inst.cell = stronger
             stats.upsized += 1
+    if stats.upsized:
+        # Swapping a cell variant keeps connectivity but changes electrical
+        # data; drop the indexes so derived caches are rebuilt fresh.
+        mapped.invalidate()
+    return stats
+
+
+def buffer_heavy_nets(mapped: MappedNetlist, max_fanout: int = 8) -> BufferStats:
+    """Split nets with more than ``max_fanout`` sinks behind BUF cells.
+
+    Sinks beyond the first ``max_fanout`` are moved, in chunks of
+    ``max_fanout``, onto fresh nets each driven by a BUF whose input is
+    the original net.  The pass mutates in place via the netlist mutation
+    API so all memoized indexes stay consistent.
+    """
+    stats = BufferStats()
+    buf = mapped.library.by_kind("BUF")
+    # Snapshot before mutating: rewiring invalidates the loads index.
+    heavy = [
+        (net, list(sinks))
+        for net, sinks in sorted(mapped.net_loads().items())
+        if len(sinks) > max_fanout
+    ]
+    for net, sinks in heavy:
+        stats.nets_buffered += 1
+        for start in range(max_fanout, len(sinks), max_fanout):
+            chunk = sinks[start:start + max_fanout]
+            branch = mapped.new_net()
+            mapped.add_cell(buf, {"a": net, "y": branch})
+            stats.buffers_inserted += 1
+            for sink, pin in chunk:
+                mapped.rewire(sink, pin, branch)
+                stats.sinks_moved += 1
     return stats
