@@ -8,8 +8,8 @@ platform the paper advocates (tiered access, flow templates, cloud jobs,
 MPW shuttles), and the economic/workforce models behind its argument.
 
 Start at :mod:`repro.hdl` to describe hardware, :mod:`repro.core.flow` to
-run the full flow, and :mod:`repro.analytics` for the paper's quantitative
-claims.
+run the full flow, :mod:`repro.obs` to trace and profile it, and
+:mod:`repro.analytics` for the paper's quantitative claims.
 """
 
 __version__ = "1.0.0"

@@ -9,6 +9,8 @@ and run the full RTL→GDSII flow on any catalogue IP:
    $ python -m repro pdks
    $ python -m repro ips
    $ python -m repro flow --ip counter --pdk edu130 --out build/
+   $ python -m repro flow --ip counter --trace build/trace.jsonl
+   $ python -m repro trace build/trace.jsonl
    $ python -m repro liberty edu130 > edu130.lib
 """
 
@@ -25,6 +27,7 @@ from .hdl.verilog import to_verilog
 from .ip.base import quality_score
 from .ip.catalog import GENERATORS, catalogue, generate
 from .layout.defio import from_physical, write_def
+from .obs import Tracer, get_metrics, load_trace, render_trace, write_trace
 from .pdk.lef import write_library_lef
 from .pdk.liberty import write_liberty
 from .pdk.pdks import get_pdk, list_pdks
@@ -90,10 +93,19 @@ def _cmd_flow(args) -> int:
 
     pdk = get_pdk(args.pdk)
     preset = get_preset(args.preset)
+    tracer = Tracer() if args.trace else None
     result = run_flow(
-        module, pdk, preset=preset, clock_period_ps=args.period_ps
+        module, pdk, preset=preset, clock_period_ps=args.period_ps,
+        tracer=tracer,
     )
     print(result.summary())
+
+    if args.trace:
+        directory = os.path.dirname(args.trace)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        write_trace(args.trace, tracer, metrics=get_metrics())
+        print(f"trace written to {args.trace} ({len(tracer.spans)} spans)")
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -108,6 +120,19 @@ def _cmd_flow(args) -> int:
             handle.write(result.gds_bytes)
         print(f"collaterals written to {base}.{{v,rpt,def,gds}}")
     return 0 if result.ok else 1
+
+
+def _cmd_trace(args) -> int:
+    try:
+        data = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_trace(data, unit=args.unit))
+    except BrokenPipeError:  # e.g. piped into head
+        return 0
+    return 0
 
 
 def _cmd_liberty(args) -> int:
@@ -148,7 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--period-ps", type=float, default=5_000.0)
     flow.add_argument("--verify-cycles", type=int, default=200)
     flow.add_argument("--out", help="directory for collateral files")
+    flow.add_argument("--trace",
+                      help="write a JSONL trace of the run to this path")
     flow.set_defaults(fn=_cmd_flow)
+
+    trace = sub.add_parser(
+        "trace", help="render a JSONL trace file as a timeline + profile"
+    )
+    trace.add_argument("file", help="trace file from 'flow --trace'")
+    trace.add_argument("--unit", default="ms", choices=("s", "ms", "us"),
+                       help="time unit for the rendered tables")
+    trace.set_defaults(fn=_cmd_trace)
 
     liberty = sub.add_parser("liberty", help="emit a PDK's Liberty file")
     liberty.add_argument("pdk", choices=list_pdks())

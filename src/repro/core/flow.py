@@ -4,17 +4,26 @@ This is the "design enablement" artifact the paper argues universities
 lack: a *configured* flow where one call takes a design from RTL through
 synthesis, P&R, STA, power, DRC and GDS export on a chosen PDK, with all
 tool knobs captured in a :class:`~repro.core.presets.FlowPreset`.
+
+Every stage runs inside a tracing span (:mod:`repro.obs`): step runtimes
+in the :class:`StepReport` list are *derived from the spans*, so they are
+non-overlapping by construction and sum to ≈ the flow's wall time —
+previously SYNTHESIS / TECHNOLOGY_MAPPING / EQUIVALENCE_CHECK (and the
+four backend steps) shared one timer start and double-counted.  Pass
+``tracer=`` (or install one with :func:`repro.obs.set_tracer`) to keep
+the full trace, including sub-stage spans, as a JSONL artifact.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..hdl.ir import Module
 from ..layout.chip import build_chip_gds
 from ..layout.drc import DrcReport, check_drc
 from ..layout.gds import write_gds
+from ..obs.metrics import get_metrics
+from ..obs.trace import Span, Tracer, get_tracer
 from ..pdk.pdks import Pdk
 from ..pnr.physical import PhysicalDesign, implement
 from ..power.engine import PowerAnalyzer, PowerReport
@@ -74,6 +83,8 @@ class FlowResult:
     drc: DrcReport
     gds_bytes: bytes
     ppa: PpaSummary
+    #: The run's finished spans (completion order) — a trace artifact.
+    trace: list[Span] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -95,6 +106,10 @@ class FlowResult:
         )
 
 
+#: FlowSteps whose spans are opened inside synthesize()/implement().
+_STAGE_SPAN_NAMES = {step: f"step.{step.value}" for step in FlowStep}
+
+
 def run_flow(
     module: Module,
     pdk: Pdk,
@@ -103,100 +118,150 @@ def run_flow(
     frequency_mhz: float | None = None,
     strict_drc: bool = True,
     seed: int = 1,
+    tracer: Tracer | None = None,
 ) -> FlowResult:
     """Run the complete RTL→GDSII flow.
 
     ``frequency_mhz`` defaults to the clock the period implies.  With
     ``strict_drc`` any DRC violation raises :class:`FlowError` (signoff
     semantics); otherwise violations are recorded in the report.
+
+    ``tracer`` collects the run's spans; when omitted the process-wide
+    tracer is used if one is installed, else a private tracer records
+    stage spans locally (step runtimes always come from spans) without
+    publishing anything.  The spans of this run are returned on
+    :attr:`FlowResult.trace`.
     """
+    if tracer is None:
+        tracer = get_tracer()
+    if not tracer.enabled:
+        # Step timing is span-derived even when the caller asked for no
+        # tracing; a private tracer keeps the no-op default truly free
+        # for direct engine calls while the flow still measures itself.
+        tracer = Tracer()
+    metrics = get_metrics()
+    mark = tracer.mark()
     steps: list[StepReport] = []
 
-    def record(step: FlowStep, started: float, **metrics) -> None:
-        steps.append(
-            StepReport(step, metrics.pop("_ok", True),
-                       round(time.perf_counter() - started, 6), metrics)
+    def record(step: FlowStep, span: Span | None, **step_metrics) -> None:
+        """One StepReport whose runtime is the step span's duration."""
+        ok = step_metrics.pop("_ok", True)
+        runtime_s = span.duration_s if span is not None else 0.0
+        if span is not None:
+            span.set(**step_metrics)
+        steps.append(StepReport(step, ok, round(runtime_s, 6), step_metrics))
+        metrics.counter(f"flow.steps.{step.value}").inc()
+        metrics.histogram("flow.step_seconds").observe(runtime_s)
+
+    def stage_span(step: FlowStep) -> Span | None:
+        """The span a nested engine opened for ``step`` during this run."""
+        return tracer.find(_STAGE_SPAN_NAMES[step], mark)
+
+    with tracer.span(
+        "flow", design=module.name, pdk=pdk.name, preset=preset.name,
+        clock_period_ps=clock_period_ps,
+    ) as flow_span:
+        with tracer.span("step.rtl_design") as sp:
+            module.validate()
+        record(FlowStep.RTL_DESIGN, sp, **module.stats())
+
+        synth = synthesize(
+            module,
+            pdk.library,
+            objective=preset.mapping_objective,
+            opt_passes=preset.opt_passes,
+            sizing=preset.gate_sizing,
+            max_load_per_drive_ff=preset.max_load_per_drive_ff,
+            verify=preset.run_equivalence,
+            verify_cycles=preset.equivalence_cycles,
+            tracer=tracer,
+        )
+        record(
+            FlowStep.SYNTHESIS, stage_span(FlowStep.SYNTHESIS),
+            gates_raw=synth.opt_stats.gates_before,
+            gates_optimized=synth.opt_stats.gates_after,
+        )
+        record(
+            FlowStep.TECHNOLOGY_MAPPING,
+            stage_span(FlowStep.TECHNOLOGY_MAPPING),
+            cells=len(synth.mapped.cells),
+        )
+        equivalence_ok = (
+            synth.equivalence.passed if synth.equivalence is not None else True
+        )
+        record(
+            FlowStep.EQUIVALENCE_CHECK,
+            stage_span(FlowStep.EQUIVALENCE_CHECK),
+            _ok=equivalence_ok,
+            checked=synth.equivalence is not None,
+        )
+        if not equivalence_ok:
+            raise FlowError(
+                f"synthesis equivalence check failed: "
+                f"{synth.equivalence.mismatches[:3]}"
+            )
+
+        physical = implement(
+            synth.mapped,
+            pdk,
+            utilization=preset.utilization,
+            detailed_placement_passes=preset.detailed_placement_passes,
+            cts_buffering=preset.cts_buffering,
+            router_rip_up=preset.router_rip_up,
+            placer=preset.placer,
+            seed=seed,
+            tracer=tracer,
+        )
+        record(FlowStep.FLOORPLANNING, stage_span(FlowStep.FLOORPLANNING),
+               **physical.floorplan.stats())
+        record(FlowStep.PLACEMENT, stage_span(FlowStep.PLACEMENT),
+               hpwl_um=physical.placement.hpwl_um)
+        record(FlowStep.CLOCK_TREE_SYNTHESIS,
+               stage_span(FlowStep.CLOCK_TREE_SYNTHESIS),
+               **physical.clock_tree.stats())
+        record(FlowStep.ROUTING, stage_span(FlowStep.ROUTING),
+               **physical.routing.stats())
+
+        with tracer.span("step.static_timing_analysis") as sp:
+            analyzer = TimingAnalyzer(
+                synth.mapped,
+                pdk.node,
+                wire_lengths_um=physical.wire_lengths(),
+                skew_ps=physical.clock_tree.skew_map(),
+                tracer=tracer,
+            )
+            timing = analyzer.analyze(clock_period_ps)
+        record(
+            FlowStep.STATIC_TIMING_ANALYSIS, sp,
+            wns_ps=timing.wns_ps, met=timing.met, fmax_mhz=timing.fmax_mhz,
         )
 
-    t0 = time.perf_counter()
-    module.validate()
-    record(FlowStep.RTL_DESIGN, t0, **module.stats())
+        with tracer.span("step.power_analysis") as sp:
+            freq = frequency_mhz or min(timing.fmax_mhz, 1e6 / clock_period_ps)
+            power = PowerAnalyzer(
+                synth.mapped, pdk.node,
+                wire_lengths_um=physical.wire_lengths(),
+                tracer=tracer,
+            ).analyze(freq)
+        record(FlowStep.POWER_ANALYSIS, sp, total_uw=power.total_uw)
 
-    t0 = time.perf_counter()
-    synth = synthesize(
-        module,
-        pdk.library,
-        objective=preset.mapping_objective,
-        opt_passes=preset.opt_passes,
-        sizing=preset.gate_sizing,
-        max_load_per_drive_ff=preset.max_load_per_drive_ff,
-        verify=preset.run_equivalence,
-        verify_cycles=preset.equivalence_cycles,
-    )
-    record(
-        FlowStep.SYNTHESIS, t0,
-        gates_raw=synth.opt_stats.gates_before,
-        gates_optimized=synth.opt_stats.gates_after,
-    )
-    record(FlowStep.TECHNOLOGY_MAPPING, t0, cells=len(synth.mapped.cells))
-    equivalence_ok = (
-        synth.equivalence.passed if synth.equivalence is not None else True
-    )
-    record(FlowStep.EQUIVALENCE_CHECK, t0, _ok=equivalence_ok,
-           checked=synth.equivalence is not None)
-    if not equivalence_ok:
-        raise FlowError(
-            f"synthesis equivalence check failed: "
-            f"{synth.equivalence.mismatches[:3]}"
-        )
+        with tracer.span("step.design_rule_check") as sp:
+            gds_library = build_chip_gds(physical)
+            drc = check_drc(gds_library, pdk.layers, physical.mapped.name,
+                            tracer=tracer)
+        record(FlowStep.DESIGN_RULE_CHECK, sp, _ok=drc.clean,
+               violations=len(drc.violations))
+        if strict_drc and not drc.clean:
+            raise FlowError(f"DRC failed: {drc.summary()}")
 
-    t0 = time.perf_counter()
-    physical = implement(
-        synth.mapped,
-        pdk,
-        utilization=preset.utilization,
-        detailed_placement_passes=preset.detailed_placement_passes,
-        cts_buffering=preset.cts_buffering,
-        router_rip_up=preset.router_rip_up,
-        placer=preset.placer,
-        seed=seed,
-    )
-    record(FlowStep.FLOORPLANNING, t0, **physical.floorplan.stats())
-    record(FlowStep.PLACEMENT, t0, hpwl_um=physical.placement.hpwl_um)
-    record(FlowStep.CLOCK_TREE_SYNTHESIS, t0, **physical.clock_tree.stats())
-    record(FlowStep.ROUTING, t0, **physical.routing.stats())
+        with tracer.span("step.gds_export") as sp:
+            gds_bytes = write_gds(gds_library)
+        record(FlowStep.GDS_EXPORT, sp, bytes=len(gds_bytes))
 
-    t0 = time.perf_counter()
-    analyzer = TimingAnalyzer(
-        synth.mapped,
-        pdk.node,
-        wire_lengths_um=physical.wire_lengths(),
-        skew_ps=physical.clock_tree.skew_map(),
-    )
-    timing = analyzer.analyze(clock_period_ps)
-    record(
-        FlowStep.STATIC_TIMING_ANALYSIS, t0,
-        wns_ps=timing.wns_ps, met=timing.met, fmax_mhz=timing.fmax_mhz,
-    )
+        flow_span.set(ok=all(step.ok for step in steps))
 
-    t0 = time.perf_counter()
-    freq = frequency_mhz or min(timing.fmax_mhz, 1e6 / clock_period_ps)
-    power = PowerAnalyzer(
-        synth.mapped, pdk.node, wire_lengths_um=physical.wire_lengths()
-    ).analyze(freq)
-    record(FlowStep.POWER_ANALYSIS, t0, total_uw=power.total_uw)
-
-    t0 = time.perf_counter()
-    gds_library = build_chip_gds(physical)
-    drc = check_drc(gds_library, pdk.layers, physical.mapped.name)
-    record(FlowStep.DESIGN_RULE_CHECK, t0, _ok=drc.clean,
-           violations=len(drc.violations))
-    if strict_drc and not drc.clean:
-        raise FlowError(f"DRC failed: {drc.summary()}")
-
-    t0 = time.perf_counter()
-    gds_bytes = write_gds(gds_library)
-    record(FlowStep.GDS_EXPORT, t0, bytes=len(gds_bytes))
+    metrics.counter("flow.runs").inc()
+    metrics.histogram("flow.run_seconds").observe(flow_span.duration_s)
 
     ppa = PpaSummary(
         area_um2=synth.mapped.area_um2(),
@@ -219,4 +284,5 @@ def run_flow(
         drc=drc,
         gds_bytes=gds_bytes,
         ppa=ppa,
+        trace=tracer.since(mark),
     )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from ..obs.trace import get_tracer
 from ..pdk.layers import LayerStack
 from .gds import GdsLibrary, from_db
 from .geometry import Rect
@@ -86,19 +87,30 @@ def check_drc(
     top_name: str,
     check_layers: list[str] | None = None,
     max_violations: int = 100,
+    tracer=None,
 ) -> DrcReport:
-    """Run width and spacing checks; stops after ``max_violations``."""
-    rects_by_gds = flatten_rects(library, top_name)
+    """Run width and spacing checks; stops after ``max_violations``.
+
+    Each checked layer is one ``drc.layer`` span on ``tracer`` (no-op by
+    default), so traces show which layer dominates check time.
+    """
+    if tracer is None:
+        tracer = get_tracer()
+    with tracer.span("drc.flatten") as sp:
+        rects_by_gds = flatten_rects(library, top_name)
+        sp.set(structs=len(library.structs))
     names = check_layers or [
         l.name for l in layers.layers if l.purpose in ("routing", "via")
     ]
     report = DrcReport(checked_rects=0)
 
     for name in names:
-        layer = layers.by_name(name)
-        rects = rects_by_gds.get(layer.gds_layer, [])
-        report.checked_rects += len(rects)
-        _check_layer(report, layer, rects, max_violations)
+        with tracer.span("drc.layer", layer=name) as sp:
+            layer = layers.by_name(name)
+            rects = rects_by_gds.get(layer.gds_layer, [])
+            report.checked_rects += len(rects)
+            _check_layer(report, layer, rects, max_violations)
+            sp.set(rects=len(rects), violations=len(report.violations))
         if len(report.violations) >= max_violations:
             break
     return report

@@ -1,0 +1,143 @@
+"""Structured event log: serialize traces to JSONL and load them back.
+
+A trace file is a line-delimited JSON artifact — the observability
+equivalent of a GDS: one header record, one record per span, optional
+metric-snapshot and free-form event records.  Being line-delimited it
+streams, greps, and diffs; :func:`load_trace` reconstructs the spans
+(equal, as dataclasses, to the originals) so downstream tooling
+(``repro trace``, CI smoke checks) works offline from the file alone.
+
+Record shapes (``type`` discriminates)::
+
+    {"type": "trace",   "version": 1, "spans": N}
+    {"type": "span",    "id": 7, "parent": 3, "name": "step.routing",
+                        "start_s": ..., "end_s": ..., "attrs": {...}}
+    {"type": "metrics", "data": {"counters": ..., "gauges": ..., ...}}
+    {"type": "event",   "name": "...", ...}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceData:
+    """Everything one trace file holds."""
+
+    spans: list[Span] = field(default_factory=list)
+    metrics: dict[str, dict[str, object]] = field(default_factory=dict)
+    events: list[dict[str, object]] = field(default_factory=list)
+
+    def by_name(self, name: str) -> list[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def names(self) -> set[str]:
+        return {span.name for span in self.spans}
+
+
+def _span_record(span: Span) -> dict[str, object]:
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "attrs": span.attributes,
+    }
+
+
+def _coerce_spans(trace: Tracer | Iterable[Span]) -> list[Span]:
+    if isinstance(trace, Tracer):
+        return list(trace.spans)
+    return list(trace)
+
+
+def dump_trace(
+    handle: IO[str],
+    trace: Tracer | Iterable[Span],
+    metrics: MetricsRegistry | dict | None = None,
+    events: Iterable[dict[str, object]] = (),
+) -> int:
+    """Write a trace stream to an open text handle; returns record count.
+
+    Attribute values that are not JSON types degrade to ``str(value)``
+    rather than failing the write — a trace must never kill the run it
+    observes.
+    """
+    spans = _coerce_spans(trace)
+    records: list[dict[str, object]] = [
+        {"type": "trace", "version": FORMAT_VERSION, "spans": len(spans)}
+    ]
+    records.extend(_span_record(span) for span in spans)
+    if metrics is not None:
+        data = (
+            metrics.snapshot()
+            if isinstance(metrics, MetricsRegistry)
+            else metrics
+        )
+        records.append({"type": "metrics", "data": data})
+    for event in events:
+        records.append({"type": "event", **event})
+    for record in records:
+        handle.write(json.dumps(record, default=str))
+        handle.write("\n")
+    return len(records)
+
+
+def write_trace(
+    path: str,
+    trace: Tracer | Iterable[Span],
+    metrics: MetricsRegistry | dict | None = None,
+    events: Iterable[dict[str, object]] = (),
+) -> int:
+    """Write a JSONL trace file; returns the number of records written."""
+    with open(path, "w") as handle:
+        return dump_trace(handle, trace, metrics, events)
+
+
+def load_trace(path: str) -> TraceData:
+    """Load a JSONL trace file back into spans + metrics + events.
+
+    Unknown record types are preserved as events so newer writers stay
+    readable by older loaders.
+    """
+    data = TraceData()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                ) from exc
+            kind = record.get("type")
+            if kind == "trace":
+                continue
+            if kind == "span":
+                data.spans.append(
+                    Span(
+                        span_id=record["id"],
+                        parent_id=record["parent"],
+                        name=record["name"],
+                        start_s=record["start_s"],
+                        end_s=record["end_s"],
+                        attributes=record.get("attrs", {}),
+                    )
+                )
+            elif kind == "metrics":
+                data.metrics = record.get("data", {})
+            else:
+                data.events.append(record)
+    return data

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.trace import get_tracer
 from ..pdk.cells import Library
 from ..pdk.node import ProcessNode
 from .placement import Placement
@@ -78,12 +79,17 @@ def synthesize_clock_tree(
     node: ProcessNode,
     buffering: bool = True,
     max_sinks_per_leaf: int = 4,
+    tracer=None,
 ) -> ClockTree:
     """Build the clock tree over all sequential cells in ``placement``.
 
     Only sequential cell positions are read; the tree is geometric, not
-    routed (clock routing uses dedicated resources in real flows).
+    routed (clock routing uses dedicated resources in real flows).  Each
+    internal bisection is one ``cts.partition`` span on ``tracer``
+    (no-op by default), so traces show the tree's level structure.
     """
+    if tracer is None:
+        tracer = get_tracer()
     dff_cap = library.dff.input_cap_ff
     buf = library.by_kind("BUF", 4)
     sinks = [
@@ -121,28 +127,31 @@ def synthesize_clock_tree(
                 )
                 tree.sink_latency_ps[name] = latency + delay
             return
-        # Split along the longer spread axis.
-        xs = [s[1] for s in group]
-        ys = [s[2] for s in group]
-        axis = 1 if (max(xs) - min(xs)) >= (max(ys) - min(ys)) else 2
-        ordered = sorted(group, key=lambda s: s[axis])
-        half = len(ordered) // 2
-        for part in (ordered[:half], ordered[half:]):
-            px = sum(s[1] for s in part) / len(part)
-            py = sum(s[2] for s in part) / len(part)
-            length = _manhattan((x, y), (px, py))
-            tree.wirelength_um += length
-            buffer_delay = buf.intrinsic_ps + buf.resistance_kohm * (
-                subtree_cap(part) if not buffering else buf.input_cap_ff * 2
-            )
-            segment = wire_delay(length, buf.input_cap_ff)
-            child_latency = latency + segment + buffer_delay
-            if buffering:
-                tree.buffers.append(
-                    ClockBuffer(f"ckbuf_{len(tree.buffers)}", px, py,
-                                level + 1)
+        # Split along the longer spread axis.  The span nests with the
+        # recursion, so the trace mirrors the tree's level structure.
+        with tracer.span("cts.partition", level=level, sinks=len(group)):
+            xs = [s[1] for s in group]
+            ys = [s[2] for s in group]
+            axis = 1 if (max(xs) - min(xs)) >= (max(ys) - min(ys)) else 2
+            ordered = sorted(group, key=lambda s: s[axis])
+            half = len(ordered) // 2
+            for part in (ordered[:half], ordered[half:]):
+                px = sum(s[1] for s in part) / len(part)
+                py = sum(s[2] for s in part) / len(part)
+                length = _manhattan((x, y), (px, py))
+                tree.wirelength_um += length
+                buffer_delay = buf.intrinsic_ps + buf.resistance_kohm * (
+                    subtree_cap(part) if not buffering
+                    else buf.input_cap_ff * 2
                 )
-            recurse(part, px, py, child_latency, level + 1)
+                segment = wire_delay(length, buf.input_cap_ff)
+                child_latency = latency + segment + buffer_delay
+                if buffering:
+                    tree.buffers.append(
+                        ClockBuffer(f"ckbuf_{len(tree.buffers)}", px, py,
+                                    level + 1)
+                    )
+                recurse(part, px, py, child_latency, level + 1)
 
     recurse(sinks, root_x, root_y, 0.0, 0)
     return tree

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.trace import Tracer, get_tracer
 from ..pdk.pdks import Pdk
 from ..synth.mapped import MappedNetlist
 from .cts import ClockTree, synthesize_clock_tree
@@ -61,33 +62,49 @@ def implement(
     router_rip_up: bool = True,
     placer: str = "quadratic",
     seed: int = 1,
+    tracer: Tracer | None = None,
 ) -> PhysicalDesign:
     """Run the full backend on ``mapped`` with the given knobs.
 
     The knobs correspond one-to-one to the preset differences (experiment
     E4) and the ablation benchmarks: detailed placement passes, CTS
-    buffering, router rip-up and the placer algorithm itself.
+    buffering, router rip-up and the placer algorithm itself.  ``tracer``
+    (default: the process tracer) receives one span per backend flow step
+    plus sub-spans for the inner phases; tracing never changes results.
     """
-    floorplan = make_floorplan(
-        mapped, pdk.node, utilization=utilization, aspect_ratio=aspect_ratio
-    )
-    if placer == "quadratic":
-        placement = place(
-            mapped, floorplan,
-            detailed_passes=detailed_placement_passes, seed=seed,
+    if tracer is None:
+        tracer = get_tracer()
+    with tracer.span("step.floorplanning") as sp:
+        floorplan = make_floorplan(
+            mapped, pdk.node, utilization=utilization,
+            aspect_ratio=aspect_ratio,
         )
-    elif placer == "random":
-        placement = random_place(mapped, floorplan, seed=seed)
-    else:
-        raise ValueError(f"unknown placer {placer!r}")
-    clock_tree = synthesize_clock_tree(
-        placement, mapped.library, pdk.node, buffering=cts_buffering
-    )
-    capacity = grid_capacity(pdk.node, pdk.layers)
-    routing = route(
-        mapped, placement, pdk.node, rip_up=router_rip_up, capacity=capacity,
-        max_iterations=8,
-    )
+        sp.set(**floorplan.stats())
+    with tracer.span("step.placement", placer=placer) as sp:
+        if placer == "quadratic":
+            placement = place(
+                mapped, floorplan,
+                detailed_passes=detailed_placement_passes, seed=seed,
+                tracer=tracer,
+            )
+        elif placer == "random":
+            placement = random_place(mapped, floorplan, seed=seed)
+        else:
+            raise ValueError(f"unknown placer {placer!r}")
+        sp.set(hpwl_um=placement.hpwl_um)
+    with tracer.span("step.clock_tree_synthesis") as sp:
+        clock_tree = synthesize_clock_tree(
+            placement, mapped.library, pdk.node, buffering=cts_buffering,
+            tracer=tracer,
+        )
+        sp.set(**clock_tree.stats())
+    with tracer.span("step.routing") as sp:
+        capacity = grid_capacity(pdk.node, pdk.layers)
+        routing = route(
+            mapped, placement, pdk.node, rip_up=router_rip_up,
+            capacity=capacity, max_iterations=8, tracer=tracer,
+        )
+        sp.set(**routing.stats())
     return PhysicalDesign(
         mapped=mapped,
         pdk=pdk,

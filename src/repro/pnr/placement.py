@@ -21,6 +21,7 @@ import numpy as np
 from scipy.sparse import coo_matrix
 from scipy.sparse.linalg import spsolve
 
+from ..obs.trace import get_tracer
 from ..synth.mapped import MappedNetlist
 from .floorplan import Floorplan
 
@@ -402,11 +403,17 @@ def _swap_pass(
     floorplan: Floorplan,
     passes: int,
     seed: int,
+    tracer=None,
 ) -> float:
     """Greedy equal-width swap refinement (in place, incremental cost).
 
     Returns the final total HPWL (bit-identical to a full recompute).
+    Each pass is one ``place.swap_pass`` span; spans never touch the RNG
+    or the cost arithmetic, so placements stay byte-identical under
+    tracing.
     """
+    if tracer is None:
+        tracer = get_tracer()
     rng = random.Random(seed)
     names = list(placed)
     by_width: dict[float, list[str]] = {}
@@ -422,33 +429,39 @@ def _swap_pass(
     # Summation noise is bounded by ~n_nets * eps * total, orders of
     # magnitude below this threshold.
     tie_band = 1e-9 * (1.0 + state.total())
-    for _ in range(passes):
-        for group in by_width.values():
-            if len(group) < 2:
-                continue
-            for _ in range(len(group)):
-                a, b = rng.sample(group, 2)
-                ca, cb = placed[a], placed[b]
-                nets = state.affected(a, b)
-                old_part = state.cached(nets)
-                ca.x, cb.x = cb.x, ca.x
-                ca.y, cb.y = cb.y, ca.y
-                state.move(a, (ca.cx, ca.cy))
-                state.move(b, (cb.cx, cb.cy))
-                delta = state.recompute(nets) - old_part
-                if delta <= -tie_band:
-                    accept = True
-                elif delta >= tie_band:
-                    accept = False
-                else:
-                    accept = state.pending_total() < state.total()
-                if accept:
-                    state.commit(nets)
-                else:  # revert
+    for pass_index in range(passes):
+        with tracer.span("place.swap_pass") as pass_span:
+            accepted = 0
+            for group in by_width.values():
+                if len(group) < 2:
+                    continue
+                for _ in range(len(group)):
+                    a, b = rng.sample(group, 2)
+                    ca, cb = placed[a], placed[b]
+                    nets = state.affected(a, b)
+                    old_part = state.cached(nets)
                     ca.x, cb.x = cb.x, ca.x
                     ca.y, cb.y = cb.y, ca.y
                     state.move(a, (ca.cx, ca.cy))
                     state.move(b, (cb.cx, cb.cy))
+                    delta = state.recompute(nets) - old_part
+                    if delta <= -tie_band:
+                        accept = True
+                    elif delta >= tie_band:
+                        accept = False
+                    else:
+                        accept = state.pending_total() < state.total()
+                    if accept:
+                        state.commit(nets)
+                        accepted += 1
+                    else:  # revert
+                        ca.x, cb.x = cb.x, ca.x
+                        ca.y, cb.y = cb.y, ca.y
+                        state.move(a, (ca.cx, ca.cy))
+                        state.move(b, (cb.cx, cb.cy))
+            if tracer.enabled:
+                pass_span.set(pass_index=pass_index, accepted=accepted,
+                              hpwl_um=state.total())
     return state.total()
 
 
@@ -457,14 +470,21 @@ def place(
     floorplan: Floorplan,
     detailed_passes: int = 0,
     seed: int = 1,
+    tracer=None,
 ) -> Placement:
     """Run global placement, legalization and optional refinement."""
+    if tracer is None:
+        tracer = get_tracer()
     if not mapped.cells:
         return Placement({}, floorplan, 0.0)
-    desired = _quadratic_positions(mapped, floorplan)
-    placed = _legalize(mapped, floorplan, desired)
+    with tracer.span("place.global") as sp:
+        desired = _quadratic_positions(mapped, floorplan)
+        sp.set(cells=len(desired))
+    with tracer.span("place.legalize"):
+        placed = _legalize(mapped, floorplan, desired)
     if detailed_passes > 0:
-        total = _swap_pass(mapped, placed, floorplan, detailed_passes, seed)
+        total = _swap_pass(mapped, placed, floorplan, detailed_passes, seed,
+                           tracer=tracer)
     else:
         xy = {n: (c.cx, c.cy) for n, c in placed.items()}
         total = hpwl(net_pin_positions(mapped, xy, floorplan))

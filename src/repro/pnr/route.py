@@ -14,6 +14,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from ..obs.trace import get_tracer
 from ..pdk.node import ProcessNode
 from ..synth.mapped import MappedNetlist
 from .floorplan import Floorplan
@@ -74,10 +75,12 @@ class GridRouter:
         node: ProcessNode,
         pitch_um: float | None = None,
         capacity: int = 4,
+        tracer=None,
     ):
         self.mapped = mapped
         self.placement = placement
         self.node = node
+        self.tracer = tracer if tracer is not None else get_tracer()
         fp = placement.floorplan
         self.pitch = pitch_um or default_pitch(node)
         self.cols = max(2, int(fp.die_width / self.pitch) + 1)
@@ -217,43 +220,51 @@ class GridRouter:
 
         routed: dict[int, RoutedNet] = {}
         failed: list[int] = []
-        for net, pins in sorted(multi.items()):
-            result = self._route_net(pins)
-            if result is None:
-                failed.append(net)
-                continue
-            result.net = net
-            routed[net] = result
-            self._apply_usage(result, +1)
+        with self.tracer.span("route.initial") as sp:
+            for net, pins in sorted(multi.items()):
+                result = self._route_net(pins)
+                if result is None:
+                    failed.append(net)
+                    continue
+                result.net = net
+                routed[net] = result
+                self._apply_usage(result, +1)
+            if self.tracer.enabled:
+                sp.set(nets=len(routed), failed=len(failed),
+                       overflow=self._overflow())
 
         iterations = 1
         if rip_up:
             for _ in range(max_iterations - 1):
                 if self._overflow() == 0:
                     break
-                congested = {
-                    cell
-                    for cell, used in self.usage.items()
-                    if used > self.capacity
-                }
-                for cell in congested:
-                    self.history[cell] = self.history.get(cell, 0.0) + 2.0
-                victims = [
-                    net
-                    for net, rn in routed.items()
-                    if any(cell in congested for cell in rn.cells)
-                ]
-                for net in victims:
-                    self._apply_usage(routed[net], -1)
-                    result = self._route_net(multi[net])
-                    if result is None:
-                        failed.append(net)
-                        del routed[net]
-                        continue
-                    result.net = net
-                    routed[net] = result
-                    self._apply_usage(result, +1)
-                iterations += 1
+                with self.tracer.span("route.rip_up") as sp:
+                    congested = {
+                        cell
+                        for cell, used in self.usage.items()
+                        if used > self.capacity
+                    }
+                    for cell in congested:
+                        self.history[cell] = self.history.get(cell, 0.0) + 2.0
+                    victims = [
+                        net
+                        for net, rn in routed.items()
+                        if any(cell in congested for cell in rn.cells)
+                    ]
+                    for net in victims:
+                        self._apply_usage(routed[net], -1)
+                        result = self._route_net(multi[net])
+                        if result is None:
+                            failed.append(net)
+                            del routed[net]
+                            continue
+                        result.net = net
+                        routed[net] = result
+                        self._apply_usage(result, +1)
+                    iterations += 1
+                    if self.tracer.enabled:
+                        sp.set(iteration=iterations, victims=len(victims),
+                               overflow=self._overflow())
 
         return RoutingResult(
             nets=routed,
@@ -271,9 +282,11 @@ def route(
     rip_up: bool = True,
     max_iterations: int = 3,
     capacity: int = 4,
+    tracer=None,
 ) -> RoutingResult:
     """Route all nets of ``mapped`` over ``placement``."""
-    router = GridRouter(mapped, placement, node, capacity=capacity)
+    router = GridRouter(mapped, placement, node, capacity=capacity,
+                        tracer=tracer)
     return router.route(max_iterations=max_iterations, rip_up=rip_up)
 
 

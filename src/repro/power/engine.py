@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from ..obs.trace import get_tracer
 from ..pdk.node import ProcessNode
 from ..synth.mapped import MappedNetlist
 from ..sta.engine import TimingAnalyzer
@@ -55,10 +56,13 @@ class PowerAnalyzer:
         node: ProcessNode,
         wire_lengths_um: dict[int, float] | None = None,
         input_probabilities: dict[str, float] | None = None,
+        tracer=None,
     ):
         self.mapped = mapped
         self.node = node
-        self.timing = TimingAnalyzer(mapped, node, wire_lengths_um)
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self.timing = TimingAnalyzer(mapped, node, wire_lengths_um,
+                                     tracer=self._tracer)
         self.input_probabilities = input_probabilities or {}
 
     def signal_probabilities(self) -> dict[int, float]:
@@ -85,34 +89,42 @@ class PowerAnalyzer:
         return prob
 
     def analyze(self, frequency_mhz: float) -> PowerReport:
-        prob = self.signal_probabilities()
-        freq_hz = frequency_mhz * 1e6
-        vdd = self.node.voltage_v
+        tracer = self._tracer
+        with tracer.span("power.analyze") as root:
+            with tracer.span("power.probabilities"):
+                prob = self.signal_probabilities()
+            freq_hz = frequency_mhz * 1e6
+            vdd = self.node.voltage_v
 
-        dynamic_w = 0.0
-        activities: dict[int, float] = {}
-        driver = self.mapped.net_driver()
-        for net in driver:
-            p = prob.get(net, 0.5)
-            alpha = 2.0 * p * (1.0 - p)
-            activities[net] = alpha
-            cap_f = self.timing.net_load_ff(net) * 1e-15
-            dynamic_w += 0.5 * alpha * cap_f * vdd * vdd * freq_hz
-        # Clock network toggles every cycle (alpha = 1) into each DFF.
-        clock_cap_f = (
-            len(self.mapped.seq_cells)
-            * self.mapped.library.dff.input_cap_ff
-            * 1e-15
-        )
-        dynamic_w += clock_cap_f * vdd * vdd * freq_hz
+            with tracer.span("power.sum") as sp:
+                dynamic_w = 0.0
+                activities: dict[int, float] = {}
+                driver = self.mapped.net_driver()
+                for net in driver:
+                    p = prob.get(net, 0.5)
+                    alpha = 2.0 * p * (1.0 - p)
+                    activities[net] = alpha
+                    cap_f = self.timing.net_load_ff(net) * 1e-15
+                    dynamic_w += 0.5 * alpha * cap_f * vdd * vdd * freq_hz
+                # Clock network toggles every cycle (alpha = 1) into each DFF.
+                clock_cap_f = (
+                    len(self.mapped.seq_cells)
+                    * self.mapped.library.dff.input_cap_ff
+                    * 1e-15
+                )
+                dynamic_w += clock_cap_f * vdd * vdd * freq_hz
 
-        leakage_w = self.mapped.leakage_nw() * 1e-9
-        return PowerReport(
-            frequency_mhz=frequency_mhz,
-            dynamic_uw=round(dynamic_w * 1e6, 6),
-            leakage_uw=round(leakage_w * 1e6, 6),
-            activities=activities,
-        )
+                leakage_w = self.mapped.leakage_nw() * 1e-9
+                sp.set(nets=len(activities))
+
+            report = PowerReport(
+                frequency_mhz=frequency_mhz,
+                dynamic_uw=round(dynamic_w * 1e6, 6),
+                leakage_uw=round(leakage_w * 1e6, 6),
+                activities=activities,
+            )
+            root.set(frequency_mhz=frequency_mhz, total_uw=report.total_uw)
+        return report
 
 
 def _output_probability(function, input_probs: list[float]) -> float:

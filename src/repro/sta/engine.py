@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..obs.trace import get_tracer
 from ..pdk.node import ProcessNode
 from ..synth.mapped import CellInst, MappedNetlist
 
@@ -79,23 +80,27 @@ class TimingAnalyzer:
         wire_lengths_um: dict[int, float] | None = None,
         skew_ps: dict[str, float] | None = None,
         wireload_fanout_um: float = 6.0,
+        tracer=None,
     ):
         self.mapped = mapped
         self.node = node
         self.wire_lengths = wire_lengths_um or {}
         self.skew = skew_ps or {}
         self.wireload_fanout_um = wireload_fanout_um
+        self._tracer = tracer if tracer is not None else get_tracer()
         self._loads = mapped.net_loads()
         self._order = mapped.topo_comb()
         # Stage delays depend only on static loads and routed lengths, so
         # the whole table is computed once per analyzer and shared by the
         # worst/early propagation passes, analyze() and minimum_period_ps.
         self._net_load_ff: dict[int, float] = {}
-        self._stage_delay_ps: dict[str, float] = {
-            inst.name: self._compute_stage_delay_ps(inst)
-            for inst in mapped.cells
-            if inst.output_net is not None
-        }
+        with self._tracer.span("sta.stage_delays") as sp:
+            self._stage_delay_ps: dict[str, float] = {
+                inst.name: self._compute_stage_delay_ps(inst)
+                for inst in mapped.cells
+                if inst.output_net is not None
+            }
+            sp.set(instances=len(self._stage_delay_ps))
 
     # -- parasitics -----------------------------------------------------------
 
@@ -168,9 +173,28 @@ class TimingAnalyzer:
         return arrival, via
 
     def analyze(self, clock_period_ps: float) -> TimingReport:
-        arrival, via = self._propagate(worst=True)
-        early, _ = self._propagate(worst=False)
+        tracer = self._tracer
+        with tracer.span("sta.analyze") as root:
+            with tracer.span("sta.propagate", worst=True):
+                arrival, via = self._propagate(worst=True)
+            with tracer.span("sta.propagate", worst=False):
+                early, _ = self._propagate(worst=False)
+            with tracer.span("sta.slacks"):
+                report = self._build_report(
+                    clock_period_ps, arrival, via, early
+                )
+            root.set(clock_period_ps=clock_period_ps,
+                     wns_ps=report.wns_ps, met=report.met)
+        return report
 
+    def _build_report(
+        self,
+        clock_period_ps: float,
+        arrival: dict[int, float],
+        via: dict[int, CellInst],
+        early: dict[int, float],
+    ) -> TimingReport:
+        """Slack computation and critical-path backtracking."""
         dff_setup = SETUP_FRACTION * self.mapped.library.dff.intrinsic_ps
         dff_hold = HOLD_FRACTION * self.mapped.library.dff.intrinsic_ps
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.trace import get_tracer
 from .netlist import FlipFlop, Gate, GateNetlist
 
 
@@ -221,20 +222,26 @@ def optimize(
     netlist: GateNetlist,
     passes: set[str] | frozenset[str] = ALL_PASSES,
     max_iterations: int = 10,
+    tracer=None,
 ) -> tuple[GateNetlist, OptStats]:
     """Optimize to a fixed point (bounded by ``max_iterations``).
 
     ``passes`` selects rule groups (``fold``, ``strash``, ``dce``) so the
-    ablation benchmarks can switch individual groups off.
+    ablation benchmarks can switch individual groups off.  Each iteration
+    is one ``synth.opt_iter`` span on ``tracer`` (no-op by default).
     """
+    if tracer is None:
+        tracer = get_tracer()
     stats = OptStats(gates_before=len(netlist.gates))
     current = netlist
     for _ in range(max_iterations):
         stats.iterations += 1
         before = len(current.gates)
-        current = _Rewriter(current, stats, set(passes)).run()
-        if "dce" in passes:
-            current = dead_code_elim(current, stats)
+        with tracer.span("synth.opt_iter") as sp:
+            current = _Rewriter(current, stats, set(passes)).run()
+            if "dce" in passes:
+                current = dead_code_elim(current, stats)
+            sp.set(iteration=stats.iterations, gates=len(current.gates))
         if len(current.gates) == before:
             break
     stats.gates_after = len(current.gates)

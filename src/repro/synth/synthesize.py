@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 from ..hdl.ir import Module
 from ..hdl.verilog import count_rtl_lines
+from ..obs.trace import Tracer, get_tracer
 from ..pdk.cells import Library
 from .lower import lower
 from .mapped import MappedNetlist
@@ -73,24 +74,51 @@ def synthesize(
     max_load_per_drive_ff: float = 8.0,
     verify: bool = False,
     verify_cycles: int = 64,
+    tracer: Tracer | None = None,
 ) -> SynthesisResult:
     """Synthesize ``module`` onto ``library``.
 
     ``objective`` ("area" or "delay") selects the mapper pattern set;
     ``sizing`` enables post-mapping drive-strength selection; ``verify``
     runs a simulation equivalence check of the mapped netlist against the
-    RTL reference.
+    RTL reference.  ``tracer`` (default: the process tracer) receives one
+    span per frontend flow step plus sub-spans for the inner phases.
     """
+    if tracer is None:
+        tracer = get_tracer()
     rtl_lines = count_rtl_lines(module)
-    raw = lower(module)
-    optimized, opt_stats = optimize(raw, passes=opt_passes)
-    mapped, map_stats = tech_map(optimized, library, objective=objective)
-    sizing_stats = size_for_load(mapped, max_load_per_drive_ff) if sizing else None
-    equivalence = (
-        check_equivalence(module, mapped, cycles=verify_cycles)
-        if verify
-        else None
-    )
+    with tracer.span("step.synthesis", module=module.name) as synth_span:
+        with tracer.span("synth.lower") as sp:
+            raw = lower(module)
+            sp.set(gates=len(raw.gates))
+        with tracer.span("synth.optimize") as sp:
+            optimized, opt_stats = optimize(
+                raw, passes=opt_passes, tracer=tracer
+            )
+            sp.set(iterations=opt_stats.iterations,
+                   gates_after=opt_stats.gates_after)
+        synth_span.set(gates_raw=opt_stats.gates_before,
+                       gates_optimized=opt_stats.gates_after)
+    with tracer.span("step.technology_mapping") as map_span:
+        with tracer.span("synth.map", objective=objective):
+            mapped, map_stats = tech_map(
+                optimized, library, objective=objective
+            )
+        if sizing:
+            with tracer.span("synth.sizing") as sp:
+                sizing_stats = size_for_load(mapped, max_load_per_drive_ff)
+                sp.set(upsized=sizing_stats.upsized)
+        else:
+            sizing_stats = None
+        map_span.set(cells=len(mapped.cells))
+    with tracer.span("step.equivalence_check", checked=verify) as sp:
+        equivalence = (
+            check_equivalence(module, mapped, cycles=verify_cycles)
+            if verify
+            else None
+        )
+        if equivalence is not None:
+            sp.set(passed=equivalence.passed, cycles=verify_cycles)
     return SynthesisResult(
         module=module,
         netlist=optimized,

@@ -46,6 +46,26 @@ class TestCli:
         for suffix in (".v", ".rpt", ".def", ".gds"):
             assert (tmp_path / f"counter8{suffix}").exists()
 
+    def test_flow_trace_round_trip(self, capsys, tmp_path):
+        trace_path = tmp_path / "nested" / "trace.jsonl"
+        code = main([
+            "flow", "--ip", "counter", "--pdk", "edu130",
+            "--verify-cycles", "50", "--trace", str(trace_path),
+        ])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        assert trace_path.exists()
+
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== timeline ==" in out
+        assert "step.placement" in out
+        assert "== by span (self/cumulative) ==" in out
+
+    def test_trace_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_flow_unknown_ip(self, capsys):
         assert main(["flow", "--ip", "gpu"]) == 2
         assert "unknown IP" in capsys.readouterr().err

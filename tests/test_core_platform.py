@@ -122,6 +122,26 @@ class TestCloud:
         cloud.run()
         assert high.start_min <= low.start_min
 
+    @pytest.mark.parametrize(
+        "jobs,expected_wait",
+        [
+            # One server, unit jobs submitted together: sorted waits are
+            # 0, 1, ..., n-1, so nearest-rank p95 (the ceil(0.95 n)-th
+            # smallest) is directly readable.  n=20 exposed the old
+            # off-by-one: int(0.95 * 20) == 19 indexed one rank too high.
+            (1, 0.0),
+            (19, 18.0),  # ceil(18.05) = 19th value
+            (20, 18.0),  # ceil(19.0) = 19th value, NOT the 20th
+            (100, 94.0),  # ceil(95.0) = 95th value
+        ],
+    )
+    def test_p95_wait_nearest_rank(self, jobs, expected_wait):
+        cloud = CloudPlatform(servers=1)
+        for i in range(jobs):
+            cloud.submit(f"u{i}", duration_min=1.0, submit_min=0.0)
+        stats = cloud.run()
+        assert stats.p95_wait_min == pytest.approx(expected_wait)
+
     def test_invalid_args(self):
         with pytest.raises(ValueError):
             CloudPlatform(servers=0)

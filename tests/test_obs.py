@@ -1,0 +1,362 @@
+"""Tests for the observability subsystem (repro.obs) and its flow hooks."""
+
+import json
+
+import pytest
+
+from repro.core import OPEN, CloudPlatform, FlowStep, run_flow
+from repro.hdl import ModuleBuilder, mux
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_SPAN,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    aggregate,
+    get_tracer,
+    load_trace,
+    render_timeline,
+    render_trace,
+    set_tracer,
+    use_tracer,
+    write_trace,
+)
+from repro.pdk import get_pdk
+
+
+def build_counter(width=6):
+    b = ModuleBuilder("obs_counter")
+    en = b.input("en", 1)
+    count = b.register("count", width)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    return b.build()
+
+
+class TestSpans:
+    def test_nesting_assigns_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                with tracer.span("leaf") as leaf:
+                    pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        # Completion order: children finish before their parents.
+        assert [s.name for s in tracer.spans] == ["leaf", "inner", "outer"]
+
+    def test_timing_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                sum(range(1000))
+        assert outer.start_s <= inner.start_s <= inner.end_s <= outer.end_s
+        assert inner.duration_s >= 0.0
+        assert outer.duration_s >= inner.duration_s
+
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("work", step=1) as span:
+            span.set(cells=40, hpwl=1.5)
+        assert span.attributes == {"step": 1, "cells": 40, "hpwl": 1.5}
+
+    def test_exception_marks_span_and_finishes(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (span,) = tracer.spans
+        assert span.attributes["error"] == "RuntimeError"
+        assert span.end_s is not None
+        assert tracer.current() is None
+
+    def test_injected_clock(self):
+        ticks = iter(range(100))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["a"].start_s == 0.0
+        assert by_name["b"].duration_s == 1.0  # ticks 1 -> 2
+
+    def test_add_span_explicit_timestamps(self):
+        tracer = Tracer()
+        parent = tracer.add_span("job", 10.0, 25.0, user="alice")
+        child = tracer.add_span("job.run", 15.0, 25.0,
+                                parent_id=parent.span_id)
+        assert parent.duration_s == 15.0
+        assert child.parent_id == parent.span_id
+
+    def test_mark_since_find(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.since(mark)] == ["after"]
+        assert tracer.find("after", mark).name == "after"
+        assert tracer.find("before", mark) is None
+
+
+class TestNullTracer:
+    def test_noop_span_is_shared_singleton(self):
+        assert NULL_TRACER.span("anything", key=1) is NULL_SPAN
+        assert NULL_TRACER.span("other") is NULL_SPAN
+        with NULL_TRACER.span("x") as span:
+            assert span.set(a=1) is span
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.since(NULL_TRACER.mark()) == []
+        assert not NULL_TRACER.enabled
+
+    def test_default_tracer_is_noop_and_swappable(self):
+        assert get_tracer() is NULL_TRACER
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with get_tracer().span("scoped"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert [s.name for s in tracer.spans] == ["scoped"]
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+
+class TestMetrics:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("runs")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_series(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3, at=10.0)
+        gauge.set(1, at=12.5)
+        state = gauge.state()
+        assert state["value"] == 1
+        assert state["min"] == 1 and state["max"] == 3
+        assert state["series"] == [[10.0, 3.0], [12.5, 1.0]]
+
+    def test_histogram_bucket_edges(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0, 2.0, 5.0))
+        # v <= bound lands in that bucket; past the last bound overflows.
+        for value in (0.5, 1.0, 1.0001, 2.0, 5.0, 5.0001):
+            hist.observe(value)
+        state = hist.state()
+        assert state["bounds"] == [1.0, 2.0, 5.0]
+        assert state["counts"] == [2, 2, 1, 1]
+        assert state["count"] == 6
+        assert state["mean"] == pytest.approx(sum(
+            (0.5, 1.0, 1.0001, 2.0, 5.0, 5.0001)) / 6)
+
+    def test_default_buckets_cover_engine_timescales(self):
+        assert DEFAULT_TIME_BUCKETS[0] <= 0.001
+        assert DEFAULT_TIME_BUCKETS[-1] >= 60.0
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(7)
+        registry.histogram("c").observe(0.01)
+        snap = registry.snapshot()
+        assert snap["counters"]["a"] == 1.0
+        assert snap["gauges"]["b"]["value"] == 7
+        assert snap["histograms"]["c"]["count"] == 1
+        # Snapshot must be plain data: JSON round-trip is the identity.
+        assert json.loads(json.dumps(snap)) == snap
+        registry.reset()
+        assert registry.counter("a").value == 0.0
+        assert registry.histogram("c").count == 0
+
+
+class TestTraceFile:
+    def test_jsonl_round_trip_equality(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("flow", design="counter"):
+            with tracer.span("step.synthesis", gates=64):
+                pass
+        registry = MetricsRegistry()
+        registry.counter("flow.runs").inc()
+        path = tmp_path / "trace.jsonl"
+        records = write_trace(str(path), tracer, metrics=registry,
+                              events=[{"name": "note", "detail": "hi"}])
+        assert records == 1 + 2 + 1 + 1  # header + spans + metrics + event
+
+        data = load_trace(str(path))
+        assert data.spans == tracer.spans  # dataclass equality
+        assert data.metrics == registry.snapshot()
+        assert data.events == [{"type": "event", "name": "note",
+                                "detail": "hi"}]
+
+    def test_file_is_line_delimited_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        path = tmp_path / "t.jsonl"
+        write_trace(str(path), tracer)
+        lines = path.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "trace" and header["spans"] == 1
+        assert json.loads(lines[1])["name"] == "only"
+
+    def test_corrupt_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "trace", "version": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_trace(str(path))
+
+    def test_render_trace_sections(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("flow"):
+            with tracer.span("step.placement"):
+                pass
+        path = tmp_path / "t.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("flow.runs").inc()
+        write_trace(str(path), tracer, metrics=registry)
+        text = render_trace(load_trace(str(path)))
+        assert "== timeline ==" in text
+        assert "== by span (self/cumulative) ==" in text
+        assert "== metrics ==" in text
+        assert "step.placement" in text
+
+
+class TestAggregation:
+    def test_self_time_excludes_children(self):
+        ticks = iter(range(100))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        with tracer.span("parent"):     # 0 .. 3
+            with tracer.span("child"):  # 1 .. 2
+                pass
+        rows = {row.name: row for row in aggregate(tracer.spans)}
+        assert rows["parent"].total_s == 3.0
+        assert rows["parent"].self_s == 2.0
+        assert rows["child"].self_s == 1.0
+        # Self times partition the traced wall time.
+        assert rows["parent"].self_s + rows["child"].self_s == 3.0
+
+    def test_timeline_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        text = render_timeline(tracer.spans)
+        lines = text.splitlines()
+        assert any(line.endswith("  a") for line in lines)
+        assert any(line.endswith("    b") for line in lines)
+
+
+class TestFlowIntegration:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        tracer = Tracer()
+        result = run_flow(build_counter(), get_pdk("edu130"), preset=OPEN,
+                          tracer=tracer)
+        return tracer, result
+
+    def test_every_recorded_step_has_a_span(self, traced):
+        tracer, result = traced
+        names = {span.name for span in tracer.spans}
+        for report in result.steps:
+            assert f"step.{report.step.value}" in names
+
+    def test_step_runtimes_come_from_spans(self, traced):
+        tracer, result = traced
+        by_name = {s.name: s for s in tracer.spans}
+        for report in result.steps:
+            span = by_name[f"step.{report.step.value}"]
+            assert report.runtime_s == pytest.approx(span.duration_s,
+                                                     abs=1e-6)
+
+    def test_step_spans_do_not_overlap(self, traced):
+        tracer, _ = traced
+        steps = sorted(
+            (s for s in tracer.spans if s.name.startswith("step.")),
+            key=lambda s: s.start_s,
+        )
+        assert len(steps) == 12
+        for earlier, later in zip(steps, steps[1:]):
+            assert earlier.end_s <= later.start_s + 1e-9
+
+    def test_step_runtimes_sum_to_wall_time(self, traced):
+        tracer, result = traced
+        flow_span = next(s for s in tracer.spans if s.name == "flow")
+        total = sum(report.runtime_s for report in result.steps)
+        assert total <= flow_span.duration_s + 1e-6
+        # Steps account for nearly all of the flow's wall time.
+        assert total >= 0.5 * flow_span.duration_s
+
+    def test_sub_stage_spans_present(self, traced):
+        tracer, _ = traced
+        names = {span.name for span in tracer.spans}
+        assert {"synth.lower", "synth.optimize", "place.global",
+                "route.initial", "sta.analyze", "power.analyze",
+                "drc.flatten"} <= names
+
+    def test_result_trace_field_matches_tracer(self, traced):
+        tracer, result = traced
+        assert result.trace == tracer.spans
+
+    def test_untraced_flow_still_reports_runtimes(self):
+        result = run_flow(build_counter(), get_pdk("edu130"), preset=OPEN)
+        assert sum(r.runtime_s for r in result.steps) > 0.0
+        assert len(result.trace) > 0
+        # Nothing leaked into the process-wide (no-op) tracer.
+        assert get_tracer() is NULL_TRACER
+
+    def test_flow_ignores_sim_steps(self, traced):
+        tracer, result = traced
+        recorded = {report.step for report in result.steps}
+        assert FlowStep.SPECIFICATION not in recorded
+        assert FlowStep.TAPEOUT not in recorded
+
+
+class TestCloudTracing:
+    def test_job_spans_in_simulated_minutes(self):
+        tracer = Tracer()
+        cloud = CloudPlatform(servers=1, tracer=tracer)
+        cloud.submit("alice", duration_min=30.0, submit_min=0.0)
+        cloud.submit("bob", duration_min=30.0, submit_min=0.0)
+        cloud.run()
+        jobs = [s for s in tracer.spans if s.name == "cloud.job"]
+        runs = [s for s in tracer.spans if s.name == "cloud.job.run"]
+        assert len(jobs) == 2 and len(runs) == 2
+        waiting = next(s for s in jobs if s.attributes["user"] == "bob")
+        assert waiting.start_s == 0.0 and waiting.end_s == 60.0
+        child = next(r for r in runs if r.parent_id == waiting.span_id)
+        assert child.start_s == 30.0  # waited behind alice
+
+    def test_queue_and_utilization_gauges(self):
+        cloud = CloudPlatform(servers=2)
+        for i in range(6):
+            cloud.submit(f"u{i}", duration_min=10.0, submit_min=0.0)
+        cloud.run()
+        snap = cloud.metrics.snapshot()
+        depth = snap["gauges"]["cloud.queue_depth"]
+        util = snap["gauges"]["cloud.utilization"]
+        assert depth["max"] >= 4  # contention was visible
+        assert util["max"] == 1.0
+        assert all(0.0 <= v <= 1.0 for _, v in util["series"])
+        assert snap["counters"]["cloud.jobs_completed"] == 6.0
+
+    def test_untraced_platform_records_no_spans(self):
+        cloud = CloudPlatform(servers=1)
+        cloud.submit("alice", duration_min=5.0, submit_min=0.0)
+        stats = cloud.run()
+        assert stats.jobs == 1
+        assert cloud.tracer is NULL_TRACER
