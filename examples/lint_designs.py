@@ -1,0 +1,80 @@
+"""Lint every example design and catalogue IP — the CI quality gate.
+
+Runs the full static-analysis pass (RTL + mapped netlist) over the
+designs built by the example scripts and every IP in the catalogue,
+merges the verdicts into one JSON report, and exits nonzero if any
+design has an unwaived ``error``-severity finding.  Warnings and info
+findings are reported but never gate — the same contract as
+``python -m repro lint``.
+
+Usage::
+
+    python examples/lint_designs.py [report.json]
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.ip.catalog import catalogue, generate  # noqa: E402
+from repro.lint import lint_design  # noqa: E402
+from repro.pdk import get_pdk  # noqa: E402
+from repro.synth import synthesize  # noqa: E402
+
+from quickstart import build_counter  # noqa: E402
+from research_node_access import build_research_datapath  # noqa: E402
+from tiny_soc import build_soc  # noqa: E402
+
+
+def example_modules():
+    yield "examples/quickstart", build_counter()
+    yield "examples/research_node_access", build_research_datapath()
+    yield "examples/tiny_soc", build_soc()
+    for name in catalogue():
+        yield f"ip/{name}", generate(name).module
+
+
+def main(argv):
+    report_path = argv[1] if len(argv) > 1 else None
+    library = get_pdk("edu130").library
+
+    designs = []
+    failed = []
+    for name, module in example_modules():
+        mapped = synthesize(module, library).mapped
+        report = lint_design(module, mapped=mapped)
+        counts = report.counts()
+        verdict = "clean" if report.clean else "FAIL"
+        print(f"{name:35s} {verdict:6s} {counts['error']} errors, "
+              f"{counts['warning']} warnings, {counts['info']} info")
+        for finding in report.errors:
+            print(f"  error: {finding.rule} at "
+                  f"{finding.target}.{finding.location}: {finding.message}")
+        if not report.clean:
+            failed.append(name)
+        designs.append({
+            "design": name,
+            "clean": report.clean,
+            "counts": counts,
+            "report": json.loads(report.to_json()),
+        })
+
+    if report_path:
+        with open(report_path, "w") as handle:
+            json.dump({"designs": designs,
+                       "clean": not failed,
+                       "failed": failed}, handle, indent=2)
+        print(f"\nJSON report written to {report_path}")
+
+    if failed:
+        print(f"\nlint FAILED for: {', '.join(failed)}")
+        return 1
+    print(f"\nall {len(designs)} designs lint clean (no error findings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

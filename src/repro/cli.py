@@ -11,6 +11,8 @@ and run the full RTL→GDSII flow on any catalogue IP:
    $ python -m repro flow --ip counter --pdk edu130 --out build/
    $ python -m repro flow --ip counter --trace build/trace.jsonl
    $ python -m repro trace build/trace.jsonl
+   $ python -m repro lint --ip counter --json build/lint.json
+   $ python -m repro lint --demo --waive 'net.high-fanout'
    $ python -m repro liberty edu130 > edu130.lib
 """
 
@@ -23,14 +25,24 @@ import sys
 from .core.flow import run_flow
 from .core.presets import get_preset
 from .core.reporting import full_report
+from .hdl.ir import HdlError
 from .hdl.verilog import to_verilog
 from .ip.base import quality_score
 from .ip.catalog import GENERATORS, catalogue, generate
 from .layout.defio import from_physical, write_def
+from .lint import (
+    LintError,
+    Waiver,
+    lint_design,
+    load_waiver_file,
+    make_defective_module,
+    make_defective_netlist,
+)
 from .obs import Tracer, get_metrics, load_trace, render_trace, write_trace
 from .pdk.lef import write_library_lef
 from .pdk.liberty import write_liberty
 from .pdk.pdks import get_pdk, list_pdks
+from .synth import synthesize
 
 
 def _cmd_pdks(args) -> int:
@@ -122,6 +134,74 @@ def _cmd_flow(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    """Static analysis with the signoff exit-code contract.
+
+    The return code is nonzero only for unwaived ``error``-severity
+    findings; warnings and info never fail the command unless
+    ``--strict`` promotes warnings to errors.
+    """
+    try:
+        waivers = tuple(Waiver.parse(spec) for spec in args.waive) + (
+            load_waiver_file(args.waiver_file) if args.waiver_file else ()
+        )
+    except (LintError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.demo:
+        report = lint_design(
+            make_defective_module(),
+            netlist=make_defective_netlist(),
+            waivers=waivers,
+        )
+    else:
+        if args.verilog:
+            from .hdl.verilog_parser import parse_verilog
+
+            with open(args.verilog) as handle:
+                module = parse_verilog(handle.read())
+        elif args.ip:
+            if args.ip not in GENERATORS:
+                print(f"error: unknown IP {args.ip!r}; try: "
+                      "python -m repro ips", file=sys.stderr)
+                return 2
+            module = generate(args.ip).module
+        else:
+            print("error: one of --ip, --verilog or --demo is required",
+                  file=sys.stderr)
+            return 2
+
+        mapped = None
+        if not args.rtl_only:
+            try:
+                module.validate()
+            except HdlError as exc:
+                print(f"note: netlist lint skipped, RTL does not "
+                      f"elaborate ({exc})", file=sys.stderr)
+            else:
+                mapped = synthesize(
+                    module, get_pdk(args.pdk).library
+                ).mapped
+        report = lint_design(module, mapped=mapped, waivers=waivers)
+
+    if args.strict:
+        report = report.promote_warnings()
+
+    if args.json == "-":
+        print(report.to_json())
+    else:
+        print(report.render())
+        if args.json:
+            directory = os.path.dirname(args.json)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(args.json, "w") as handle:
+                handle.write(report.to_json())
+            print(f"lint report written to {args.json}")
+    return 1 if report.errors else 0
+
+
 def _cmd_trace(args) -> int:
     try:
         data = load_trace(args.file)
@@ -176,6 +256,29 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--trace",
                       help="write a JSONL trace of the run to this path")
     flow.set_defaults(fn=_cmd_flow)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: RTL + netlist rule checks with waivers",
+    )
+    lint.add_argument("--ip", help="catalogue IP name")
+    lint.add_argument("--verilog", help="path to a Verilog file to lint")
+    lint.add_argument("--demo", action="store_true",
+                      help="lint the built-in defective demo designs")
+    lint.add_argument("--pdk", default="edu130", choices=list_pdks(),
+                      help="library used for the netlist lint target")
+    lint.add_argument("--rtl-only", action="store_true",
+                      help="skip synthesis and the netlist lint target")
+    lint.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                      help="write the JSON report to PATH (or stdout)")
+    lint.add_argument("--waive", action="append", default=[],
+                      metavar="RULE[@LOCATION]",
+                      help="waive findings matching the glob (repeatable)")
+    lint.add_argument("--waiver-file",
+                      help="file of RULE[@LOCATION]  # reason lines")
+    lint.add_argument("--strict", action="store_true",
+                      help="promote warnings to errors")
+    lint.set_defaults(fn=_cmd_lint)
 
     trace = sub.add_parser(
         "trace", help="render a JSONL trace file as a timeline + profile"

@@ -22,6 +22,7 @@ from ..hdl.ir import Module
 from ..layout.chip import build_chip_gds
 from ..layout.drc import DrcReport, check_drc
 from ..layout.gds import write_gds
+from ..lint import LintReport, Waiver, lint_mapped, lint_module
 from ..obs.metrics import get_metrics
 from ..obs.trace import Span, Tracer, get_tracer
 from ..pdk.pdks import Pdk
@@ -85,6 +86,9 @@ class FlowResult:
     ppa: PpaSummary
     #: The run's finished spans (completion order) — a trace artifact.
     trace: list[Span] = field(default_factory=list)
+    #: Static-analysis verdict: RTL lint (pre-synthesis) merged with
+    #: netlist lint (post-mapping).  Signoff gates on unwaived errors.
+    lint: LintReport | None = None
 
     @property
     def ok(self) -> bool:
@@ -119,12 +123,20 @@ def run_flow(
     strict_drc: bool = True,
     seed: int = 1,
     tracer: Tracer | None = None,
+    lint_waivers: tuple[Waiver, ...] = (),
+    strict_lint: bool = False,
 ) -> FlowResult:
     """Run the complete RTL→GDSII flow.
 
     ``frequency_mhz`` defaults to the clock the period implies.  With
     ``strict_drc`` any DRC violation raises :class:`FlowError` (signoff
     semantics); otherwise violations are recorded in the report.
+
+    The linter runs twice — over the RTL before synthesis and over the
+    mapped netlist after technology mapping — and the merged report
+    lands on :attr:`FlowResult.lint`.  Lint is advisory by default;
+    ``strict_lint`` raises :class:`FlowError` on any ``error`` finding
+    not covered by ``lint_waivers``.
 
     ``tracer`` collects the run's spans; when omitted the process-wide
     tracer is used if one is installed, else a private tracer records
@@ -165,6 +177,9 @@ def run_flow(
             module.validate()
         record(FlowStep.RTL_DESIGN, sp, **module.stats())
 
+        # Pre-synthesis quality gate: advisory RTL lint.
+        rtl_lint = lint_module(module, waivers=lint_waivers, tracer=tracer)
+
         synth = synthesize(
             module,
             pdk.library,
@@ -199,6 +214,18 @@ def run_flow(
             raise FlowError(
                 f"synthesis equivalence check failed: "
                 f"{synth.equivalence.mismatches[:3]}"
+            )
+
+        # Post-mapping quality gate: netlist lint over the mapped design.
+        lint_report = rtl_lint.merge(
+            lint_mapped(synth.mapped, waivers=lint_waivers, tracer=tracer)
+        )
+        if strict_lint and not lint_report.clean:
+            first = lint_report.errors[0]
+            raise FlowError(
+                f"lint failed with {len(lint_report.errors)} error "
+                f"finding(s), first: {first.rule} at "
+                f"{first.target}.{first.location}: {first.message}"
             )
 
         physical = implement(
@@ -285,4 +312,5 @@ def run_flow(
         gds_bytes=gds_bytes,
         ppa=ppa,
         trace=tracer.since(mark),
+        lint=lint_report,
     )

@@ -4,7 +4,7 @@ Every real tape-out is gated by a signoff review; forgetting one is how
 universities lose an MPW seat worth a semester (the stakes Section III-C
 describes).  :func:`run_signoff` evaluates a completed
 :class:`~repro.core.flow.FlowResult` against the standard checklist —
-equivalence, setup/hold across corners, DRC, routing completion,
+equivalence, lint, setup/hold across corners, DRC, routing completion,
 congestion, utilization sanity, die-area budget — and produces a
 machine-checkable verdict with explicit, named waivers for the items a
 supervisor may consciously accept.
@@ -90,6 +90,21 @@ def run_signoff(
         result.drc.clean,
         result.drc.summary(),
         waivable=False,
+    ))
+
+    # The static-analysis verdict.  A supervisor may consciously waive
+    # it (lint is advisory by nature) — unlike equivalence or DRC.
+    lint_report = result.lint
+    if lint_report is None:
+        from ..lint import lint_design
+
+        lint_report = lint_design(
+            result.synthesis.module, mapped=result.synthesis.mapped
+        )
+    add(SignoffItem(
+        "lint_clean",
+        lint_report.clean,
+        lint_report.summary(),
     ))
 
     add(SignoffItem(

@@ -1,0 +1,53 @@
+"""repro.lint — rule-based RTL and netlist static analysis.
+
+The advisory quality gate in front of the flow (the SpyGlass-class
+"lint first" discipline commercial enablement ships with): a rule
+framework with severities, locations and fix hints, a waiver mechanism
+mirroring signoff, and two analysis targets — word-level RTL modules
+and gate/mapped netlists.  Reports serialize to JSON and gate CI and
+tapeout signoff on unwaived ``error`` findings.
+"""
+
+from .core import (
+    DEFAULT_OPTIONS,
+    RULES,
+    SEVERITIES,
+    Finding,
+    LintError,
+    LintOptions,
+    LintReport,
+    Rule,
+    Waiver,
+    load_waiver_file,
+    rule,
+    rules_for,
+)
+from .demo import make_defective_module, make_defective_netlist
+from .engine import lint_design, lint_gate_netlist, lint_mapped, lint_module
+from .netlist import MappedContext, NetlistContext
+from .rtl import RtlContext, expr_equal
+
+__all__ = [
+    "DEFAULT_OPTIONS",
+    "Finding",
+    "LintError",
+    "LintOptions",
+    "LintReport",
+    "MappedContext",
+    "NetlistContext",
+    "RULES",
+    "RtlContext",
+    "Rule",
+    "SEVERITIES",
+    "Waiver",
+    "expr_equal",
+    "lint_design",
+    "lint_gate_netlist",
+    "lint_mapped",
+    "lint_module",
+    "load_waiver_file",
+    "make_defective_module",
+    "make_defective_netlist",
+    "rule",
+    "rules_for",
+]

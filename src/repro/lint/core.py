@@ -1,0 +1,376 @@
+"""Rule framework for the static-analysis engine.
+
+Commercial flows put a lint tool (SpyGlass-class) in front of synthesis
+as the first quality gate; this module is the framework that gate is
+built from.  Everything is data:
+
+* :class:`Finding` — one diagnostic: a rule id, a severity, a location
+  inside a design, a message and an optional fix hint.
+* :class:`Waiver` — a consciously-accepted finding pattern (rule and
+  location globs plus a mandatory-by-convention reason), mirroring the
+  named waivers of :mod:`repro.core.signoff`.
+* :class:`LintReport` — findings plus waivers, with severity partitions,
+  a human rendering and a JSON round trip (reports are artifacts, like
+  traces and GDS).
+* :class:`Rule` and :func:`rule` — the registry the analysis passes in
+  :mod:`repro.lint.rtl` and :mod:`repro.lint.netlist` register into.
+
+Severity semantics (the CLI exit-code contract builds on them):
+``error`` findings gate CI and signoff unless waived; ``warning`` and
+``info`` never gate, but ``--strict`` promotes warnings to errors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
+from typing import Callable, Iterable
+
+#: Valid severities, most severe first.
+SEVERITIES = ("error", "warning", "info")
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: Analysis scopes a rule can run under.
+SCOPES = ("rtl", "netlist", "mapped")
+
+
+class LintError(Exception):
+    """Raised for malformed findings, waivers or report files."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    rule: str
+    severity: str
+    target: str  # design / netlist name
+    location: str  # signal, gate or cell path inside the target
+    message: str
+    fix_hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise LintError(
+                f"finding {self.rule!r}: unknown severity {self.severity!r}"
+            )
+
+    @property
+    def sort_key(self) -> tuple:
+        return (_SEVERITY_RANK[self.severity], self.target, self.rule,
+                self.location)
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "target": self.target,
+            "location": self.location,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        try:
+            return cls(
+                rule=data["rule"],
+                severity=data["severity"],
+                target=data["target"],
+                location=data["location"],
+                message=data["message"],
+                fix_hint=data.get("fix_hint", ""),
+            )
+        except KeyError as exc:
+            raise LintError(f"finding record is missing {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """A consciously-accepted finding pattern.
+
+    ``rule`` and ``location`` are shell-style globs matched with
+    :func:`fnmatch.fnmatchcase`; ``Waiver("net.high-fanout")`` waives the
+    rule everywhere, ``Waiver("rtl.*", "demo.count")`` waives every RTL
+    rule at one location.
+    """
+
+    rule: str
+    location: str = "*"
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return fnmatchcase(finding.rule, self.rule) and fnmatchcase(
+            finding.location, self.location
+        )
+
+    @classmethod
+    def parse(cls, spec: str, reason: str = "") -> "Waiver":
+        """Parse the CLI form ``RULE[@LOCATION][#REASON]``."""
+        spec, sep, comment = spec.partition("#")
+        if sep and not reason:
+            reason = comment.strip()
+        spec = spec.strip()
+        if not spec:
+            raise LintError("empty waiver spec")
+        rule, _, location = spec.partition("@")
+        return cls(rule=rule.strip(), location=location.strip() or "*",
+                   reason=reason)
+
+    def to_dict(self) -> dict[str, str]:
+        return {"rule": self.rule, "location": self.location,
+                "reason": self.reason}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Waiver":
+        try:
+            return cls(rule=data["rule"],
+                       location=data.get("location", "*"),
+                       reason=data.get("reason", ""))
+        except KeyError as exc:
+            raise LintError(f"waiver record is missing {exc}") from exc
+
+
+def load_waiver_file(path: str) -> tuple[Waiver, ...]:
+    """Read a waiver file: one ``RULE[@LOCATION][# reason]`` per line."""
+    waivers = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            waivers.append(Waiver.parse(line))
+    return tuple(waivers)
+
+
+@dataclass
+class LintReport:
+    """Findings plus the waivers applied to them."""
+
+    findings: list[Finding] = field(default_factory=list)
+    waivers: tuple[Waiver, ...] = ()
+
+    # -- waiver partitioning ----------------------------------------------
+
+    def waiver_for(self, finding: Finding) -> Waiver | None:
+        for waiver in self.waivers:
+            if waiver.matches(finding):
+                return waiver
+        return None
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings not covered by any waiver."""
+        return [f for f in self.findings if self.waiver_for(f) is None]
+
+    @property
+    def waived(self) -> list[Finding]:
+        return [f for f in self.findings if self.waiver_for(f) is not None]
+
+    # -- severity partitions (of active findings) --------------------------
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.active if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.active if f.severity == "warning"]
+
+    @property
+    def infos(self) -> list[Finding]:
+        return [f for f in self.active if f.severity == "info"]
+
+    @property
+    def clean(self) -> bool:
+        """No unwaived error findings (the CI / signoff gate)."""
+        return not self.errors
+
+    def rule_ids(self) -> set[str]:
+        return {f.rule for f in self.findings}
+
+    def counts(self) -> dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for finding in self.active:
+            counts[finding.severity] += 1
+        return counts
+
+    # -- transformations ---------------------------------------------------
+
+    def merge(self, other: "LintReport") -> "LintReport":
+        """Concatenate findings; waivers are unioned (order-preserving)."""
+        waivers = list(self.waivers)
+        waivers.extend(w for w in other.waivers if w not in self.waivers)
+        return LintReport(
+            findings=sorted(self.findings + other.findings,
+                            key=lambda f: f.sort_key),
+            waivers=tuple(waivers),
+        )
+
+    def promote_warnings(self) -> "LintReport":
+        """Strict mode: every warning becomes an error; info is untouched."""
+        return LintReport(
+            findings=[
+                replace(f, severity="error") if f.severity == "warning" else f
+                for f in self.findings
+            ],
+            waivers=self.waivers,
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def summary(self) -> str:
+        counts = self.counts()
+        status = "clean" if self.clean else "FAILING"
+        return (
+            f"lint {status}: {counts['error']} errors, "
+            f"{counts['warning']} warnings, {counts['info']} info, "
+            f"{len(self.waived)} waived, "
+            f"{len(self.rule_ids())} distinct rules"
+        )
+
+    def render(self) -> str:
+        """Human-readable finding table, most severe first."""
+        lines = []
+        for finding in sorted(self.findings, key=lambda f: f.sort_key):
+            waiver = self.waiver_for(finding)
+            tag = "waived" if waiver is not None else finding.severity
+            line = (f"{tag:8s} {finding.rule:24s} "
+                    f"{finding.target}.{finding.location}: {finding.message}")
+            if finding.fix_hint:
+                line += f" [hint: {finding.fix_hint}]"
+            if waiver is not None and waiver.reason:
+                line += f" (waived: {waiver.reason})"
+            lines.append(line)
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    # -- JSON round trip ---------------------------------------------------
+
+    def to_json(self, indent: int | None = 2) -> str:
+        counts = self.counts()
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in self.findings],
+                "waivers": [w.to_dict() for w in self.waivers],
+                "waived": [f.to_dict() for f in self.waived],
+                "counts": counts,
+                "clean": self.clean,
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "LintReport":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise LintError(f"malformed lint report: {exc}") from exc
+        if not isinstance(data, dict) or "findings" not in data:
+            raise LintError("lint report has no 'findings' record")
+        return cls(
+            findings=[Finding.from_dict(f) for f in data["findings"]],
+            waivers=tuple(Waiver.from_dict(w)
+                          for w in data.get("waivers", ())),
+        )
+
+
+# -- rule registry ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered analysis pass."""
+
+    id: str
+    severity: str
+    scope: str
+    doc: str
+    check: Callable[[object], Iterable[Finding]]
+
+
+#: All registered rules, keyed by (scope, id).  Rule ids are shared
+#: across the netlist/mapped scopes when the concept is the same.
+RULES: dict[tuple[str, str], Rule] = {}
+
+
+def rule(rule_id: str, severity: str, scope: str):
+    """Register an analysis pass; the docstring becomes the rule doc."""
+    if severity not in SEVERITIES:
+        raise LintError(f"rule {rule_id!r}: unknown severity {severity!r}")
+    if scope not in SCOPES:
+        raise LintError(f"rule {rule_id!r}: unknown scope {scope!r}")
+
+    def decorator(fn):
+        key = (scope, rule_id)
+        if key in RULES:
+            raise LintError(f"rule {rule_id!r} already registered for {scope}")
+        RULES[key] = Rule(
+            id=rule_id,
+            severity=severity,
+            scope=scope,
+            doc=(fn.__doc__ or "").strip().split("\n")[0],
+            check=fn,
+        )
+        return fn
+
+    return decorator
+
+
+def rules_for(scope: str) -> list[Rule]:
+    """Rules of one scope, in stable id order."""
+    return sorted(
+        (rule for (rule_scope, _), rule in RULES.items()
+         if rule_scope == scope),
+        key=lambda rule: rule.id,
+    )
+
+
+class Context:
+    """Base class for per-target analysis contexts.
+
+    Subclasses precompute the shared indexes (driver maps, read counts,
+    fanout) once so the rule passes never recompute them per rule, and
+    set :attr:`scope` so :meth:`finding` can stamp each diagnostic with
+    its rule's registered severity.
+    """
+
+    scope: str = ""
+
+    def __init__(self, target: str, options: "LintOptions"):
+        self.target = target
+        self.options = options
+
+    def finding(self, rule_id: str, location: str, message: str,
+                fix_hint: str = "") -> Finding:
+        registered = RULES[(self.scope, rule_id)]
+        return Finding(
+            rule=rule_id,
+            severity=registered.severity,
+            target=self.target,
+            location=location,
+            message=message,
+            fix_hint=fix_hint,
+        )
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Tunable thresholds for the analysis passes.
+
+    ``max_load_per_drive_ff`` mirrors the sizing knob of
+    :func:`repro.synth.sizing.size_for_load`: a mapped net is flagged
+    when its input-pin load exceeds this many fF per unit of the
+    driver's drive strength (the PDK-derived fanout threshold).
+    ``max_fanout`` is the plain sink-count bound used at the primitive
+    gate level, where no library electrical data exists yet.
+    """
+
+    max_fanout: int = 16
+    max_load_per_drive_ff: float = 8.0
+    min_const_waste_bits: int = 16
+    disabled: frozenset[str] = frozenset()
+
+
+DEFAULT_OPTIONS = LintOptions()

@@ -1,0 +1,103 @@
+"""Deliberately-defective demo designs for the lint walkthrough.
+
+``python -m repro lint --demo`` runs the linter over these two designs.
+Together they trip well over eight distinct rule ids across the RTL and
+netlist scopes — the classroom tour of what the analysis layer catches
+that :meth:`Module.validate` would only report one exception at a time
+(or not at all).
+
+The RTL module is intentionally *not* validate()-clean; the linter is
+tolerant by design.  The gate netlist is hand-built because a defective
+module cannot be lowered.
+"""
+
+from __future__ import annotations
+
+from ..hdl.ir import BinOp, Const, Module, Mux, Ref, Slice
+from ..synth.netlist import Gate, GateNetlist
+
+
+def make_defective_module() -> Module:
+    """An RTL module tripping most of the ``rtl.*`` rules."""
+    m = Module("lint_demo")
+    a = m.add_input("a", 8)
+    unused_in = m.add_input("unused_in", 4)  # rtl.unused-input
+    m.add_input("sel", 1)                    # rtl.unused-input
+    y = m.add_output("y", 8)
+    m.add_output("ghost", 4)                 # rtl.undriven
+
+    wide = m.add_wire("wide", 16)
+    m.assign(wide, Ref(a))                   # rtl.implicit-extension
+
+    narrow = m.add_wire("narrow", 4)
+    # Reads only the zero-extension of `wide`: rtl.unreachable-slice.
+    m.assign(narrow, Slice(Ref(wide), 15, 12))
+    # `narrow` itself is read by nothing: rtl.unused-wire.
+
+    dead = m.add_wire("deadcalc", 8)
+    # No signal inputs: rtl.const-expr (and the wire is unused).
+    m.assign(dead, BinOp("add", Const(1, 8), Const(2, 8)))
+
+    big = m.add_wire("bigconst", 64)
+    m.assign(big, Const(3, 64))              # rtl.oversized-const
+
+    # Constant select + identical arms: rtl.dead-mux-arm, rtl.mux-same-arms.
+    m.assign(y, Mux(Const(1, 1), Ref(a), Ref(a)))
+
+    # Default next-value is the register itself: rtl.self-assign, and
+    # nothing observes it: rtl.unread-register.
+    m.add_register("frozen", 8)
+
+    # A register *and* an assignment drive the same signal:
+    # rtl.multi-driven.
+    doubly = m.add_register("doubly", 4)
+    m.assign(doubly.signal, Ref(unused_in))
+
+    # Two wires assigned to each other: rtl.comb-loop.
+    loop_a = m.add_wire("loop_a", 2)
+    loop_b = m.add_wire("loop_b", 2)
+    m.assign(loop_a, Ref(loop_b))
+    m.assign(loop_b, Ref(loop_a))
+    return m
+
+
+def make_defective_netlist() -> GateNetlist:
+    """A gate netlist tripping most of the ``net.*`` rules."""
+    n = GateNetlist("lint_demo_net")
+    a = n.add_input("a", 2)
+
+    # Input net never driven by anything: net.floating-input.
+    floater = n.new_net()
+    hang = n.add_gate("AND", a[0], floater)
+
+    # Same function twice (commutative inputs): net.duplicate-gate.
+    dup1 = n.add_gate("AND", a[0], a[1])
+    dup2 = n.add_gate("AND", a[1], a[0])
+
+    # Constant input: net.const-gate.
+    folded = n.add_gate("OR", dup1, n.const0())
+
+    # Output of this gate goes nowhere: net.dangling.
+    n.add_gate("XOR", a[0], a[1])
+
+    # One net with more sinks than the threshold: net.high-fanout.
+    # (Each sink pairs `fan` with a distinct net so none are duplicates.)
+    fan = n.add_gate("BUF", a[0])
+    taps, prev = [], a[1]
+    for _ in range(20):
+        prev = n.add_gate("AND", fan, prev)
+        taps.append(prev)
+    n.set_output("taps", taps)
+
+    # State that never reaches an output: net.unreachable-register.
+    n.add_dff(d=dup2)
+
+    # Output bit on a net nothing drives: net.undriven-output.
+    n.set_output("ghost", [n.new_net()])
+
+    # Two drivers for one net: net.multi-driver (appended directly —
+    # the construction API refuses to build this).
+    n.gates.append(Gate("BUF", (a[1],), hang))
+
+    n.set_output("y", [folded])
+    return n

@@ -1,0 +1,116 @@
+"""The lint engine: run registered rules over a design, traced.
+
+Entry points:
+
+* :func:`lint_module` — RTL rules over a :class:`~repro.hdl.ir.Module`;
+* :func:`lint_gate_netlist` — netlist rules over a
+  :class:`~repro.synth.netlist.GateNetlist`;
+* :func:`lint_mapped` — netlist rules over a
+  :class:`~repro.synth.mapped.MappedNetlist` (PDK-aware fanout check);
+* :func:`lint_design` — RTL plus whichever netlists are provided,
+  merged into one report.
+
+Every run opens a ``lint.<scope>`` span on the ambient (or supplied)
+tracer with one child span per rule, and bumps the
+``lint.findings.<severity>`` counters, so lint shows up in flow traces
+exactly like synthesis or routing stages do.
+"""
+
+from __future__ import annotations
+
+from ..hdl.ir import Module
+from ..obs.metrics import get_metrics
+from ..obs.trace import Tracer, get_tracer
+from ..synth.mapped import MappedNetlist
+from ..synth.netlist import GateNetlist
+from .core import (
+    DEFAULT_OPTIONS,
+    Context,
+    LintOptions,
+    LintReport,
+    Waiver,
+    rules_for,
+)
+from .netlist import MappedContext, NetlistContext
+from .rtl import RtlContext
+
+
+def _run_scope(
+    ctx: Context,
+    waivers: tuple[Waiver, ...],
+    tracer: Tracer,
+) -> LintReport:
+    findings = []
+    with tracer.span(f"lint.{ctx.scope}", target=ctx.target) as scope_span:
+        for registered in rules_for(ctx.scope):
+            if registered.id in ctx.options.disabled:
+                continue
+            with tracer.span(f"lint.rule.{registered.id}") as rule_span:
+                produced = list(registered.check(ctx))
+                if produced and tracer.enabled:
+                    rule_span.set(findings=len(produced))
+            findings.extend(produced)
+        findings.sort(key=lambda finding: finding.sort_key)
+        report = LintReport(findings=findings, waivers=tuple(waivers))
+        counts = report.counts()
+        scope_span.set(findings=len(findings), errors=counts["error"],
+                       warnings=counts["warning"], waived=len(report.waived))
+    metrics = get_metrics()
+    for severity, count in counts.items():
+        if count:
+            metrics.counter(f"lint.findings.{severity}").inc(count)
+    metrics.counter("lint.runs").inc()
+    return report
+
+
+def lint_module(
+    module: Module,
+    waivers: tuple[Waiver, ...] = (),
+    options: LintOptions = DEFAULT_OPTIONS,
+    tracer: Tracer | None = None,
+) -> LintReport:
+    """Run the RTL rules over ``module`` (no validate() required)."""
+    tracer = get_tracer() if tracer is None else tracer
+    return _run_scope(RtlContext(module, options), tuple(waivers), tracer)
+
+
+def lint_gate_netlist(
+    netlist: GateNetlist,
+    waivers: tuple[Waiver, ...] = (),
+    options: LintOptions = DEFAULT_OPTIONS,
+    tracer: Tracer | None = None,
+) -> LintReport:
+    """Run the netlist rules over a primitive gate netlist."""
+    tracer = get_tracer() if tracer is None else tracer
+    return _run_scope(NetlistContext(netlist, options), tuple(waivers),
+                      tracer)
+
+
+def lint_mapped(
+    mapped: MappedNetlist,
+    waivers: tuple[Waiver, ...] = (),
+    options: LintOptions = DEFAULT_OPTIONS,
+    tracer: Tracer | None = None,
+) -> LintReport:
+    """Run the netlist rules over a technology-mapped netlist."""
+    tracer = get_tracer() if tracer is None else tracer
+    return _run_scope(MappedContext(mapped, options), tuple(waivers), tracer)
+
+
+def lint_design(
+    module: Module,
+    netlist: GateNetlist | None = None,
+    mapped: MappedNetlist | None = None,
+    waivers: tuple[Waiver, ...] = (),
+    options: LintOptions = DEFAULT_OPTIONS,
+    tracer: Tracer | None = None,
+) -> LintReport:
+    """Lint the RTL and whichever netlist representations are provided."""
+    report = lint_module(module, waivers, options, tracer)
+    if netlist is not None:
+        report = report.merge(
+            lint_gate_netlist(netlist, waivers, options, tracer)
+        )
+    if mapped is not None:
+        report = report.merge(lint_mapped(mapped, waivers, options, tracer))
+    return report

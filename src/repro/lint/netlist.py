@@ -1,0 +1,392 @@
+"""Netlist lint: structural analysis over gate and mapped netlists.
+
+Two scopes share one rule vocabulary:
+
+* ``netlist`` — :class:`~repro.synth.netlist.GateNetlist`, the primitive
+  gate level between lowering and technology mapping;
+* ``mapped`` — :class:`~repro.synth.mapped.MappedNetlist`, standard
+  cells, where library electrical data turns the fanout rule into a
+  PDK-derived load check.
+
+Both contexts compute their shared indexes exactly once.  The mapped
+context deliberately goes through the netlist's *memoized* connectivity
+indexes (``net_driver`` / ``net_loads`` / ``nets`` / ``seq_cells``) so a
+lint run after placement or STA reuses the indexes those engines already
+built instead of recomputing per rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..synth.mapped import CellInst, MappedNetlist
+from ..synth.netlist import GateNetlist
+from .core import Context, Finding, LintOptions, rule
+
+#: Gate ops whose input order is irrelevant for duplicate detection.
+_COMMUTATIVE_OPS = frozenset({"AND", "OR", "XOR"})
+_COMMUTATIVE_KINDS = frozenset(
+    {"AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2"}
+)
+
+
+class NetlistContext(Context):
+    """Shared indexes over one :class:`GateNetlist`."""
+
+    scope = "netlist"
+
+    def __init__(self, netlist: GateNetlist, options: LintOptions):
+        super().__init__(netlist.name, options)
+        self.netlist = netlist
+        self.const_nets = set(netlist.const_nets)
+
+        #: net -> list of driver descriptions ("g3(AND)", "ff1").
+        self.drivers: dict[int, list[str]] = {}
+        #: net -> the driving gate/flip-flop object (first driver wins).
+        self.driver_obj: dict[int, object] = {}
+        for index, gate in enumerate(netlist.gates):
+            self.drivers.setdefault(gate.output, []).append(
+                f"g{index}({gate.op})"
+            )
+            self.driver_obj.setdefault(gate.output, gate)
+        for index, ff in enumerate(netlist.dffs):
+            self.drivers.setdefault(ff.q, []).append(f"ff{index}")
+            self.driver_obj.setdefault(ff.q, ff)
+
+        self.input_nets: set[int] = set()
+        for nets in netlist.inputs.values():
+            self.input_nets.update(nets)
+        self.output_nets: set[int] = set()
+        for nets in netlist.outputs.values():
+            self.output_nets.update(nets)
+
+        #: Computed once; every fanout-shaped rule reads this dict.
+        self.fanout = netlist.fanout()
+
+    def is_driven(self, net: int) -> bool:
+        return (net in self.drivers or net in self.input_nets
+                or net in self.const_nets)
+
+
+@rule("net.floating-input", "error", "netlist")
+def check_floating_input(ctx: NetlistContext) -> Iterable[Finding]:
+    """Gate or flip-flop input connected to a net nothing drives."""
+    for index, gate in enumerate(ctx.netlist.gates):
+        for pin, net in enumerate(gate.inputs):
+            if not ctx.is_driven(net):
+                yield ctx.finding(
+                    "net.floating-input", f"g{index}({gate.op}).in{pin}",
+                    f"{gate.op} gate input {pin} floats on net {net}",
+                    fix_hint="connect the input or remove the gate",
+                )
+    for index, ff in enumerate(ctx.netlist.dffs):
+        if not ctx.is_driven(ff.d):
+            yield ctx.finding(
+                "net.floating-input", f"ff{index}.d",
+                f"flip-flop D input floats on net {ff.d}",
+                fix_hint="connect the D input",
+            )
+
+
+@rule("net.undriven-output", "error", "netlist")
+def check_undriven_output(ctx: NetlistContext) -> Iterable[Finding]:
+    """Output port bit connected to a net nothing drives."""
+    for name, nets in ctx.netlist.outputs.items():
+        for bit, net in enumerate(nets):
+            if not ctx.is_driven(net):
+                yield ctx.finding(
+                    "net.undriven-output", f"{name}[{bit}]",
+                    f"output {name}[{bit}] floats on net {net}",
+                    fix_hint="drive the output bit",
+                )
+
+
+@rule("net.multi-driver", "error", "netlist")
+def check_multi_driver(ctx: NetlistContext) -> Iterable[Finding]:
+    """Net driven by more than one gate / flip-flop / input."""
+    for net, drivers in ctx.drivers.items():
+        extra = list(drivers)
+        if net in ctx.input_nets:
+            extra.append("input")
+        if net in ctx.const_nets:
+            extra.append("const")
+        if len(extra) > 1:
+            yield ctx.finding(
+                "net.multi-driver", f"net{net}",
+                f"net {net} has {len(extra)} drivers "
+                f"({', '.join(extra)})",
+                fix_hint="give the net exactly one driver",
+            )
+
+
+@rule("net.dangling", "warning", "netlist")
+def check_dangling(ctx: NetlistContext) -> Iterable[Finding]:
+    """Gate output that reaches no gate, flip-flop or output port."""
+    for index, gate in enumerate(ctx.netlist.gates):
+        if ctx.fanout.get(gate.output, 0) == 0:
+            yield ctx.finding(
+                "net.dangling", f"g{index}({gate.op})",
+                f"{gate.op} gate output (net {gate.output}) drives nothing",
+                fix_hint="run dead-code elimination",
+            )
+
+
+@rule("net.duplicate-gate", "warning", "netlist")
+def check_duplicate_gate(ctx: NetlistContext) -> Iterable[Finding]:
+    """Structurally identical gates computing the same function twice."""
+    seen: dict[tuple, int] = {}
+    for index, gate in enumerate(ctx.netlist.gates):
+        inputs = (tuple(sorted(gate.inputs))
+                  if gate.op in _COMMUTATIVE_OPS else gate.inputs)
+        key = (gate.op, inputs)
+        if key in seen:
+            yield ctx.finding(
+                "net.duplicate-gate", f"g{index}({gate.op})",
+                f"structurally identical to g{seen[key]}; both compute "
+                f"{gate.op}{tuple(gate.inputs)}",
+                fix_hint=f"share the output of g{seen[key]}",
+            )
+        else:
+            seen[key] = index
+
+
+@rule("net.const-gate", "warning", "netlist")
+def check_const_gate(ctx: NetlistContext) -> Iterable[Finding]:
+    """Gate with a constant input (should be folded away)."""
+    for index, gate in enumerate(ctx.netlist.gates):
+        const_pins = [net for net in gate.inputs if net in ctx.const_nets]
+        if const_pins:
+            yield ctx.finding(
+                "net.const-gate", f"g{index}({gate.op})",
+                f"{gate.op} gate has a constant input (net "
+                f"{const_pins[0]}); it folds to a simpler form",
+                fix_hint="run constant propagation",
+            )
+
+
+@rule("net.high-fanout", "warning", "netlist")
+def check_high_fanout(ctx: NetlistContext) -> Iterable[Finding]:
+    """Net with more sinks than the fanout threshold."""
+    limit = ctx.options.max_fanout
+    for net, count in sorted(ctx.fanout.items()):
+        if count <= limit:
+            continue
+        driver = ctx.drivers.get(net)
+        location = driver[0] if driver else f"net{net}"
+        yield ctx.finding(
+            "net.high-fanout", location,
+            f"net {net} fans out to {count} sinks (threshold {limit})",
+            fix_hint="buffer the net or duplicate its driver",
+        )
+
+
+@rule("net.unreachable-register", "warning", "netlist")
+def check_unreachable_register(ctx: NetlistContext) -> Iterable[Finding]:
+    """Flip-flop with no combinational path to any output port."""
+    visited: set[int] = set()
+    stack = list(ctx.output_nets)
+    while stack:
+        net = stack.pop()
+        if net in visited:
+            continue
+        visited.add(net)
+        driver = ctx.driver_obj.get(net)
+        if driver is None:
+            continue
+        if hasattr(driver, "inputs"):  # Gate
+            stack.extend(driver.inputs)
+        else:  # FlipFlop
+            stack.append(driver.d)
+    for index, ff in enumerate(ctx.netlist.dffs):
+        if ff.q not in visited:
+            yield ctx.finding(
+                "net.unreachable-register", f"ff{index}",
+                f"flip-flop q (net {ff.q}) never reaches an output port",
+                fix_hint="expose the state or delete the register",
+            )
+
+
+# -- mapped netlist ---------------------------------------------------------
+
+
+class MappedContext(Context):
+    """Shared indexes over one :class:`MappedNetlist`.
+
+    Connectivity comes from the netlist's own memoized indexes
+    (:meth:`MappedNetlist.net_driver` and friends), so linting after any
+    engine that already walked the design costs no index rebuild.  The
+    driver index raises on multiple drivers; that hard malformation is
+    reported as a ``net.multi-driver`` error via a tolerant fallback.
+    """
+
+    scope = "mapped"
+
+    def __init__(self, mapped: MappedNetlist, options: LintOptions):
+        super().__init__(mapped.name, options)
+        self.mapped = mapped
+        self.multi_driver_nets: dict[int, list[str]] = {}
+        try:
+            self.driver = dict(mapped.net_driver())
+        except ValueError:
+            # Tolerant rebuild: remember every contested net.
+            self.driver = {}
+            claims: dict[int, list[str]] = {}
+            for inst in mapped.cells:
+                net = inst.output_net
+                if net is None:
+                    continue
+                claims.setdefault(net, []).append(inst.name)
+                self.driver.setdefault(net, inst)
+            self.multi_driver_nets = {
+                net: names for net, names in claims.items()
+                if len(names) > 1
+            }
+        self.loads = mapped.net_loads()
+        self.all_nets = mapped.nets()
+
+        self.input_nets: set[int] = set()
+        for nets in mapped.inputs.values():
+            self.input_nets.update(nets)
+        self.output_nets: set[int] = set()
+        for nets in mapped.outputs.values():
+            self.output_nets.update(nets)
+
+    def is_driven(self, net: int) -> bool:
+        return net in self.driver or net in self.input_nets
+
+
+@rule("net.floating-input", "error", "mapped")
+def check_mapped_floating_input(ctx: MappedContext) -> Iterable[Finding]:
+    """Cell input pin connected to a net nothing drives."""
+    for inst in ctx.mapped.cells:
+        for pin in inst.cell.inputs:
+            net = inst.pins[pin]
+            if not ctx.is_driven(net):
+                yield ctx.finding(
+                    "net.floating-input", f"{inst.name}.{pin}",
+                    f"pin {pin} of {inst.cell.name} floats on net {net}",
+                    fix_hint="connect the pin or remove the cell",
+                )
+
+
+@rule("net.undriven-output", "error", "mapped")
+def check_mapped_undriven_output(ctx: MappedContext) -> Iterable[Finding]:
+    """Output port bit connected to a net nothing drives."""
+    for name, nets in ctx.mapped.outputs.items():
+        for bit, net in enumerate(nets):
+            if not ctx.is_driven(net):
+                yield ctx.finding(
+                    "net.undriven-output", f"{name}[{bit}]",
+                    f"output {name}[{bit}] floats on net {net}",
+                    fix_hint="drive the output bit",
+                )
+
+
+@rule("net.multi-driver", "error", "mapped")
+def check_mapped_multi_driver(ctx: MappedContext) -> Iterable[Finding]:
+    """Net driven by more than one cell output."""
+    for net, names in sorted(ctx.multi_driver_nets.items()):
+        yield ctx.finding(
+            "net.multi-driver", f"net{net}",
+            f"net {net} is driven by {len(names)} cells "
+            f"({', '.join(names)})",
+            fix_hint="give the net exactly one driver",
+        )
+
+
+@rule("net.dangling", "warning", "mapped")
+def check_mapped_dangling(ctx: MappedContext) -> Iterable[Finding]:
+    """Combinational cell output that reaches no pin or output port."""
+    for inst in ctx.mapped.comb_cells:
+        net = inst.output_net
+        if net is None:
+            continue
+        if not ctx.loads.get(net) and net not in ctx.output_nets:
+            yield ctx.finding(
+                "net.dangling", inst.name,
+                f"{inst.cell.name} output (net {net}) drives nothing",
+                fix_hint="remove the dead cell",
+            )
+
+
+@rule("net.duplicate-gate", "warning", "mapped")
+def check_mapped_duplicate_cell(ctx: MappedContext) -> Iterable[Finding]:
+    """Structurally identical cells computing the same function twice."""
+    seen: dict[tuple, CellInst] = {}
+    for inst in ctx.mapped.comb_cells:
+        if not inst.cell.inputs:
+            continue  # tie cells legitimately repeat
+        nets = tuple(inst.pins[p] for p in inst.cell.inputs)
+        if inst.cell.kind in _COMMUTATIVE_KINDS:
+            nets = tuple(sorted(nets))
+        key = (inst.cell.kind, nets)
+        if key in seen:
+            yield ctx.finding(
+                "net.duplicate-gate", inst.name,
+                f"structurally identical to {seen[key].name}; both are "
+                f"{inst.cell.kind} over nets {nets}",
+                fix_hint=f"share the output of {seen[key].name}",
+            )
+        else:
+            seen[key] = inst
+
+
+@rule("net.const-gate", "warning", "mapped")
+def check_mapped_const_cell(ctx: MappedContext) -> Iterable[Finding]:
+    """Cell fed by a tie cell (constant input; should be folded away)."""
+    for inst in ctx.mapped.comb_cells:
+        for pin in inst.cell.inputs:
+            driver = ctx.driver.get(inst.pins[pin])
+            if driver is not None and driver.cell.kind.startswith("TIE"):
+                yield ctx.finding(
+                    "net.const-gate", f"{inst.name}.{pin}",
+                    f"pin {pin} of {inst.cell.name} is tied constant by "
+                    f"{driver.name}; the cell folds away",
+                    fix_hint="run constant propagation before mapping",
+                )
+                break
+
+
+@rule("net.high-fanout", "warning", "mapped")
+def check_mapped_high_fanout(ctx: MappedContext) -> Iterable[Finding]:
+    """Net whose pin load exceeds the PDK-derived per-drive budget."""
+    budget_per_drive = ctx.options.max_load_per_drive_ff
+    for net, sinks in sorted(ctx.loads.items()):
+        load_ff = sum(inst.cell.input_cap_ff for inst, _pin in sinks)
+        driver = ctx.driver.get(net)
+        drive = driver.cell.drive if driver is not None else 1
+        limit_ff = budget_per_drive * drive
+        if load_ff > limit_ff:
+            location = driver.name if driver is not None else f"net{net}"
+            yield ctx.finding(
+                "net.high-fanout", location,
+                f"net {net} carries {load_ff:.1f} fF of pin load against "
+                f"a budget of {limit_ff:.1f} fF (drive {drive})",
+                fix_hint="upsize the driver or buffer the net",
+            )
+
+
+@rule("net.unreachable-register", "warning", "mapped")
+def check_mapped_unreachable_register(
+    ctx: MappedContext,
+) -> Iterable[Finding]:
+    """Sequential cell with no path to any output port."""
+    visited: set[int] = set()
+    stack = list(ctx.output_nets)
+    while stack:
+        net = stack.pop()
+        if net in visited:
+            continue
+        visited.add(net)
+        driver = ctx.driver.get(net)
+        if driver is not None:
+            stack.extend(driver.input_nets())
+    for inst in ctx.mapped.seq_cells:
+        net = inst.output_net
+        if net is not None and net not in visited:
+            yield ctx.finding(
+                "net.unreachable-register", inst.name,
+                f"{inst.cell.name} output (net {net}) never reaches an "
+                "output port",
+                fix_hint="expose the state or delete the register",
+            )

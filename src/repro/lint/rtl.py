@@ -1,0 +1,437 @@
+"""RTL lint: advisory structural analysis over :class:`~repro.hdl.ir.Module`.
+
+The IR's own :meth:`Module.validate` *raises* on hard malformations
+(multiple drivers, undriven signals, combinational loops); these passes
+report the same defects — plus the merely-suspicious ones validate
+accepts — as :class:`~repro.lint.core.Finding` objects, so a student sees
+every problem at once instead of one exception at a time.
+
+All shared indexes (driver map, reader map, expression roots) are
+computed once in :class:`RtlContext` and reused by every rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..hdl.ir import (
+    BinOp,
+    Cat,
+    Const,
+    Expr,
+    Mux,
+    Ref,
+    Register,
+    Signal,
+    Slice,
+    UnaryOp,
+    eval_expr,
+)
+from .core import Context, Finding, LintOptions, rule
+
+
+def expr_equal(a: Expr, b: Expr) -> bool:
+    """Structural equality of expression trees (signals by identity)."""
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Const):
+        return a.value == b.value and a.width == b.width
+    if isinstance(a, Ref):
+        return a.signal is b.signal
+    if isinstance(a, UnaryOp):
+        return a.op == b.op and expr_equal(a.operand, b.operand)
+    if isinstance(a, BinOp):
+        return a.op == b.op and expr_equal(a.a, b.a) and expr_equal(a.b, b.b)
+    if isinstance(a, Mux):
+        return (expr_equal(a.sel, b.sel)
+                and expr_equal(a.if_true, b.if_true)
+                and expr_equal(a.if_false, b.if_false))
+    if isinstance(a, Cat):
+        return len(a.parts) == len(b.parts) and all(
+            expr_equal(x, y) for x, y in zip(a.parts, b.parts)
+        )
+    if isinstance(a, Slice):
+        return a.hi == b.hi and a.lo == b.lo and expr_equal(a.value, b.value)
+    return False
+
+
+class RtlContext(Context):
+    """Shared analyses over one module, computed once for all rules.
+
+    Unlike :meth:`Module.drivers`, the driver map here is *tolerant*: a
+    signal may map to several drivers (that is exactly what
+    ``rtl.multi-driven`` reports) and nothing raises.
+    """
+
+    scope = "rtl"
+
+    def __init__(self, module, options: LintOptions):
+        super().__init__(module.name, options)
+        self.module = module
+        self.output_set = set(module.outputs)
+        self.input_set = set(module.inputs)
+        self.register_of: dict[Signal, Register] = {
+            reg.signal: reg for reg in module.registers
+        }
+
+        #: signal -> list of ("assign" | "register" | "instance", driver).
+        self.drivers: dict[Signal, list[tuple[str, object]]] = {}
+        for sig, expr in module.assigns.items():
+            self.drivers.setdefault(sig, []).append(("assign", expr))
+        for reg in module.registers:
+            self.drivers.setdefault(reg.signal, []).append(("register", reg))
+        for inst in module.instances:
+            child_outputs = {p.name for p in inst.module.outputs}
+            for port, parent in inst.connections.items():
+                if port in child_outputs:
+                    self.drivers.setdefault(parent, []).append(
+                        ("instance", inst)
+                    )
+
+        #: signal -> reader keys ("who reads this?").  A register's own
+        #: next-expression is a distinguishable reader so the
+        #: unread-register rule can exclude self-feedback.
+        self.readers: dict[Signal, set[tuple[str, str]]] = {}
+
+        def note_read(sig: Signal, reader: tuple[str, str]) -> None:
+            self.readers.setdefault(sig, set()).add(reader)
+
+        for sig, expr in module.assigns.items():
+            for ref in expr.signals():
+                note_read(ref, ("assign", sig.name))
+        for reg in module.registers:
+            for ref in reg.next.signals():
+                note_read(ref, ("register", reg.signal.name))
+        for inst in module.instances:
+            child_inputs = {p.name for p in inst.module.inputs}
+            for port, parent in inst.connections.items():
+                if port in child_inputs:
+                    note_read(parent, ("instance", inst.name))
+
+        #: (location, root expression, target signal) for tree walks.
+        self.expr_roots: list[tuple[str, Expr, Signal]] = [
+            (sig.name, expr, sig) for sig, expr in module.assigns.items()
+        ] + [
+            (reg.signal.name, reg.next, reg.signal)
+            for reg in module.registers
+        ]
+
+    def walk(self) -> Iterator[tuple[str, Expr]]:
+        """Every (owner location, subtree node) across all expressions."""
+        for location, root, _target in self.expr_roots:
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                yield location, node
+                stack.extend(node.children())
+
+    def assign_expr_width(self, sig: Signal) -> int | None:
+        """Width of ``sig``'s single combinational driver, if it has one."""
+        entries = self.drivers.get(sig, [])
+        if len(entries) == 1 and entries[0][0] == "assign":
+            return entries[0][1].width
+        return None
+
+    def reads_of(self, sig: Signal) -> set[tuple[str, str]]:
+        return self.readers.get(sig, set())
+
+
+# -- driver discipline ------------------------------------------------------
+
+
+@rule("rtl.undriven", "error", "rtl")
+def check_undriven(ctx: RtlContext) -> Iterable[Finding]:
+    """Output or internal wire with no driver."""
+    for sig in [*ctx.module.outputs, *ctx.module.wires]:
+        if sig not in ctx.drivers:
+            kind = "output" if sig in ctx.output_set else "wire"
+            yield ctx.finding(
+                "rtl.undriven", sig.name,
+                f"{kind} {sig.name!r} ({sig.width} bits) has no driver",
+                fix_hint="assign it, register it, or delete it",
+            )
+
+
+@rule("rtl.multi-driven", "error", "rtl")
+def check_multi_driven(ctx: RtlContext) -> Iterable[Finding]:
+    """Signal with more than one driver (assign / register / instance)."""
+    for sig, entries in ctx.drivers.items():
+        if len(entries) > 1:
+            kinds = ", ".join(kind for kind, _ in entries)
+            yield ctx.finding(
+                "rtl.multi-driven", sig.name,
+                f"signal {sig.name!r} has {len(entries)} drivers ({kinds})",
+                fix_hint="keep exactly one driver per signal",
+            )
+
+
+@rule("rtl.input-driven", "error", "rtl")
+def check_input_driven(ctx: RtlContext) -> Iterable[Finding]:
+    """Input port driven from inside the module."""
+    for sig in ctx.module.inputs:
+        if sig in ctx.drivers:
+            yield ctx.finding(
+                "rtl.input-driven", sig.name,
+                f"input {sig.name!r} is driven inside the module",
+                fix_hint="drive an output or wire instead",
+            )
+
+
+@rule("rtl.comb-loop", "error", "rtl")
+def check_comb_loop(ctx: RtlContext) -> Iterable[Finding]:
+    """Combinational assignments forming a cycle (Tarjan SCCs)."""
+    assigns = ctx.module.assigns
+    graph = {
+        sig: [dep for dep in expr.signals() if dep in assigns]
+        for sig, expr in assigns.items()
+    }
+    index: dict[Signal, int] = {}
+    lowlink: dict[Signal, int] = {}
+    on_stack: set[Signal] = set()
+    stack: list[Signal] = []
+    sccs: list[list[Signal]] = []
+    counter = [0]
+
+    def strongconnect(root: Signal) -> None:
+        work = [(root, iter(graph[root]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, deps = work[-1]
+            advanced = False
+            for dep in deps:
+                if dep not in index:
+                    index[dep] = lowlink[dep] = counter[0]
+                    counter[0] += 1
+                    stack.append(dep)
+                    on_stack.add(dep)
+                    work.append((dep, iter(graph[dep])))
+                    advanced = True
+                    break
+                if dep in on_stack:
+                    lowlink[node] = min(lowlink[node], index[dep])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member is node:
+                        break
+                sccs.append(scc)
+
+    for sig in graph:
+        if sig not in index:
+            strongconnect(sig)
+
+    for scc in sccs:
+        if len(scc) == 1:
+            sig = scc[0]
+            # A pure buffer-of-itself is reported by rtl.self-assign.
+            if sig not in graph[sig] or isinstance(assigns[sig], Ref):
+                continue
+        names = sorted(sig.name for sig in scc)
+        yield ctx.finding(
+            "rtl.comb-loop", names[0],
+            f"combinational loop through {', '.join(names)}",
+            fix_hint="break the cycle with a register",
+        )
+
+
+# -- liveness ---------------------------------------------------------------
+
+
+@rule("rtl.unused-input", "warning", "rtl")
+def check_unused_input(ctx: RtlContext) -> Iterable[Finding]:
+    """Input port that nothing reads."""
+    for sig in ctx.module.inputs:
+        if not ctx.reads_of(sig):
+            yield ctx.finding(
+                "rtl.unused-input", sig.name,
+                f"input {sig.name!r} ({sig.width} bits) is never read",
+                fix_hint="remove the port or connect it",
+            )
+
+
+@rule("rtl.unused-wire", "warning", "rtl")
+def check_unused_wire(ctx: RtlContext) -> Iterable[Finding]:
+    """Internal wire that nothing reads (register outputs have their own rule)."""
+    for sig in ctx.module.wires:
+        if sig in ctx.register_of:
+            continue
+        if not ctx.reads_of(sig):
+            yield ctx.finding(
+                "rtl.unused-wire", sig.name,
+                f"wire {sig.name!r} ({sig.width} bits) is never read",
+                fix_hint="delete the wire and its driver",
+            )
+
+
+@rule("rtl.unread-register", "warning", "rtl")
+def check_unread_register(ctx: RtlContext) -> Iterable[Finding]:
+    """Register whose value is only read (if at all) by its own next-expression."""
+    for reg in ctx.module.registers:
+        readers = ctx.reads_of(reg.signal)
+        external = readers - {("register", reg.signal.name)}
+        if not external:
+            yield ctx.finding(
+                "rtl.unread-register", reg.signal.name,
+                f"register {reg.signal.name!r} ({reg.signal.width} bits) "
+                "is state nothing observes",
+                fix_hint="expose it on an output or delete it",
+            )
+
+
+@rule("rtl.self-assign", "warning", "rtl")
+def check_self_assign(ctx: RtlContext) -> Iterable[Finding]:
+    """Signal driven by exactly itself (frozen register / buffer loop)."""
+    for reg in ctx.module.registers:
+        next_expr = reg.next
+        if isinstance(next_expr, Ref) and next_expr.signal is reg.signal:
+            yield ctx.finding(
+                "rtl.self-assign", reg.signal.name,
+                f"register {reg.signal.name!r} next-value is itself; it "
+                f"never leaves its reset value {reg.reset_value}",
+                fix_hint="give the register a real next-value expression",
+            )
+    for sig, expr in ctx.module.assigns.items():
+        if isinstance(expr, Ref) and expr.signal is sig:
+            yield ctx.finding(
+                "rtl.self-assign", sig.name,
+                f"signal {sig.name!r} is combinationally assigned to itself",
+                fix_hint="drive it from a real source",
+            )
+
+
+# -- width discipline -------------------------------------------------------
+
+
+@rule("rtl.width-truncation", "error", "rtl")
+def check_width_truncation(ctx: RtlContext) -> Iterable[Finding]:
+    """Driver expression wider than its target (silent truncation)."""
+    for location, root, target in ctx.expr_roots:
+        if root.width > target.width:
+            yield ctx.finding(
+                "rtl.width-truncation", location,
+                f"{target.name!r} is {target.width} bits but its driver "
+                f"is {root.width} bits; the top bits are dropped",
+                fix_hint="slice the expression explicitly",
+            )
+
+
+@rule("rtl.implicit-extension", "info", "rtl")
+def check_implicit_extension(ctx: RtlContext) -> Iterable[Finding]:
+    """Driver expression narrower than its target (implicit zero-extension)."""
+    for location, root, target in ctx.expr_roots:
+        if root.width < target.width:
+            yield ctx.finding(
+                "rtl.implicit-extension", location,
+                f"{target.name!r} is {target.width} bits but its driver "
+                f"is {root.width} bits; zero-extended implicitly",
+                fix_hint="make the extension explicit with zext()",
+            )
+
+
+# -- constant discipline ----------------------------------------------------
+
+
+@rule("rtl.const-expr", "info", "rtl")
+def check_const_expr(ctx: RtlContext) -> Iterable[Finding]:
+    """Driver expression with no signal inputs (constant-foldable)."""
+    for location, root, target in ctx.expr_roots:
+        if isinstance(root, Const) or root.signals():
+            continue
+        value = eval_expr(root, {})
+        yield ctx.finding(
+            "rtl.const-expr", location,
+            f"driver of {target.name!r} references no signals; it always "
+            f"evaluates to {value}",
+            fix_hint=f"replace the expression with Const({value}, "
+                     f"{root.width})",
+        )
+
+
+@rule("rtl.oversized-const", "info", "rtl")
+def check_oversized_const(ctx: RtlContext) -> Iterable[Finding]:
+    """Constant declared far wider than its value needs."""
+    threshold = ctx.options.min_const_waste_bits
+    for location, node in ctx.walk():
+        if not isinstance(node, Const):
+            continue
+        needed = max(1, node.value.bit_length())
+        if node.width - needed >= threshold:
+            yield ctx.finding(
+                "rtl.oversized-const", location,
+                f"constant {node.value} uses {node.width} bits where "
+                f"{needed} suffice",
+                fix_hint=f"declare it as Const({node.value}, {needed})",
+            )
+
+
+# -- selection discipline ---------------------------------------------------
+
+
+@rule("rtl.dead-mux-arm", "warning", "rtl")
+def check_dead_mux_arm(ctx: RtlContext) -> Iterable[Finding]:
+    """Mux whose select is constant, making one arm unreachable."""
+    for location, node in ctx.walk():
+        if not isinstance(node, Mux) or node.sel.signals():
+            continue
+        sel = eval_expr(node.sel, {})
+        dead = "if_false" if sel else "if_true"
+        yield ctx.finding(
+            "rtl.dead-mux-arm", location,
+            f"mux select is constant {sel}; the {dead} arm is unreachable",
+            fix_hint="drop the mux and keep the live arm",
+        )
+
+
+@rule("rtl.mux-same-arms", "info", "rtl")
+def check_mux_same_arms(ctx: RtlContext) -> Iterable[Finding]:
+    """Mux whose arms are structurally identical (select is irrelevant)."""
+    for location, node in ctx.walk():
+        if isinstance(node, Mux) and expr_equal(node.if_true, node.if_false):
+            yield ctx.finding(
+                "rtl.mux-same-arms", location,
+                "both mux arms are identical; the select has no effect",
+                fix_hint="replace the mux with either arm",
+            )
+
+
+@rule("rtl.unreachable-slice", "warning", "rtl")
+def check_unreachable_slice(ctx: RtlContext) -> Iterable[Finding]:
+    """Slice reading only bits that are zero by construction."""
+    for location, node in ctx.walk():
+        if not isinstance(node, Slice):
+            continue
+        value = node.value
+        if isinstance(value, Ref):
+            driven_width = ctx.assign_expr_width(value.signal)
+            if driven_width is not None and node.lo >= driven_width:
+                yield ctx.finding(
+                    "rtl.unreachable-slice", location,
+                    f"slice [{node.hi}:{node.lo}] of {value.signal.name!r} "
+                    f"reads only the implicit zero-extension (driver is "
+                    f"{driven_width} bits)",
+                    fix_hint="slice inside the driven range or widen the "
+                             "driver",
+                )
+        elif isinstance(value, Const):
+            if node.lo >= max(1, value.value.bit_length()):
+                yield ctx.finding(
+                    "rtl.unreachable-slice", location,
+                    f"slice [{node.hi}:{node.lo}] of constant {value.value} "
+                    "is always zero",
+                    fix_hint="fold the slice to Const(0, "
+                             f"{node.width})",
+                )

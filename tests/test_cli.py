@@ -92,3 +92,96 @@ class TestCli:
     def test_flow_requires_a_source(self, capsys):
         assert main(["flow"]) == 2
         assert "required" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    """The exit-code contract: nonzero only for error-severity findings."""
+
+    def test_demo_fails_with_rich_report(self, capsys):
+        assert main(["lint", "--demo"]) == 1
+        out = capsys.readouterr().out
+        assert "rtl.comb-loop" in out
+        assert "net.floating-input" in out
+
+    def test_clean_ip_exits_zero_despite_warnings(self, capsys):
+        # The mapped counter has genuine warnings (dangling INV cells,
+        # high-fanout nets) — warnings alone must not fail the command.
+        assert main(["lint", "--ip", "counter"]) == 0
+        out = capsys.readouterr().out
+        assert "warning" in out
+        assert "0 errors" in out
+
+    def test_strict_promotes_warnings_to_errors(self, capsys, tmp_path):
+        source = tmp_path / "spare.v"
+        source.write_text(
+            "module spare (a, unused, y);\n"
+            "  input [3:0] a;\n  input [3:0] unused;\n  output [3:0] y;\n"
+            "  assign y = ~a;\nendmodule\n"
+        )
+        # Non-strict: the unused input is only a warning.
+        assert main(["lint", "--verilog", str(source)]) == 0
+        capsys.readouterr()
+        # Strict: the same finding is now an error.
+        assert main(["lint", "--verilog", str(source), "--strict"]) == 1
+        assert "rtl.unused-input" in capsys.readouterr().out
+
+    def test_strict_failure_waived_back_to_zero(self, capsys, tmp_path):
+        source = tmp_path / "spare.v"
+        source.write_text(
+            "module spare (a, unused, y);\n"
+            "  input [3:0] a;\n  input [3:0] unused;\n  output [3:0] y;\n"
+            "  assign y = ~a;\nendmodule\n"
+        )
+        code = main([
+            "lint", "--verilog", str(source), "--strict",
+            "--waive", "rtl.unused-input@unused",
+            "--waive", "net.*",
+        ])
+        assert code == 0
+        assert "waived" in capsys.readouterr().out
+
+    def test_json_to_stdout_round_trips(self, capsys):
+        from repro.lint import LintReport
+
+        assert main(["lint", "--demo", "--json"]) == 1
+        report = LintReport.from_json(capsys.readouterr().out)
+        assert len(report.rule_ids()) >= 8
+        assert not report.clean
+
+    def test_json_to_file(self, capsys, tmp_path):
+        from repro.lint import LintReport
+
+        path = tmp_path / "out" / "lint.json"
+        assert main(["lint", "--ip", "counter", "--json", str(path)]) == 0
+        assert "lint report written" in capsys.readouterr().out
+        report = LintReport.from_json(path.read_text())
+        assert report.clean
+
+    def test_waiver_file(self, capsys, tmp_path):
+        waivers = tmp_path / "waivers.txt"
+        waivers.write_text("rtl.* # demo\nnet.* # demo\n")
+        assert main(["lint", "--demo", "--waiver-file", str(waivers)]) == 0
+        assert "waived" in capsys.readouterr().out
+
+    def test_bad_waiver_spec_is_usage_error(self, capsys):
+        assert main(["lint", "--demo", "--waive", "  "]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_waiver_file_is_usage_error(self, capsys, tmp_path):
+        code = main(["lint", "--demo",
+                     "--waiver-file", str(tmp_path / "nope.txt")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_lint_requires_a_source(self, capsys):
+        assert main(["lint"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_lint_unknown_ip(self, capsys):
+        assert main(["lint", "--ip", "gpu"]) == 2
+        assert "unknown IP" in capsys.readouterr().err
+
+    def test_rtl_only_skips_netlist_rules(self, capsys):
+        assert main(["lint", "--ip", "counter", "--rtl-only"]) == 0
+        out = capsys.readouterr().out
+        assert "net." not in out

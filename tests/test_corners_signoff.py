@@ -159,3 +159,71 @@ class TestSignoff:
             assert report.unwaivable_failures
         finally:
             counter_flow.synthesis.equivalence = original
+
+
+class TestSignoffLint:
+    def test_lint_clean_item_present_and_passing(self, counter_flow):
+        report = run_signoff(counter_flow, check_corners=False)
+        items = {item.name: item for item in report.items}
+        assert "lint_clean" in items
+        assert items["lint_clean"].passed
+        assert "0 errors" in items["lint_clean"].detail
+
+    def test_unwaived_lint_failure_blocks_signoff(self, counter_flow):
+        from repro.lint import Finding, LintReport
+
+        original = counter_flow.lint
+        counter_flow.lint = LintReport(findings=[
+            Finding("rtl.undriven", "error", "snf", "q", "forged")
+        ])
+        try:
+            report = run_signoff(counter_flow, check_corners=False)
+            assert not report.ready_for_tapeout
+            assert any(i.name == "lint_clean" for i in report.failures)
+        finally:
+            counter_flow.lint = original
+
+    def test_waived_lint_failure_passes_signoff(self, counter_flow):
+        from repro.lint import Finding, LintReport
+
+        original = counter_flow.lint
+        counter_flow.lint = LintReport(findings=[
+            Finding("rtl.undriven", "error", "snf", "q", "forged")
+        ])
+        try:
+            report = run_signoff(counter_flow, waivers={"lint_clean"},
+                                 check_corners=False)
+            assert report.ready_for_tapeout
+            assert not report.failures
+        finally:
+            counter_flow.lint = original
+
+    def test_lint_waiver_inside_report_also_passes(self, counter_flow):
+        # Waiving the finding itself (lint-level waiver) rather than the
+        # checklist item (signoff-level waiver) also restores readiness.
+        from repro.lint import Finding, LintReport, Waiver
+
+        original = counter_flow.lint
+        counter_flow.lint = LintReport(
+            findings=[
+                Finding("rtl.undriven", "error", "snf", "q", "forged")
+            ],
+            waivers=(Waiver("rtl.undriven", reason="accepted"),),
+        )
+        try:
+            report = run_signoff(counter_flow, check_corners=False)
+            items = {item.name: item for item in report.items}
+            assert items["lint_clean"].passed
+            assert report.ready_for_tapeout
+        finally:
+            counter_flow.lint = original
+
+    def test_signoff_lints_on_demand_when_flow_skipped_it(self, counter_flow):
+        original = counter_flow.lint
+        counter_flow.lint = None
+        try:
+            report = run_signoff(counter_flow, check_corners=False)
+            items = {item.name: item for item in report.items}
+            assert items["lint_clean"].passed
+        finally:
+            counter_flow.lint = original

@@ -287,3 +287,71 @@ class TestInstances:
         top.add_instance("u0", child, {"a": a, "y": y, "zz": a})
         with pytest.raises(HdlError, match="no port"):
             top.validate()
+
+
+class TestValidateEdgeCases:
+    """Corner cases of structural validation the linter leans on."""
+
+    def test_slice_out_of_range_raises_at_construction(self):
+        a = Signal("a", 8)
+        with pytest.raises(HdlError, match="out of range"):
+            Slice(Ref(a), 8, 0)
+        with pytest.raises(HdlError, match="out of range"):
+            Slice(Ref(a), 3, 4)  # hi < lo
+        with pytest.raises(HdlError, match="out of range"):
+            Slice(Const(0, 4), 4, 2)
+
+    def test_cat_of_zero_parts_raises(self):
+        with pytest.raises(HdlError, match="zero parts"):
+            Cat([])
+
+    def test_zero_width_const_and_signal_rejected(self):
+        with pytest.raises(HdlError, match="width"):
+            Const(0, 0)
+        with pytest.raises(HdlError):
+            Signal("z", 0)
+
+    def test_multi_driver_assign_plus_register(self):
+        m = Module("t")
+        a = m.add_input("a", 4)
+        reg = m.add_register("r", 4)
+        m.assign(reg.signal, Ref(a))
+        with pytest.raises(HdlError, match="multiple drivers"):
+            m.validate()
+
+    def test_multi_driver_wire_vs_output_are_independent(self):
+        # Driving a wire and an output of the same width is fine; the
+        # multi-driver check is per-signal, not per-name-class.
+        m = Module("t")
+        a = m.add_input("a", 4)
+        w = m.add_wire("w", 4)
+        y = m.add_output("y", 4)
+        m.assign(w, Ref(a))
+        m.assign(y, Ref(w))
+        m.validate()
+
+    def test_multi_driver_instance_output_plus_assign(self):
+        child = Module("child")
+        ca = child.add_input("a", 4)
+        cy = child.add_output("y", 4)
+        child.assign(cy, Ref(ca))
+
+        top = Module("top")
+        a = top.add_input("a", 4)
+        y = top.add_output("y", 4)
+        top.add_instance("u0", child, {"a": a, "y": y})
+        top.assign(y, Ref(a))
+        with pytest.raises(HdlError, match="multiple drivers"):
+            top.validate()
+
+    def test_drivers_map_reports_driver_objects(self):
+        m = Module("t")
+        a = m.add_input("a", 4)
+        y = m.add_output("y", 4)
+        reg = m.add_register("r", 4)
+        reg.next = Ref(a)
+        m.assign(y, Ref(reg.signal))
+        driven = m.drivers()
+        assert driven[reg.signal] is reg
+        assert isinstance(driven[y], Ref)
+        assert a not in driven

@@ -1,0 +1,584 @@
+"""Tests for the repro.lint static-analysis engine.
+
+Covers the rule framework (findings, waivers, JSON round trip), every
+RTL and netlist rule on minimal triggering designs, clean-design
+behaviour, the cold-vs-warm cached-index equivalence contract, and the
+flow integration (spans, FlowResult.lint, strict mode).
+"""
+
+import json
+
+import pytest
+
+from repro.core import run_flow
+from repro.core.flow import FlowError
+from repro.hdl import ModuleBuilder, mux
+from repro.hdl.ir import BinOp, Const, Module, Mux, Ref, Slice
+from repro.lint import (
+    Finding,
+    LintError,
+    LintOptions,
+    LintReport,
+    Waiver,
+    lint_design,
+    lint_gate_netlist,
+    lint_mapped,
+    lint_module,
+    load_waiver_file,
+    make_defective_module,
+    make_defective_netlist,
+    rules_for,
+)
+from repro.obs import Tracer
+from repro.pdk import get_pdk
+from repro.synth import GateNetlist, MappedNetlist, synthesize
+
+
+def rules_of(report: LintReport) -> set[str]:
+    return report.rule_ids()
+
+
+# -- framework --------------------------------------------------------------
+
+
+class TestFinding:
+    def test_bad_severity_rejected(self):
+        with pytest.raises(LintError):
+            Finding("x", "fatal", "t", "loc", "msg")
+
+    def test_dict_round_trip(self):
+        finding = Finding("rtl.undriven", "error", "top", "q",
+                          "no driver", "assign it")
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(LintError):
+            Finding.from_dict({"rule": "x"})
+
+
+class TestWaiver:
+    def test_parse_rule_only(self):
+        waiver = Waiver.parse("rtl.unused-input")
+        assert waiver.rule == "rtl.unused-input"
+        assert waiver.location == "*"
+
+    def test_parse_with_location_and_reason(self):
+        waiver = Waiver.parse("net.high-fanout@u3_DFF # clock fanout is fine")
+        assert waiver.location == "u3_DFF"
+        assert waiver.reason == "clock fanout is fine"
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(LintError):
+            Waiver.parse("   ")
+
+    def test_glob_matching(self):
+        finding = Finding("rtl.unused-wire", "warning", "top", "tmp", "m")
+        assert Waiver("rtl.*").matches(finding)
+        assert Waiver("rtl.unused-wire", "tmp").matches(finding)
+        assert not Waiver("rtl.unused-wire", "other").matches(finding)
+        assert not Waiver("net.*").matches(finding)
+
+    def test_waiver_file(self, tmp_path):
+        path = tmp_path / "waivers.txt"
+        path.write_text(
+            "# project waivers\n"
+            "\n"
+            "rtl.unused-input@spare_* # bond-out spares\n"
+            "net.high-fanout\n"
+        )
+        waivers = load_waiver_file(str(path))
+        assert len(waivers) == 2
+        assert waivers[0].location == "spare_*"
+        assert waivers[0].reason == "bond-out spares"
+
+
+class TestReport:
+    def make_report(self):
+        return LintReport(
+            findings=[
+                Finding("rtl.undriven", "error", "top", "a", "m"),
+                Finding("rtl.unused-wire", "warning", "top", "b", "m"),
+                Finding("rtl.const-expr", "info", "top", "c", "m"),
+            ],
+            waivers=(Waiver("rtl.undriven", reason="known"),),
+        )
+
+    def test_partitions_respect_waivers(self):
+        report = self.make_report()
+        assert [f.rule for f in report.waived] == ["rtl.undriven"]
+        assert not report.errors
+        assert report.clean
+        assert len(report.warnings) == 1
+
+    def test_counts_and_summary(self):
+        report = self.make_report()
+        assert report.counts() == {"error": 0, "warning": 1, "info": 1}
+        assert "1 waived" in report.summary()
+        assert "clean" in report.summary()
+
+    def test_promote_warnings(self):
+        strict = self.make_report().promote_warnings()
+        assert [f.rule for f in strict.errors] == ["rtl.unused-wire"]
+        assert not strict.clean
+        assert len(strict.infos) == 1  # info is untouched
+
+    def test_merge_sorts_and_unions_waivers(self):
+        left = self.make_report()
+        right = LintReport(
+            findings=[Finding("net.dangling", "error", "n", "g0", "m")],
+            waivers=(Waiver("rtl.undriven", reason="known"),
+                     Waiver("net.*", reason="later")),
+        )
+        merged = left.merge(right)
+        assert len(merged.findings) == 4
+        assert merged.findings[0].severity == "error"
+        assert len(merged.waivers) == 2
+
+    def test_json_round_trip(self):
+        report = self.make_report()
+        clone = LintReport.from_json(report.to_json())
+        assert clone.findings == report.findings
+        assert clone.waivers == report.waivers
+        assert clone.clean == report.clean
+        payload = json.loads(report.to_json())
+        assert payload["counts"] == {"error": 0, "warning": 1, "info": 1}
+        assert [w["rule"] for w in payload["waivers"]] == ["rtl.undriven"]
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(LintError):
+            LintReport.from_json("not json")
+        with pytest.raises(LintError):
+            LintReport.from_json("[1, 2]")
+
+    def test_render_mentions_waivers_and_hints(self):
+        text = self.make_report().render()
+        assert "waived" in text
+        assert "known" in text
+
+
+# -- RTL rules --------------------------------------------------------------
+
+
+class TestRtlRules:
+    def test_undriven_and_multi_driven(self):
+        m = Module("t")
+        m.add_output("q", 4)
+        a = m.add_input("a", 4)
+        reg = m.add_register("r", 4)
+        m.assign(reg.signal, Ref(a))
+        report = lint_module(m)
+        assert {"rtl.undriven", "rtl.multi-driven"} <= rules_of(report)
+
+    def test_input_driven(self):
+        m = Module("t")
+        a = m.add_input("a", 1)
+        b = m.add_input("b", 1)
+        m.assigns[a] = Ref(b)  # the API refuses; poke the dict
+        m.add_output("y", 1)
+        m.assign(m.outputs[0], Ref(a))
+        assert "rtl.input-driven" in rules_of(lint_module(m))
+
+    def test_comb_loop_two_wires(self):
+        m = Module("t")
+        x = m.add_wire("x", 1)
+        y = m.add_wire("y", 1)
+        m.assign(x, Ref(y))
+        m.assign(y, Ref(x))
+        findings = [f for f in lint_module(m).findings
+                    if f.rule == "rtl.comb-loop"]
+        assert len(findings) == 1
+        assert "x" in findings[0].message and "y" in findings[0].message
+
+    def test_self_assign_is_not_reported_as_loop(self):
+        m = Module("t")
+        x = m.add_wire("x", 1)
+        m.assign(x, Ref(x))
+        rules = rules_of(lint_module(m))
+        assert "rtl.self-assign" in rules
+        assert "rtl.comb-loop" not in rules
+
+    def test_self_loop_through_logic_is_a_loop(self):
+        m = Module("t")
+        x = m.add_wire("x", 4)
+        m.assign(x, BinOp("add", Ref(x), Const(1, 4)))
+        assert "rtl.comb-loop" in rules_of(lint_module(m))
+
+    def test_frozen_register(self):
+        m = Module("t")
+        m.add_register("held", 8)  # default next is itself
+        rules = rules_of(lint_module(m))
+        assert "rtl.self-assign" in rules
+        assert "rtl.unread-register" in rules
+
+    def test_register_read_by_output_is_not_unread(self):
+        b = ModuleBuilder("t")
+        en = b.input("en", 1)
+        count = b.register("count", 4)
+        count.next = mux(en, count + 1, count)
+        b.output("q", count)
+        rules = rules_of(lint_module(b.build()))
+        assert "rtl.unread-register" not in rules
+        assert "rtl.self-assign" not in rules
+
+    def test_unused_input_and_wire(self):
+        m = Module("t")
+        m.add_input("spare", 2)
+        a = m.add_input("a", 2)
+        tmp = m.add_wire("tmp", 2)
+        m.assign(tmp, Ref(a))
+        y = m.add_output("y", 2)
+        m.assign(y, Ref(a))
+        report = lint_module(m)
+        locations = {(f.rule, f.location) for f in report.findings}
+        assert ("rtl.unused-input", "spare") in locations
+        assert ("rtl.unused-wire", "tmp") in locations
+        assert ("rtl.unused-input", "a") not in locations
+
+    def test_width_truncation_via_poked_assign(self):
+        m = Module("t")
+        a = m.add_input("a", 8)
+        y = m.add_output("y", 4)
+        m.assigns[y] = Ref(a)  # assign() refuses truncation
+        assert "rtl.width-truncation" in rules_of(lint_module(m))
+
+    def test_implicit_extension_is_info(self):
+        m = Module("t")
+        a = m.add_input("a", 4)
+        y = m.add_output("y", 8)
+        m.assign(y, Ref(a))
+        findings = [f for f in lint_module(m).findings
+                    if f.rule == "rtl.implicit-extension"]
+        assert findings and findings[0].severity == "info"
+
+    def test_const_expr_and_oversized_const(self):
+        m = Module("t")
+        y = m.add_output("y", 8)
+        m.assign(y, BinOp("or", Const(4, 8), Const(1, 8)))
+        big = m.add_output("big", 48)
+        m.assign(big, Const(7, 48))
+        report = lint_module(m)
+        assert "rtl.const-expr" in rules_of(report)
+        assert "rtl.oversized-const" in rules_of(report)
+        const_finding = [f for f in report.findings
+                         if f.rule == "rtl.const-expr"][0]
+        assert "5" in const_finding.message  # 4 | 1
+
+    def test_bare_const_assign_is_not_const_expr(self):
+        m = Module("t")
+        y = m.add_output("y", 4)
+        m.assign(y, Const(3, 4))
+        assert "rtl.const-expr" not in rules_of(lint_module(m))
+
+    def test_oversized_const_threshold_configurable(self):
+        m = Module("t")
+        y = m.add_output("y", 8)
+        m.assign(y, Const(1, 8))
+        assert "rtl.oversized-const" not in rules_of(lint_module(m))
+        tight = lint_module(m, options=LintOptions(min_const_waste_bits=4))
+        assert "rtl.oversized-const" in rules_of(tight)
+
+    def test_dead_mux_arm_and_same_arms(self):
+        m = Module("t")
+        a = m.add_input("a", 4)
+        y = m.add_output("y", 4)
+        m.assign(y, Mux(Const(0, 1), Ref(a), Ref(a)))
+        report = lint_module(m)
+        assert "rtl.dead-mux-arm" in rules_of(report)
+        assert "rtl.mux-same-arms" in rules_of(report)
+        dead = [f for f in report.findings if f.rule == "rtl.dead-mux-arm"][0]
+        assert "if_true" in dead.message  # sel==0 kills the true arm
+
+    def test_live_mux_not_flagged(self):
+        b = ModuleBuilder("t")
+        sel = b.input("sel", 1)
+        a = b.input("a", 4)
+        c = b.input("c", 4)
+        b.output("y", mux(sel, a, c))
+        rules = rules_of(lint_module(b.build()))
+        assert "rtl.dead-mux-arm" not in rules
+        assert "rtl.mux-same-arms" not in rules
+
+    def test_unreachable_slice_of_extension(self):
+        m = Module("t")
+        a = m.add_input("a", 8)
+        wide = m.add_wire("wide", 16)
+        m.assign(wide, Ref(a))
+        y = m.add_output("y", 4)
+        m.assign(y, Slice(Ref(wide), 15, 12))
+        assert "rtl.unreachable-slice" in rules_of(lint_module(m))
+
+    def test_reachable_slice_not_flagged(self):
+        m = Module("t")
+        a = m.add_input("a", 8)
+        wide = m.add_wire("wide", 16)
+        m.assign(wide, Ref(a))
+        y = m.add_output("y", 4)
+        m.assign(y, Slice(Ref(wide), 7, 4))
+        assert "rtl.unreachable-slice" not in rules_of(lint_module(m))
+
+    def test_unreachable_slice_of_const(self):
+        m = Module("t")
+        y = m.add_output("y", 4)
+        m.assign(y, Slice(Const(3, 16), 11, 8))
+        assert "rtl.unreachable-slice" in rules_of(lint_module(m))
+
+
+# -- netlist rules ----------------------------------------------------------
+
+
+class TestNetlistRules:
+    def test_demo_netlist_trips_every_rule(self):
+        report = lint_gate_netlist(make_defective_netlist())
+        expected = {rule.id for rule in rules_for("netlist")}
+        assert rules_of(report) == expected
+
+    def test_clean_netlist_from_synthesis(self):
+        b = ModuleBuilder("clean")
+        a = b.input("a", 4)
+        c = b.input("c", 4)
+        b.output("y", a + c)
+        synth = synthesize(b.build(), get_pdk("edu130").library)
+        report = lint_gate_netlist(synth.netlist)
+        assert report.clean
+        assert not report.errors
+
+    def test_fanout_threshold_configurable(self):
+        n = GateNetlist("fan")
+        a = n.add_input("a", 1)
+        outs = []
+        prev = a[0]
+        for _ in range(5):
+            prev = n.add_gate("NOT", prev)
+            outs.append(n.add_gate("AND", a[0], prev))
+        n.set_output("y", outs)
+        default = lint_gate_netlist(n)
+        assert "net.high-fanout" not in rules_of(default)
+        tight = lint_gate_netlist(n, options=LintOptions(max_fanout=4))
+        assert "net.high-fanout" in rules_of(tight)
+
+    def test_dff_feeding_dff_reaches_output(self):
+        n = GateNetlist("pipe")
+        a = n.add_input("a", 1)
+        q1 = n.add_dff(a[0])
+        q2 = n.add_dff(q1)
+        n.set_output("y", [q2])
+        assert "net.unreachable-register" not in rules_of(lint_gate_netlist(n))
+
+
+class TestMappedRules:
+    @pytest.fixture(scope="class")
+    def library(self):
+        return get_pdk("edu130").library
+
+    def build_mapped(self, library):
+        mapped = MappedNetlist("m", library)
+        a = mapped.new_net()
+        b = mapped.new_net()
+        mapped.set_port("input", "a", [a])
+        mapped.set_port("input", "b", [b])
+        nand = library.cells["NAND2_X1"]
+        inst = mapped.add_cell(nand, {"a": a, "b": b,
+                                      "y": mapped.new_net()})
+        mapped.set_port("output", "y", [inst.pins["y"]])
+        return mapped
+
+    def test_clean_mapped_is_clean(self, library):
+        assert lint_mapped(self.build_mapped(library)).clean
+
+    def test_floating_pin_and_dangling(self, library):
+        mapped = self.build_mapped(library)
+        inv = library.cells["INV_X1"]
+        # Input floats, output goes nowhere.
+        mapped.add_cell(inv, {"a": mapped.new_net(), "y": mapped.new_net()})
+        report = lint_mapped(mapped)
+        assert {"net.floating-input", "net.dangling"} <= rules_of(report)
+        assert not report.clean
+
+    def test_duplicate_cell_commutative(self, library):
+        mapped = self.build_mapped(library)
+        a = mapped.inputs["a"][0]
+        b = mapped.inputs["b"][0]
+        nand = library.cells["NAND2_X1"]
+        extra = mapped.add_cell(nand, {"a": b, "b": a,
+                                       "y": mapped.new_net()})
+        mapped.set_port("output", "y2", [extra.pins["y"]])
+        assert "net.duplicate-gate" in rules_of(lint_mapped(mapped))
+
+    def test_tie_fed_cell_flagged(self, library):
+        mapped = self.build_mapped(library)
+        tie = library.cells["TIE0_X1"]
+        tie_inst = mapped.add_cell(tie, {"y": mapped.new_net()})
+        inv = library.cells["INV_X1"]
+        fed = mapped.add_cell(inv, {"a": tie_inst.pins["y"],
+                                    "y": mapped.new_net()})
+        mapped.set_port("output", "z", [fed.pins["y"]])
+        assert "net.const-gate" in rules_of(lint_mapped(mapped))
+
+    def test_unreachable_register(self, library):
+        mapped = self.build_mapped(library)
+        dff = library.cells["DFF_X1"]
+        mapped.add_cell(dff, {"d": mapped.inputs["a"][0],
+                              "q": mapped.new_net()})
+        assert "net.unreachable-register" in rules_of(lint_mapped(mapped))
+
+    def test_pdk_derived_fanout_budget_scales_with_drive(self, library):
+        mapped = self.build_mapped(library)
+        inv1 = library.cells["INV_X1"]
+        inv4 = library.cells["INV_X4"]
+        weak_net = mapped.new_net()
+        strong_net = mapped.new_net()
+        mapped.add_cell(inv1, {"a": mapped.inputs["a"][0], "y": weak_net})
+        mapped.add_cell(inv4, {"a": mapped.inputs["b"][0], "y": strong_net})
+        sinks = []
+        for net in (weak_net, strong_net):
+            for _ in range(6):  # ~6 INV loads: over X1 budget, under X4
+                sink = mapped.add_cell(inv1, {"a": net,
+                                              "y": mapped.new_net()})
+                sinks.append(sink.pins["y"])
+        mapped.set_port("output", "taps", sinks)
+        findings = [f for f in lint_mapped(mapped).findings
+                    if f.rule == "net.high-fanout"]
+        flagged = {f.location for f in findings}
+        assert any("INV" in loc for loc in flagged)
+        # The X4 driver has 4x the budget and carries the same load.
+        weak_driver = [f for f in findings if "X1" not in f.message][0]
+        assert "drive 1" in weak_driver.message
+
+
+class TestCachedIndexEquivalence:
+    """Satellite: lint results are identical with cold vs. warm caches."""
+
+    def test_cold_vs_warm_mapped_indexes(self):
+        def build():
+            b = ModuleBuilder("alu_ish")
+            a = b.input("a", 8)
+            c = b.input("c", 8)
+            op = b.input("op", 1)
+            b.output("y", mux(op, a & c, (a + c).trunc(8)))
+            return synthesize(b.build(), get_pdk("edu130").library).mapped
+
+        cold_mapped = build()
+        cold = lint_mapped(cold_mapped)
+
+        warm_mapped = build()
+        # Pre-walk every memoized index, as placement/STA/power would.
+        warm_mapped.net_driver()
+        warm_mapped.net_loads()
+        warm_mapped.nets()
+        warm_mapped.topo_comb()
+        version_before = warm_mapped.index_version
+        warm = lint_mapped(warm_mapped)
+
+        assert warm_mapped.index_version == version_before  # no rebuild
+        assert cold.findings == warm.findings
+        assert cold.summary() == warm.summary()
+
+    def test_lint_after_mutation_sees_fresh_indexes(self):
+        library = get_pdk("edu130").library
+        mapped = MappedNetlist("mut", library)
+        a = mapped.new_net()
+        mapped.set_port("input", "a", [a])
+        inv = library.cells["INV_X1"]
+        inst = mapped.add_cell(inv, {"a": a, "y": mapped.new_net()})
+        mapped.set_port("output", "y", [inst.pins["y"]])
+        assert lint_mapped(mapped).clean
+        # Rewire the input pin onto a floating net through the mutation
+        # API; the memoized indexes invalidate and lint must see it.
+        mapped.rewire(inst, "a", mapped.new_net())
+        assert "net.floating-input" in rules_of(lint_mapped(mapped))
+
+
+# -- demo + clean designs ---------------------------------------------------
+
+
+class TestAcceptance:
+    def test_demo_designs_trip_at_least_eight_rules(self):
+        report = lint_design(
+            make_defective_module(), netlist=make_defective_netlist()
+        )
+        rtl_rules = {r for r in report.rule_ids() if r.startswith("rtl.")}
+        net_rules = {r for r in report.rule_ids() if r.startswith("net.")}
+        assert len(rtl_rules) + len(net_rules) >= 8
+        assert rtl_rules and net_rules
+        assert not report.clean
+
+    def test_waiving_all_errors_makes_demo_clean(self):
+        report = lint_design(
+            make_defective_module(),
+            netlist=make_defective_netlist(),
+            waivers=(Waiver("rtl.*", reason="demo"),
+                     Waiver("net.*", reason="demo")),
+        )
+        assert report.clean
+        assert len(report.waived) == len(report.findings)
+
+    def test_catalogue_counter_has_no_errors(self):
+        from repro.ip.catalog import generate
+
+        ip = generate("counter")
+        synth = synthesize(ip.module, get_pdk("edu130").library)
+        report = lint_design(ip.module, mapped=synth.mapped)
+        assert report.clean, report.render()
+
+
+# -- flow integration -------------------------------------------------------
+
+def _flow_module():
+    b = ModuleBuilder("lintflow")
+    en = b.input("en", 1)
+    count = b.register("count", 4)
+    count.next = mux(en, count + 1, count)
+    b.output("q", count)
+    return b.build()
+
+
+class TestFlowIntegration:
+    def test_flow_attaches_lint_report_and_spans(self):
+        tracer = Tracer()
+        result = run_flow(_flow_module(), get_pdk("edu130"), tracer=tracer)
+        assert result.lint is not None
+        assert result.lint.clean
+        names = {span.name for span in result.trace}
+        assert "lint.rtl" in names
+        assert "lint.mapped" in names
+        targets = {f.target for f in result.lint.findings}
+        assert targets <= {"lintflow"}
+
+    def test_flow_waivers_reach_the_report(self):
+        waiver = Waiver("net.high-fanout", reason="edu PDK budget")
+        result = run_flow(_flow_module(), get_pdk("edu130"),
+                          lint_waivers=(waiver,))
+        assert waiver in result.lint.waivers
+
+    def test_strict_lint_passes_clean_design(self):
+        result = run_flow(_flow_module(), get_pdk("edu130"),
+                          strict_lint=True)
+        assert result.lint.clean
+
+    def test_strict_lint_raises_on_error_finding(self, monkeypatch):
+        import repro.core.flow as flow_mod
+
+        def failing_lint(module, waivers=(), options=None, tracer=None):
+            return LintReport(findings=[
+                Finding("rtl.undriven", "error", module.name, "x", "boom")
+            ], waivers=tuple(waivers))
+
+        monkeypatch.setattr(flow_mod, "lint_module", failing_lint)
+        with pytest.raises(FlowError, match="lint failed"):
+            run_flow(_flow_module(), get_pdk("edu130"), strict_lint=True)
+
+    def test_strict_lint_respects_waivers(self, monkeypatch):
+        import repro.core.flow as flow_mod
+
+        def failing_lint(module, waivers=(), options=None, tracer=None):
+            return LintReport(findings=[
+                Finding("rtl.undriven", "error", module.name, "x", "boom")
+            ], waivers=tuple(waivers))
+
+        monkeypatch.setattr(flow_mod, "lint_module", failing_lint)
+        result = run_flow(
+            _flow_module(), get_pdk("edu130"), strict_lint=True,
+            lint_waivers=(Waiver("rtl.undriven", reason="known"),),
+        )
+        assert result.lint.clean
+        assert result.lint.waived
