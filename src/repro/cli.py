@@ -10,6 +10,8 @@ and run the full RTL→GDSII flow on any catalogue IP:
    $ python -m repro ips
    $ python -m repro flow --ip counter --pdk edu130 --out build/
    $ python -m repro flow --ip counter --trace build/trace.jsonl
+   $ python -m repro flow --ip alu --continue-on-error --checkpoint-dir ckpt/
+   $ python -m repro cloud --servers 3 --jobs 24 --mtbf-min 120 --seed 7
    $ python -m repro trace build/trace.jsonl
    $ python -m repro lint --ip counter --json build/lint.json
    $ python -m repro lint --demo --waive 'net.high-fanout'
@@ -20,10 +22,11 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import sys
 
 from .core.flow import run_flow
-from .core.presets import get_preset
+from .core.options import FlowOptions
 from .core.reporting import full_report
 from .hdl.ir import HdlError
 from .hdl.verilog import to_verilog
@@ -104,13 +107,25 @@ def _cmd_flow(args) -> int:
         return 2
 
     pdk = get_pdk(args.pdk)
-    preset = get_preset(args.preset)
-    tracer = Tracer() if args.trace else None
-    result = run_flow(
-        module, pdk, preset=preset, clock_period_ps=args.period_ps,
-        tracer=tracer,
+    store = None
+    if args.checkpoint_dir:
+        from .resil import DirectoryCheckpointStore
+
+        store = DirectoryCheckpointStore(args.checkpoint_dir)
+    options = FlowOptions(
+        preset=args.preset,
+        clock_period_ps=args.period_ps,
+        seed=args.seed,
+        continue_on_error=args.continue_on_error,
+        checkpoints=store,
     )
+    tracer = Tracer() if args.trace else None
+    result = run_flow(module, pdk, options, tracer=tracer)
     print(result.summary())
+    for failure in result.failures:
+        print(f"  failure {failure}", file=sys.stderr)
+    if store is not None:
+        print(f"checkpoints: {store.hits} hit(s), {store.misses} miss(es)")
 
     if args.trace:
         directory = os.path.dirname(args.trace)
@@ -126,11 +141,13 @@ def _cmd_flow(args) -> int:
             handle.write(to_verilog(module))
         with open(base + ".rpt", "w") as handle:
             handle.write(full_report(result))
-        with open(base + ".def", "w") as handle:
-            handle.write(write_def(from_physical(result.physical)))
-        with open(base + ".gds", "wb") as handle:
-            handle.write(result.gds_bytes)
-        print(f"collaterals written to {base}.{{v,rpt,def,gds}}")
+        if result.physical is not None:
+            with open(base + ".def", "w") as handle:
+                handle.write(write_def(from_physical(result.physical)))
+        if result.gds_bytes is not None:
+            with open(base + ".gds", "wb") as handle:
+                handle.write(result.gds_bytes)
+        print(f"collaterals written to {base}.*")
     return 0 if result.ok else 1
 
 
@@ -202,6 +219,70 @@ def _cmd_lint(args) -> int:
     return 1 if report.errors else 0
 
 
+def _cmd_cloud(args) -> int:
+    """Fault-injected cloud capacity simulation (deterministic per seed).
+
+    Everything printed to stdout is a pure function of the flags, so CI
+    can run the same simulation twice and ``diff`` the outputs to prove
+    seeded fault injection is deterministic; progress messages go to
+    stderr.
+    """
+    from .core.cloud import CloudPlatform
+    from .resil import ExponentialBackoff, FaultModel
+
+    tracer = Tracer() if args.trace else None
+    fault_model = FaultModel(
+        seed=args.seed,
+        mtbf_min=args.mtbf_min if args.mtbf_min > 0 else float("inf"),
+        mttr_min=args.mttr_min,
+        preemption_prob=args.preempt,
+        fatal_prob=args.fatal,
+    )
+    platform = CloudPlatform(
+        servers=args.servers,
+        tracer=tracer,
+        fault_model=fault_model,
+        retry_policy=ExponentialBackoff(max_attempts=args.max_attempts),
+    )
+    # The workload is drawn from its own seeded stream so the same flags
+    # always submit the same jobs.
+    workload = random.Random(args.seed)
+    for index in range(args.jobs):
+        duration = round(workload.uniform(10.0, 240.0), 3)
+        submit = round(workload.uniform(0.0, args.window_min), 3)
+        deadline = None
+        if args.deadlines:
+            deadline = round(submit + duration * workload.uniform(2.0, 6.0), 3)
+        platform.submit(
+            f"user{index % 5}", duration, submit, deadline_min=deadline
+        )
+    stats = platform.run()
+
+    print(f"servers={args.servers} jobs={args.jobs} seed={args.seed} "
+          f"mtbf_min={fault_model.mtbf_min:g} preempt={args.preempt:g}")
+    for job in platform.jobs():
+        finish = f"{job.finish_min:.3f}" if job.finish_min is not None else "-"
+        print(f"job {job.job_id:3d} {job.user:6s} {job.outcome:8s} "
+              f"attempts={job.attempts} retries={job.retries} "
+              f"finish={finish}")
+    print(f"completed={stats.jobs} failed={stats.failed} "
+          f"retries={stats.retries} preemptions={stats.preemptions} "
+          f"faults={stats.faults} deadline_misses={stats.deadline_misses}")
+    print(f"mean_wait_min={stats.mean_wait_min:.3f} "
+          f"p95_wait_min={stats.p95_wait_min:.3f} "
+          f"utilization={stats.utilization:.4f} "
+          f"makespan_min={stats.makespan_min:.3f}")
+
+    if args.trace:
+        directory = os.path.dirname(args.trace)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        write_trace(args.trace, tracer, metrics=platform.metrics)
+        print(f"trace written to {args.trace} ({len(tracer.spans)} spans)",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args) -> int:
     try:
         data = load_trace(args.file)
@@ -252,10 +333,44 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=("open", "commercial"))
     flow.add_argument("--period-ps", type=float, default=5_000.0)
     flow.add_argument("--verify-cycles", type=int, default=200)
+    flow.add_argument("--seed", type=int, default=1,
+                      help="placement/backend seed")
+    flow.add_argument("--continue-on-error", action="store_true",
+                      help="record stage failures instead of aborting; "
+                      "produce the best partial result")
+    flow.add_argument("--checkpoint-dir", metavar="DIR",
+                      help="save/resume per-stage checkpoints under DIR")
     flow.add_argument("--out", help="directory for collateral files")
     flow.add_argument("--trace",
                       help="write a JSONL trace of the run to this path")
     flow.set_defaults(fn=_cmd_flow)
+
+    cloud = sub.add_parser(
+        "cloud",
+        help="simulate shared-compute capacity with failure injection",
+    )
+    cloud.add_argument("--servers", type=int, default=4)
+    cloud.add_argument("--jobs", type=int, default=24)
+    cloud.add_argument("--seed", type=int, default=7,
+                       help="seeds both the workload and the fault model")
+    cloud.add_argument("--window-min", type=float, default=480.0,
+                       help="submission window in simulated minutes")
+    cloud.add_argument("--mtbf-min", type=float, default=0.0,
+                       help="mean minutes between server faults "
+                       "(0 disables fault strikes)")
+    cloud.add_argument("--mttr-min", type=float, default=30.0,
+                       help="server repair time after a fault")
+    cloud.add_argument("--preempt", type=float, default=0.0,
+                       help="per-execution preemption probability")
+    cloud.add_argument("--fatal", type=float, default=0.0,
+                       help="probability a fault is fatal to the job")
+    cloud.add_argument("--max-attempts", type=int, default=4,
+                       help="retry budget per job")
+    cloud.add_argument("--deadlines", action="store_true",
+                       help="attach a deadline to every job")
+    cloud.add_argument("--trace",
+                       help="write a JSONL trace (simulated minutes)")
+    cloud.set_defaults(fn=_cmd_cloud)
 
     lint = sub.add_parser(
         "lint",

@@ -3,34 +3,52 @@
 This is the "design enablement" artifact the paper argues universities
 lack: a *configured* flow where one call takes a design from RTL through
 synthesis, P&R, STA, power, DRC and GDS export on a chosen PDK, with all
-tool knobs captured in a :class:`~repro.core.presets.FlowPreset`.
+knobs captured in one frozen :class:`~repro.core.options.FlowOptions`
+request::
+
+    run_flow(module, pdk, FlowOptions(preset="commercial", seed=7))
+
+The legacy keyword surface (``preset=``, ``clock_period_ps=``, ...) still
+works through a deprecation shim that emits one :class:`DeprecationWarning`
+and builds the equivalent options object.
 
 Every stage runs inside a tracing span (:mod:`repro.obs`): step runtimes
 in the :class:`StepReport` list are *derived from the spans*, so they are
-non-overlapping by construction and sum to ≈ the flow's wall time —
-previously SYNTHESIS / TECHNOLOGY_MAPPING / EQUIVALENCE_CHECK (and the
-four backend steps) shared one timer start and double-counted.  Pass
-``tracer=`` (or install one with :func:`repro.obs.set_tracer`) to keep
-the full trace, including sub-stage spans, as a JSONL artifact.
+non-overlapping by construction and sum to ≈ the flow's wall time.
+
+Resilience (:mod:`repro.resil`) is threaded through here:
+
+* ``options.continue_on_error`` turns hard stage failures into structured
+  :class:`~repro.resil.failure.FlowFailure` records on
+  :attr:`FlowResult.failures`; every downstream stage that can still run
+  does, and the result is marked :attr:`~FlowResult.partial`;
+* ``options.checkpoints`` saves each completed stage under a content hash
+  of (RTL, PDK, preset, seed) so a re-run resumes where the last one
+  stopped and reproduces the cold run byte-for-byte;
+* ``options.inject`` deterministically fails named stages (drills).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..hdl.ir import Module
 from ..layout.chip import build_chip_gds
 from ..layout.drc import DrcReport, check_drc
 from ..layout.gds import write_gds
-from ..lint import LintReport, Waiver, lint_mapped, lint_module
-from ..obs.metrics import get_metrics
+from ..lint import LintReport, lint_mapped, lint_module
+from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.trace import Span, Tracer, get_tracer
 from ..pdk.pdks import Pdk
 from ..pnr.physical import PhysicalDesign, implement
 from ..power.engine import PowerAnalyzer, PowerReport
+from ..resil.checkpoint import StageCheckpointer, flow_cache_key
+from ..resil.failure import FlowFailure, InjectedFault
 from ..sta.engine import TimingAnalyzer, TimingReport
 from ..synth.synthesize import SynthesisResult, synthesize
-from .presets import OPEN, FlowPreset
+from .options import FlowOptions
+from .presets import FlowPreset
 from .steps import FlowStep
 
 
@@ -70,29 +88,43 @@ class PpaSummary:
 
 @dataclass
 class FlowResult:
-    """Everything one flow run produces."""
+    """Everything one flow run produces.
+
+    Artifact fields are ``None`` for stages that never ran: under
+    ``continue_on_error`` a failing stage records a
+    :class:`~repro.resil.failure.FlowFailure` in :attr:`failures` and the
+    flow keeps whatever it can still produce (:attr:`partial` is then
+    true).  On the happy path every field is populated, as before.
+    """
 
     design_name: str
     pdk_name: str
     preset: FlowPreset
     clock_period_ps: float
     steps: list[StepReport]
-    synthesis: SynthesisResult
-    physical: PhysicalDesign
-    timing: TimingReport
-    power: PowerReport
-    drc: DrcReport
-    gds_bytes: bytes
-    ppa: PpaSummary
+    synthesis: SynthesisResult | None = None
+    physical: PhysicalDesign | None = None
+    timing: TimingReport | None = None
+    power: PowerReport | None = None
+    drc: DrcReport | None = None
+    gds_bytes: bytes | None = None
+    ppa: PpaSummary | None = None
     #: The run's finished spans (completion order) — a trace artifact.
     trace: list[Span] = field(default_factory=list)
     #: Static-analysis verdict: RTL lint (pre-synthesis) merged with
     #: netlist lint (post-mapping).  Signoff gates on unwaived errors.
     lint: LintReport | None = None
+    #: Structured failures swallowed by ``continue_on_error``.
+    failures: list[FlowFailure] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return all(step.ok for step in self.steps)
+        return not self.failures and all(step.ok for step in self.steps)
+
+    @property
+    def partial(self) -> bool:
+        """True when some stage failed and the result is incomplete."""
+        return bool(self.failures)
 
     def step(self, step: FlowStep) -> StepReport:
         for report in self.steps:
@@ -102,6 +134,12 @@ class FlowResult:
 
     def summary(self) -> str:
         status = "OK" if self.ok else "FAILED"
+        if self.ppa is None:
+            return (
+                f"{self.design_name} on {self.pdk_name} [{self.preset.name}] "
+                f"{status}: partial result, "
+                f"{len(self.failures)} failure(s)"
+            )
         row = self.ppa.as_row()
         return (
             f"{self.design_name} on {self.pdk_name} [{self.preset.name}] "
@@ -112,38 +150,95 @@ class FlowResult:
 
 #: FlowSteps whose spans are opened inside synthesize()/implement().
 _STAGE_SPAN_NAMES = {step: f"step.{step.value}" for step in FlowStep}
+_STEP_BY_VALUE = {step.value: step for step in FlowStep}
+
+#: Keywords the pre-FlowOptions signature accepted, shimmed for one cycle.
+_LEGACY_KEYS = frozenset(
+    {
+        "preset",
+        "clock_period_ps",
+        "frequency_mhz",
+        "strict_drc",
+        "seed",
+        "lint_waivers",
+        "strict_lint",
+    }
+)
+
+
+def _coerce_options(options, legacy: dict) -> FlowOptions:
+    """Resolve the (options | legacy-kwargs) call surface to FlowOptions."""
+    if isinstance(options, FlowPreset):
+        # Pre-FlowOptions positional call: run_flow(module, pdk, preset).
+        legacy = dict(legacy)
+        if "preset" in legacy:
+            raise TypeError("preset passed both positionally and by keyword")
+        legacy["preset"] = options
+        options = None
+    if legacy:
+        unknown = sorted(set(legacy) - _LEGACY_KEYS)
+        if unknown:
+            raise TypeError(
+                f"run_flow() got unexpected keyword argument(s) {unknown}; "
+                f"new knobs live on FlowOptions"
+            )
+        if options is not None:
+            raise TypeError(
+                "pass options=FlowOptions(...) or legacy keywords, not both"
+            )
+        warnings.warn(
+            "calling run_flow() with individual keyword knobs is "
+            "deprecated; pass options=FlowOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return FlowOptions(**legacy)
+    if options is None:
+        return FlowOptions()
+    if not isinstance(options, FlowOptions):
+        raise TypeError(f"options must be FlowOptions, got {type(options)!r}")
+    return options
 
 
 def run_flow(
     module: Module,
     pdk: Pdk,
-    preset: FlowPreset = OPEN,
-    clock_period_ps: float = 5_000.0,
-    frequency_mhz: float | None = None,
-    strict_drc: bool = True,
-    seed: int = 1,
+    options: FlowOptions | FlowPreset | None = None,
+    *,
     tracer: Tracer | None = None,
-    lint_waivers: tuple[Waiver, ...] = (),
-    strict_lint: bool = False,
+    metrics: MetricsRegistry | None = None,
+    **legacy,
 ) -> FlowResult:
-    """Run the complete RTL→GDSII flow.
+    """Run the complete RTL→GDSII flow as described by ``options``.
 
-    ``frequency_mhz`` defaults to the clock the period implies.  With
-    ``strict_drc`` any DRC violation raises :class:`FlowError` (signoff
-    semantics); otherwise violations are recorded in the report.
+    ``options`` is a :class:`~repro.core.options.FlowOptions`; omitted it
+    defaults to ``FlowOptions()``.  The legacy keyword surface
+    (``preset=``, ``clock_period_ps=``, ``strict_drc=``, ``seed=``,
+    ``frequency_mhz=``, ``lint_waivers=``, ``strict_lint=``) and the
+    positional ``FlowPreset`` third argument still work via a shim that
+    emits one :class:`DeprecationWarning` per call.
 
-    The linter runs twice — over the RTL before synthesis and over the
-    mapped netlist after technology mapping — and the merged report
-    lands on :attr:`FlowResult.lint`.  Lint is advisory by default;
-    ``strict_lint`` raises :class:`FlowError` on any ``error`` finding
-    not covered by ``lint_waivers``.
+    With ``options.strict_drc`` any DRC violation raises
+    :class:`FlowError` (signoff semantics); otherwise violations are
+    recorded in the report.  The linter runs twice — over the RTL before
+    synthesis and over the mapped netlist after technology mapping — and
+    the merged report lands on :attr:`FlowResult.lint`; lint is advisory
+    unless ``options.strict_lint``.
 
-    ``tracer`` collects the run's spans; when omitted the process-wide
-    tracer is used if one is installed, else a private tracer records
-    stage spans locally (step runtimes always come from spans) without
-    publishing anything.  The spans of this run are returned on
-    :attr:`FlowResult.trace`.
+    With ``options.continue_on_error`` a failing stage appends a
+    :class:`~repro.resil.failure.FlowFailure` to
+    :attr:`FlowResult.failures` instead of raising, and every stage whose
+    inputs still exist runs anyway.  ``options.checkpoints`` (a
+    :class:`~repro.resil.checkpoint.CheckpointStore`) saves each
+    completed stage keyed by a content hash of (RTL, PDK, preset, seed);
+    a re-run with the same store skips finished stages.
+
+    ``tracer``/``metrics`` follow the repo-wide DI convention: explicit
+    argument, else the installed process-wide default, else (for timing)
+    a private tracer, because step runtimes are span-derived.
     """
+    opts = _coerce_options(options, legacy)
+    preset = opts.preset
     if tracer is None:
         tracer = get_tracer()
     if not tracer.enabled:
@@ -151,9 +246,11 @@ def run_flow(
         # tracing; a private tracer keeps the no-op default truly free
         # for direct engine calls while the flow still measures itself.
         tracer = Tracer()
-    metrics = get_metrics()
+    if metrics is None:
+        metrics = get_metrics()
     mark = tracer.mark()
     steps: list[StepReport] = []
+    failures: list[FlowFailure] = []
 
     def record(step: FlowStep, span: Span | None, **step_metrics) -> None:
         """One StepReport whose runtime is the step span's duration."""
@@ -169,140 +266,272 @@ def run_flow(
         """The span a nested engine opened for ``step`` during this run."""
         return tracer.find(_STAGE_SPAN_NAMES[step], mark)
 
+    def fail(stage: str, message: str, kind: str = "gate") -> None:
+        """Record a stage failure; raise unless continue_on_error."""
+        failures.append(FlowFailure(stage, message, kind))
+        metrics.counter("flow.failures").inc()
+        metrics.counter(f"flow.failures.{kind}").inc()
+        if not opts.continue_on_error:
+            raise FlowError(message)
+
+    def drill(step: FlowStep) -> None:
+        """Trip the fault-injection drill for ``step`` if one is armed."""
+        if opts.inject is not None:
+            opts.inject.check(step.value)
+
+    ckpt: StageCheckpointer | None = None
+    if opts.checkpoints is not None:
+        key = flow_cache_key(module, pdk.name, preset, opts.seed)
+        ckpt = StageCheckpointer(opts.checkpoints, key, resume=opts.resume)
+
     with tracer.span(
         "flow", design=module.name, pdk=pdk.name, preset=preset.name,
-        clock_period_ps=clock_period_ps,
+        clock_period_ps=opts.clock_period_ps,
     ) as flow_span:
         with tracer.span("step.rtl_design") as sp:
             module.validate()
         record(FlowStep.RTL_DESIGN, sp, **module.stats())
 
         # Pre-synthesis quality gate: advisory RTL lint.
-        rtl_lint = lint_module(module, waivers=lint_waivers, tracer=tracer)
+        rtl_lint = lint_module(
+            module, waivers=opts.lint_waivers, tracer=tracer
+        )
 
-        synth = synthesize(
-            module,
-            pdk.library,
-            objective=preset.mapping_objective,
-            opt_passes=preset.opt_passes,
-            sizing=preset.gate_sizing,
-            max_load_per_drive_ff=preset.max_load_per_drive_ff,
-            verify=preset.run_equivalence,
-            verify_cycles=preset.equivalence_cycles,
-            tracer=tracer,
-        )
-        record(
-            FlowStep.SYNTHESIS, stage_span(FlowStep.SYNTHESIS),
-            gates_raw=synth.opt_stats.gates_before,
-            gates_optimized=synth.opt_stats.gates_after,
-        )
-        record(
-            FlowStep.TECHNOLOGY_MAPPING,
-            stage_span(FlowStep.TECHNOLOGY_MAPPING),
-            cells=len(synth.mapped.cells),
-        )
-        equivalence_ok = (
-            synth.equivalence.passed if synth.equivalence is not None else True
-        )
-        record(
-            FlowStep.EQUIVALENCE_CHECK,
-            stage_span(FlowStep.EQUIVALENCE_CHECK),
-            _ok=equivalence_ok,
-            checked=synth.equivalence is not None,
-        )
-        if not equivalence_ok:
-            raise FlowError(
-                f"synthesis equivalence check failed: "
-                f"{synth.equivalence.mismatches[:3]}"
+        # -- synthesis + mapping + equivalence (checkpointable) -------------
+        synth: SynthesisResult | None = None
+        synth_cached = False
+        if ckpt is not None:
+            synth = ckpt.load("synthesis")
+            synth_cached = synth is not None
+            metrics.counter(
+                f"resil.checkpoint.{'hit' if synth_cached else 'miss'}"
+            ).inc()
+        if synth is None:
+            try:
+                drill(FlowStep.SYNTHESIS)
+                synth = synthesize(
+                    module,
+                    pdk.library,
+                    objective=preset.mapping_objective,
+                    opt_passes=preset.opt_passes,
+                    sizing=preset.gate_sizing,
+                    max_load_per_drive_ff=preset.max_load_per_drive_ff,
+                    verify=preset.run_equivalence,
+                    verify_cycles=preset.equivalence_cycles,
+                    tracer=tracer,
+                )
+            except InjectedFault as exc:
+                record(FlowStep.SYNTHESIS, None, _ok=False)
+                fail(exc.stage, str(exc), kind="injected")
+            else:
+                if ckpt is not None:
+                    ckpt.save("synthesis", synth)
+
+        lint_report = rtl_lint
+        if synth is not None:
+            record(
+                FlowStep.SYNTHESIS,
+                None if synth_cached else stage_span(FlowStep.SYNTHESIS),
+                gates_raw=synth.opt_stats.gates_before,
+                gates_optimized=synth.opt_stats.gates_after,
+                **({"cached": True} if synth_cached else {}),
             )
-
-        # Post-mapping quality gate: netlist lint over the mapped design.
-        lint_report = rtl_lint.merge(
-            lint_mapped(synth.mapped, waivers=lint_waivers, tracer=tracer)
-        )
-        if strict_lint and not lint_report.clean:
-            first = lint_report.errors[0]
-            raise FlowError(
-                f"lint failed with {len(lint_report.errors)} error "
-                f"finding(s), first: {first.rule} at "
-                f"{first.target}.{first.location}: {first.message}"
+            record(
+                FlowStep.TECHNOLOGY_MAPPING,
+                None if synth_cached
+                else stage_span(FlowStep.TECHNOLOGY_MAPPING),
+                cells=len(synth.mapped.cells),
             )
-
-        physical = implement(
-            synth.mapped,
-            pdk,
-            utilization=preset.utilization,
-            detailed_placement_passes=preset.detailed_placement_passes,
-            cts_buffering=preset.cts_buffering,
-            router_rip_up=preset.router_rip_up,
-            placer=preset.placer,
-            seed=seed,
-            tracer=tracer,
-        )
-        record(FlowStep.FLOORPLANNING, stage_span(FlowStep.FLOORPLANNING),
-               **physical.floorplan.stats())
-        record(FlowStep.PLACEMENT, stage_span(FlowStep.PLACEMENT),
-               hpwl_um=physical.placement.hpwl_um)
-        record(FlowStep.CLOCK_TREE_SYNTHESIS,
-               stage_span(FlowStep.CLOCK_TREE_SYNTHESIS),
-               **physical.clock_tree.stats())
-        record(FlowStep.ROUTING, stage_span(FlowStep.ROUTING),
-               **physical.routing.stats())
-
-        with tracer.span("step.static_timing_analysis") as sp:
-            analyzer = TimingAnalyzer(
-                synth.mapped,
-                pdk.node,
-                wire_lengths_um=physical.wire_lengths(),
-                skew_ps=physical.clock_tree.skew_map(),
-                tracer=tracer,
+            equivalence_ok = (
+                synth.equivalence.passed
+                if synth.equivalence is not None else True
             )
-            timing = analyzer.analyze(clock_period_ps)
-        record(
-            FlowStep.STATIC_TIMING_ANALYSIS, sp,
-            wns_ps=timing.wns_ps, met=timing.met, fmax_mhz=timing.fmax_mhz,
+            record(
+                FlowStep.EQUIVALENCE_CHECK,
+                None if synth_cached
+                else stage_span(FlowStep.EQUIVALENCE_CHECK),
+                _ok=equivalence_ok,
+                checked=synth.equivalence is not None,
+            )
+            if not equivalence_ok:
+                fail(
+                    FlowStep.EQUIVALENCE_CHECK.value,
+                    f"synthesis equivalence check failed: "
+                    f"{synth.equivalence.mismatches[:3]}",
+                )
+
+            # Post-mapping quality gate: netlist lint over the mapped design.
+            lint_report = rtl_lint.merge(
+                lint_mapped(
+                    synth.mapped, waivers=opts.lint_waivers, tracer=tracer
+                )
+            )
+            if opts.strict_lint and not lint_report.clean:
+                first = lint_report.errors[0]
+                fail(
+                    "lint",
+                    f"lint failed with {len(lint_report.errors)} error "
+                    f"finding(s), first: {first.rule} at "
+                    f"{first.target}.{first.location}: {first.message}",
+                )
+
+        # -- backend: floorplan → place → CTS → route (checkpointable) ------
+        physical: PhysicalDesign | None = None
+        if synth is not None:
+            try:
+                physical = implement(
+                    synth.mapped,
+                    pdk,
+                    utilization=preset.utilization,
+                    detailed_placement_passes=preset.detailed_placement_passes,
+                    cts_buffering=preset.cts_buffering,
+                    router_rip_up=preset.router_rip_up,
+                    placer=preset.placer,
+                    seed=opts.seed,
+                    tracer=tracer,
+                    metrics=metrics,
+                    checkpoints=ckpt,
+                    inject=opts.inject,
+                )
+            except InjectedFault as exc:
+                # Stages that finished before the fault have spans (and
+                # checkpoints); report them, then the faulted stage.
+                faulted = _STEP_BY_VALUE[exc.stage]
+                for step in (
+                    FlowStep.FLOORPLANNING,
+                    FlowStep.PLACEMENT,
+                    FlowStep.CLOCK_TREE_SYNTHESIS,
+                    FlowStep.ROUTING,
+                ):
+                    span = stage_span(step)
+                    if step is faulted:
+                        record(step, span, _ok=False)
+                        break
+                    if span is not None:
+                        record(step, span)
+                fail(exc.stage, str(exc), kind="injected")
+        if physical is not None:
+            record(FlowStep.FLOORPLANNING, stage_span(FlowStep.FLOORPLANNING),
+                   **physical.floorplan.stats())
+            record(FlowStep.PLACEMENT, stage_span(FlowStep.PLACEMENT),
+                   hpwl_um=physical.placement.hpwl_um)
+            record(FlowStep.CLOCK_TREE_SYNTHESIS,
+                   stage_span(FlowStep.CLOCK_TREE_SYNTHESIS),
+                   **physical.clock_tree.stats())
+            record(FlowStep.ROUTING, stage_span(FlowStep.ROUTING),
+                   **physical.routing.stats())
+
+        # -- analysis + signoff stages --------------------------------------
+        timing: TimingReport | None = None
+        if physical is not None and synth is not None:
+            try:
+                with tracer.span("step.static_timing_analysis") as sp:
+                    drill(FlowStep.STATIC_TIMING_ANALYSIS)
+                    analyzer = TimingAnalyzer(
+                        synth.mapped,
+                        pdk.node,
+                        wire_lengths_um=physical.wire_lengths(),
+                        skew_ps=physical.clock_tree.skew_map(),
+                        tracer=tracer,
+                        metrics=metrics,
+                    )
+                    timing = analyzer.analyze(opts.clock_period_ps)
+            except InjectedFault as exc:
+                record(FlowStep.STATIC_TIMING_ANALYSIS, sp, _ok=False)
+                fail(exc.stage, str(exc), kind="injected")
+            else:
+                record(
+                    FlowStep.STATIC_TIMING_ANALYSIS, sp,
+                    wns_ps=timing.wns_ps, met=timing.met,
+                    fmax_mhz=timing.fmax_mhz,
+                )
+
+        power: PowerReport | None = None
+        if physical is not None and synth is not None:
+            try:
+                with tracer.span("step.power_analysis") as sp:
+                    drill(FlowStep.POWER_ANALYSIS)
+                    freq = opts.frequency_mhz or min(
+                        timing.fmax_mhz if timing is not None else float("inf"),
+                        1e6 / opts.clock_period_ps,
+                    )
+                    power = PowerAnalyzer(
+                        synth.mapped, pdk.node,
+                        wire_lengths_um=physical.wire_lengths(),
+                        tracer=tracer,
+                        metrics=metrics,
+                    ).analyze(freq)
+            except InjectedFault as exc:
+                record(FlowStep.POWER_ANALYSIS, sp, _ok=False)
+                fail(exc.stage, str(exc), kind="injected")
+            else:
+                record(FlowStep.POWER_ANALYSIS, sp, total_uw=power.total_uw)
+
+        drc: DrcReport | None = None
+        gds_library = None
+        if physical is not None:
+            try:
+                with tracer.span("step.design_rule_check") as sp:
+                    drill(FlowStep.DESIGN_RULE_CHECK)
+                    gds_library = build_chip_gds(physical)
+                    drc = check_drc(
+                        gds_library, pdk.layers, physical.mapped.name,
+                        tracer=tracer,
+                    )
+            except InjectedFault as exc:
+                record(FlowStep.DESIGN_RULE_CHECK, sp, _ok=False)
+                fail(exc.stage, str(exc), kind="injected")
+            else:
+                record(FlowStep.DESIGN_RULE_CHECK, sp, _ok=drc.clean,
+                       violations=len(drc.violations))
+                if opts.strict_drc and not drc.clean:
+                    fail(
+                        FlowStep.DESIGN_RULE_CHECK.value,
+                        f"DRC failed: {drc.summary()}",
+                    )
+
+        gds_bytes: bytes | None = None
+        if physical is not None:
+            try:
+                with tracer.span("step.gds_export") as sp:
+                    drill(FlowStep.GDS_EXPORT)
+                    if gds_library is None:
+                        gds_library = build_chip_gds(physical)
+                    gds_bytes = write_gds(gds_library)
+            except InjectedFault as exc:
+                record(FlowStep.GDS_EXPORT, sp, _ok=False)
+                fail(exc.stage, str(exc), kind="injected")
+            else:
+                record(FlowStep.GDS_EXPORT, sp, bytes=len(gds_bytes))
+
+        flow_span.set(
+            ok=not failures and all(step.ok for step in steps),
+            failures=len(failures),
         )
-
-        with tracer.span("step.power_analysis") as sp:
-            freq = frequency_mhz or min(timing.fmax_mhz, 1e6 / clock_period_ps)
-            power = PowerAnalyzer(
-                synth.mapped, pdk.node,
-                wire_lengths_um=physical.wire_lengths(),
-                tracer=tracer,
-            ).analyze(freq)
-        record(FlowStep.POWER_ANALYSIS, sp, total_uw=power.total_uw)
-
-        with tracer.span("step.design_rule_check") as sp:
-            gds_library = build_chip_gds(physical)
-            drc = check_drc(gds_library, pdk.layers, physical.mapped.name,
-                            tracer=tracer)
-        record(FlowStep.DESIGN_RULE_CHECK, sp, _ok=drc.clean,
-               violations=len(drc.violations))
-        if strict_drc and not drc.clean:
-            raise FlowError(f"DRC failed: {drc.summary()}")
-
-        with tracer.span("step.gds_export") as sp:
-            gds_bytes = write_gds(gds_library)
-        record(FlowStep.GDS_EXPORT, sp, bytes=len(gds_bytes))
-
-        flow_span.set(ok=all(step.ok for step in steps))
 
     metrics.counter("flow.runs").inc()
+    if failures:
+        metrics.counter("flow.runs_partial").inc()
     metrics.histogram("flow.run_seconds").observe(flow_span.duration_s)
 
-    ppa = PpaSummary(
-        area_um2=synth.mapped.area_um2(),
-        die_area_mm2=physical.die_area_mm2,
-        fmax_mhz=timing.fmax_mhz,
-        total_power_uw=power.total_uw,
-        wns_ps=timing.wns_ps,
-        cell_count=len(synth.mapped.cells),
-    )
+    ppa = None
+    if (
+        synth is not None and physical is not None
+        and timing is not None and power is not None
+    ):
+        ppa = PpaSummary(
+            area_um2=synth.mapped.area_um2(),
+            die_area_mm2=physical.die_area_mm2,
+            fmax_mhz=timing.fmax_mhz,
+            total_power_uw=power.total_uw,
+            wns_ps=timing.wns_ps,
+            cell_count=len(synth.mapped.cells),
+        )
     return FlowResult(
         design_name=module.name,
         pdk_name=pdk.name,
         preset=preset,
-        clock_period_ps=clock_period_ps,
+        clock_period_ps=opts.clock_period_ps,
         steps=steps,
         synthesis=synth,
         physical=physical,
@@ -313,4 +542,5 @@ def run_flow(
         ppa=ppa,
         trace=tracer.since(mark),
         lint=lint_report,
+        failures=failures,
     )

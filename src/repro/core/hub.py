@@ -10,16 +10,22 @@ away.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from ..hdl.ir import Module
 from ..ip.base import IpBlock
 from ..ip.catalog import catalogue, generate
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.trace import get_tracer
 from ..pdk.pdks import Pdk, get_pdk, list_pdks
+from ..resil.checkpoint import CheckpointStore, MemoryCheckpointStore
+from ..resil.failure import FlowFailure
+from ..resil.retry import ExponentialBackoff, RetryPolicy
 from .cloud import CloudPlatform, estimate_job_minutes
-from .flow import FlowResult, run_flow
+from .flow import FlowError, FlowResult, run_flow
 from .licensing import AccessDecision, User, evaluate_access
-from .presets import get_preset
+from .options import FlowOptions
 from .shuttle import SeatQuote, ShuttleProgram, ShuttleProject
 from .tiers import AccessTier, policy_for, tier_allows
 
@@ -44,17 +50,46 @@ class HubJobRecord:
     preset: str
     result: FlowResult | None = None
     queued_minutes: float = 0.0
+    #: Flow attempts it took to produce ``result`` (1 = first try).
+    attempts: int = 0
+    #: Failures from attempts that were retried (or swallowed by a
+    #: ``continue_on_error`` run); empty on a clean first pass.
+    failures: list[FlowFailure] = field(default_factory=list)
+    #: Simulated deadline the job was submitted against, if any.
+    deadline_minute: float | None = None
+
+
+def _default_cloud() -> CloudPlatform:
+    return CloudPlatform(servers=8)
 
 
 @dataclass
 class EnablementHub:
-    """The central platform object."""
+    """The central platform object.
+
+    ``retry_policy`` governs how many times :meth:`run_design` re-runs a
+    failing flow and how long (in simulated minutes) it backs off between
+    attempts; ``checkpoints`` is the hub-wide store those retries resume
+    from, so a retry recomputes only the stage that failed.
+    """
 
     name: str = "eu-design-hub"
-    cloud: CloudPlatform = field(default_factory=lambda: CloudPlatform(servers=8))
+    cloud: CloudPlatform = field(default_factory=_default_cloud)
+    retry_policy: RetryPolicy = field(default_factory=ExponentialBackoff)
+    checkpoints: CheckpointStore = field(
+        default_factory=MemoryCheckpointStore
+    )
+    tracer: object = None
+    metrics: MetricsRegistry | None = None
     _users: dict[str, Enrollment] = field(default_factory=dict)
     _shuttles: dict[str, ShuttleProgram] = field(default_factory=dict)
     jobs: list[HubJobRecord] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.tracer is None:
+            self.tracer = get_tracer()
+        if self.metrics is None:
+            self.metrics = get_metrics()
 
     # -- enrollment & access -------------------------------------------------
 
@@ -105,9 +140,28 @@ class EnablementHub:
         preset_name: str = "open",
         clock_period_ps: float = 5_000.0,
         submit_minute: float = 0.0,
+        options: FlowOptions | None = None,
+        deadline_minute: float | None = None,
     ) -> HubJobRecord:
-        """Policy-check, queue and execute one flow job."""
+        """Policy-check, queue and execute one flow job, with retries.
+
+        ``options`` is the full :class:`~repro.core.options.FlowOptions`
+        request; when omitted one is built from ``preset_name`` /
+        ``clock_period_ps``.  The hub's checkpoint store is attached
+        unless the request brings its own, so a retried attempt resumes
+        from the last completed stage instead of starting over.
+
+        A flow attempt that raises :class:`~repro.core.flow.FlowError`
+        is retried under the hub's ``retry_policy`` (backoff budgeted in
+        simulated minutes, pushing the cloud submission later); the
+        attempt count and per-attempt failures land on the returned
+        :class:`HubJobRecord`.  With ``deadline_minute`` and a
+        deadline-aware policy, retries that cannot start before the
+        deadline are abandoned.
+        """
         enrollment = self._enrollment(user_name)
+        if options is not None:
+            preset_name = options.preset.name
         if not tier_allows(enrollment.tier, pdk_name, preset_name):
             raise HubError(
                 f"tier {enrollment.tier.value!r} may not run "
@@ -118,26 +172,80 @@ class EnablementHub:
             raise HubError(
                 f"access to {pdk_name} blocked: {decision.blockers}"
             )
+        if options is None:
+            options = FlowOptions(
+                preset=preset_name, clock_period_ps=clock_period_ps
+            )
+        if options.checkpoints is None:
+            options = options.with_overrides(checkpoints=self.checkpoints)
         record = HubJobRecord(
             user=user_name, design=module.name, pdk=pdk_name,
-            preset=preset_name,
+            preset=preset_name, deadline_minute=deadline_minute,
         )
-        result = run_flow(
-            module,
-            get_pdk(pdk_name),
-            preset=get_preset(preset_name),
-            clock_period_ps=clock_period_ps,
+        policy = self.retry_policy
+        rng = random.Random(options.seed)
+        minute = submit_minute
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = run_flow(
+                    module, get_pdk(pdk_name), options,
+                    tracer=self.tracer, metrics=self.metrics,
+                )
+            except FlowError as exc:
+                record.failures.append(
+                    FlowFailure("flow", str(exc), kind="crash")
+                )
+                self.metrics.counter("hub.flow_failures").inc()
+                if policy.gives_up(attempt):
+                    record.attempts = attempt
+                    raise HubError(
+                        f"flow failed after {attempt} attempt(s): {exc}"
+                    ) from exc
+                backoff = policy.backoff_min(attempt, rng)
+                if (
+                    policy.deadline_aware
+                    and deadline_minute is not None
+                    and minute + backoff > deadline_minute
+                ):
+                    record.attempts = attempt
+                    raise HubError(
+                        f"flow failed and the deadline (minute "
+                        f"{deadline_minute:g}) leaves no room for a "
+                        f"retry: {exc}"
+                    ) from exc
+                self.tracer.add_span(
+                    "resil.retry", minute, minute + backoff,
+                    design=module.name, attempt=attempt,
+                    backoff_min=round(backoff, 3),
+                )
+                self.metrics.counter("hub.retries").inc()
+                minute += backoff
+            else:
+                break
+        record.attempts = attempt
+        record.failures.extend(result.failures)
+        record.queued_minutes = minute - submit_minute
+        # A continue_on_error run may be partial; bill only what ran.
+        cells = (
+            len(result.synthesis.mapped.cells)
+            if result.synthesis is not None else 1
         )
-        cells = len(result.synthesis.mapped.cells)
         self.cloud.submit(
-            user_name, estimate_job_minutes(cells), submit_minute
+            user_name, estimate_job_minutes(cells), minute,
+            deadline_min=deadline_minute,
         )
         record.result = result
-        policy = policy_for(enrollment.tier)
-        if result.physical.die_area_mm2 > policy.max_die_area_mm2:
+        self.metrics.counter("hub.jobs").inc()
+        tier_policy = policy_for(enrollment.tier)
+        if (
+            result.physical is not None
+            and result.physical.die_area_mm2 > tier_policy.max_die_area_mm2
+        ):
             raise HubError(
                 f"die area {result.physical.die_area_mm2:.4f} mm2 exceeds "
-                f"tier limit {policy.max_die_area_mm2} mm2"
+                f"tier limit {tier_policy.max_die_area_mm2} mm2"
             )
         self.jobs.append(record)
         return record
@@ -146,6 +254,7 @@ class EnablementHub:
 
     def shuttle(self, pdk_name: str, **kwargs) -> ShuttleProgram:
         if pdk_name not in self._shuttles:
+            kwargs.setdefault("tracer", self.tracer)
             self._shuttles[pdk_name] = ShuttleProgram(get_pdk(pdk_name), **kwargs)
         return self._shuttles[pdk_name]
 

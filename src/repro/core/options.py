@@ -1,0 +1,71 @@
+"""The flow request object: every knob of one RTL→GDSII run.
+
+``run_flow`` grew nine-and-counting keyword knobs (preset, clock, DRC
+strictness, seed, lint waivers, …) and each caller — the hub, the CLI,
+the shuttle tape-out path — re-declared its own subset.  A frozen
+:class:`FlowOptions` consolidates them: one value-typed request that can
+be stored on a job record, hashed into a checkpoint key, copied with
+overrides and forwarded verbatim across layers.
+
+Dependency injection stays *out* of the request: ``tracer=`` and
+``metrics=`` remain explicit parameters on the entry points (see
+DESIGN.md "Dependency-injection convention"), because observability
+backends are ambient infrastructure, not part of what is being asked
+for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..lint import Waiver
+from ..resil.checkpoint import CheckpointStore
+from ..resil.faults import FaultInjector
+from .presets import OPEN, FlowPreset, get_preset
+
+
+@dataclass(frozen=True)
+class FlowOptions:
+    """Everything one flow run can be asked to do.
+
+    ``preset`` accepts either a :class:`FlowPreset` or its registry name
+    (``"open"`` / ``"commercial"``).  The resilience knobs:
+
+    * ``continue_on_error`` — a failing stage records a structured
+      :class:`~repro.resil.failure.FlowFailure` instead of raising, and
+      every downstream stage that can still run does (partial results
+      for students, not stack traces);
+    * ``checkpoints`` / ``resume`` — per-stage checkpointing keyed by a
+      content hash of (RTL, PDK, preset, seed); a resumed flow skips
+      completed stages and reproduces the cold run byte-for-byte;
+    * ``inject`` — a deterministic fault drill for testing degradation
+      and resume paths.
+    """
+
+    preset: FlowPreset = OPEN
+    clock_period_ps: float = 5_000.0
+    frequency_mhz: float | None = None
+    strict_drc: bool = True
+    seed: int = 1
+    lint_waivers: tuple[Waiver, ...] = ()
+    strict_lint: bool = False
+    # -- resilience ---------------------------------------------------------
+    continue_on_error: bool = False
+    checkpoints: CheckpointStore | None = field(
+        default=None, compare=False, repr=False
+    )
+    resume: bool = True
+    inject: FaultInjector | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self):
+        if isinstance(self.preset, str):
+            object.__setattr__(self, "preset", get_preset(self.preset))
+        object.__setattr__(self, "lint_waivers", tuple(self.lint_waivers))
+        if self.clock_period_ps <= 0:
+            raise ValueError("clock period must be positive")
+
+    def with_overrides(self, **kwargs) -> "FlowOptions":
+        """A copy with selected knobs changed."""
+        return replace(self, **kwargs)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import get_tracer
 from ..pdk.pdks import Pdk
 
 
@@ -76,6 +78,8 @@ class ShuttleProgram:
         runs_per_year: int = 4,
         capacity_mm2: float = 50.0,
         sponsorship_fund_eur: float = 0.0,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         if runs_per_year < 1:
             raise ValueError("need at least one run per year")
@@ -83,6 +87,11 @@ class ShuttleProgram:
         self.runs_per_year = runs_per_year
         self.capacity_mm2 = capacity_mm2
         self.sponsorship_fund_eur = sponsorship_fund_eur
+        self.tracer = tracer if tracer is not None else get_tracer()
+        # Like CloudPlatform, the shuttle runs on its own simulated clock
+        # (days); a private registry keeps its series from interleaving
+        # with wall-clock process metrics (see DESIGN.md, DI convention).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.runs: list[ShuttleRun] = []
         self._extend_calendar(4)
 
@@ -125,6 +134,21 @@ class ShuttleProgram:
             sponsored = True
             price = 0.0
         chips_back = run.launch_day + self.pdk.terms.total_turnaround_days
+        # One span per booked seat, on the simulated day clock: wait for
+        # the launch, then fab + packaging turnaround.
+        self.tracer.add_span(
+            "shuttle.seat", float(ready_day), float(chips_back),
+            project=project.name, run_index=run.index,
+            launch_day=run.launch_day, sponsored=sponsored,
+            area_mm2=project.area_mm2,
+        )
+        self.metrics.counter("shuttle.seats").inc()
+        if sponsored:
+            self.metrics.counter("shuttle.sponsored_seats").inc()
+        self.metrics.gauge("shuttle.fund_eur").set(self.sponsorship_fund_eur)
+        self.metrics.histogram(
+            "shuttle.turnaround_days", buckets=(90, 120, 180, 270, 365, 540)
+        ).observe(chips_back - ready_day)
         return SeatQuote(
             project=project.name,
             run_index=run.index,

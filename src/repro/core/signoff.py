@@ -72,9 +72,40 @@ def run_signoff(
 
     ``waivers`` names checklist items whose failure is consciously
     accepted; equivalence and DRC can never be waived.
+
+    A partial result (a ``continue_on_error`` run that recorded
+    failures, or one missing signoff artifacts) fails the unwaivable
+    ``flow_complete`` item and short-circuits: the remaining checks
+    cannot be evaluated against artifacts that never got produced.
     """
     report = SignoffReport(waivers=set(waivers or ()))
     add = report.items.append
+
+    missing = [
+        name for name, artifact in (
+            ("synthesis", result.synthesis),
+            ("physical", result.physical),
+            ("timing", result.timing),
+            ("drc", result.drc),
+            ("gds", result.gds_bytes),
+        ) if artifact is None
+    ]
+    complete = not missing and not result.failures
+    detail = "all stages completed"
+    if not complete:
+        parts = []
+        if result.failures:
+            parts.append(
+                f"{len(result.failures)} stage failure(s): "
+                + "; ".join(str(f) for f in result.failures)
+            )
+        if missing:
+            parts.append(f"missing artifacts: {', '.join(missing)}")
+        detail = "; ".join(parts)
+    add(SignoffItem("flow_complete", complete, detail, waivable=False))
+    if missing:
+        # Nothing below can be checked against artifacts that don't exist.
+        return report
 
     equivalence = result.synthesis.equivalence
     add(SignoffItem(

@@ -51,24 +51,44 @@ class StandardCell:
         return f"StandardCell({self.name})"
 
 
+# Cell boolean functions as module-level defs (not lambdas) so every
+# StandardCell — and anything referencing one, like a checkpointed
+# mapped netlist — pickles by function reference.
+def _fn_inv(a): return a ^ 1
+def _fn_buf(a): return a
+def _fn_nand2(a, b): return (a & b) ^ 1
+def _fn_nor2(a, b): return (a | b) ^ 1
+def _fn_and2(a, b): return a & b
+def _fn_or2(a, b): return a | b
+def _fn_xor2(a, b): return a ^ b
+def _fn_xnor2(a, b): return (a ^ b) ^ 1
+def _fn_nand3(a, b, c): return (a & b & c) ^ 1
+def _fn_nor3(a, b, c): return (a | b | c) ^ 1
+def _fn_aoi21(a, b, c): return ((a & b) | c) ^ 1
+def _fn_oai21(a, b, c): return ((a | b) & c) ^ 1
+def _fn_mux2(a, b, s): return b if s else a
+def _fn_tie0(): return 0
+def _fn_tie1(): return 1
+
+
 # (kind, inputs, function, sites, intrinsic factor, resistance factor,
 #  relative leakage).  Factors are relative to the node's base inverter.
 _CELL_SPECS: list[tuple] = [
-    ("INV", ("a",), lambda a: a ^ 1, 3, 1.0, 1.0, 1.0),
-    ("BUF", ("a",), lambda a: a, 4, 1.6, 0.9, 1.2),
-    ("NAND2", ("a", "b"), lambda a, b: (a & b) ^ 1, 4, 1.2, 1.1, 1.4),
-    ("NOR2", ("a", "b"), lambda a, b: (a | b) ^ 1, 4, 1.4, 1.3, 1.4),
-    ("AND2", ("a", "b"), lambda a, b: a & b, 5, 1.9, 1.0, 1.6),
-    ("OR2", ("a", "b"), lambda a, b: a | b, 5, 2.1, 1.0, 1.6),
-    ("XOR2", ("a", "b"), lambda a, b: a ^ b, 8, 2.6, 1.4, 2.2),
-    ("XNOR2", ("a", "b"), lambda a, b: (a ^ b) ^ 1, 8, 2.6, 1.4, 2.2),
-    ("NAND3", ("a", "b", "c"), lambda a, b, c: (a & b & c) ^ 1, 6, 1.6, 1.3, 1.9),
-    ("NOR3", ("a", "b", "c"), lambda a, b, c: (a | b | c) ^ 1, 6, 2.0, 1.6, 1.9),
-    ("AOI21", ("a", "b", "c"), lambda a, b, c: ((a & b) | c) ^ 1, 6, 1.5, 1.3, 1.8),
-    ("OAI21", ("a", "b", "c"), lambda a, b, c: ((a | b) & c) ^ 1, 6, 1.5, 1.3, 1.8),
-    ("MUX2", ("a", "b", "s"), lambda a, b, s: b if s else a, 9, 2.2, 1.2, 2.4),
-    ("TIE0", (), lambda: 0, 2, 0.0, 0.0, 0.3),
-    ("TIE1", (), lambda: 1, 2, 0.0, 0.0, 0.3),
+    ("INV", ("a",), _fn_inv, 3, 1.0, 1.0, 1.0),
+    ("BUF", ("a",), _fn_buf, 4, 1.6, 0.9, 1.2),
+    ("NAND2", ("a", "b"), _fn_nand2, 4, 1.2, 1.1, 1.4),
+    ("NOR2", ("a", "b"), _fn_nor2, 4, 1.4, 1.3, 1.4),
+    ("AND2", ("a", "b"), _fn_and2, 5, 1.9, 1.0, 1.6),
+    ("OR2", ("a", "b"), _fn_or2, 5, 2.1, 1.0, 1.6),
+    ("XOR2", ("a", "b"), _fn_xor2, 8, 2.6, 1.4, 2.2),
+    ("XNOR2", ("a", "b"), _fn_xnor2, 8, 2.6, 1.4, 2.2),
+    ("NAND3", ("a", "b", "c"), _fn_nand3, 6, 1.6, 1.3, 1.9),
+    ("NOR3", ("a", "b", "c"), _fn_nor3, 6, 2.0, 1.6, 1.9),
+    ("AOI21", ("a", "b", "c"), _fn_aoi21, 6, 1.5, 1.3, 1.8),
+    ("OAI21", ("a", "b", "c"), _fn_oai21, 6, 1.5, 1.3, 1.8),
+    ("MUX2", ("a", "b", "s"), _fn_mux2, 9, 2.2, 1.2, 2.4),
+    ("TIE0", (), _fn_tie0, 2, 0.0, 0.0, 0.3),
+    ("TIE1", (), _fn_tie1, 2, 0.0, 0.0, 0.3),
 ]
 
 #: The flip-flop is specified separately: its "function" is sequential.

@@ -3,14 +3,24 @@
 :func:`implement` is the backend entry point used by the flow runner; the
 returned :class:`PhysicalDesign` carries everything signoff needs (routed
 wire lengths for STA/power, clock skew map, die geometry for GDS export).
+
+Each backend stage is individually checkpointable: pass a
+:class:`~repro.resil.checkpoint.StageCheckpointer` and every completed
+stage is serialized immediately, so a flow interrupted after placement
+resumes with the identical placement and only recomputes what is
+missing.  ``inject`` accepts a :class:`~repro.resil.faults.FaultInjector`
+drill that deterministically fails named stages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.trace import Tracer, get_tracer
 from ..pdk.pdks import Pdk
+from ..resil.checkpoint import StageCheckpointer
+from ..resil.faults import FaultInjector
 from ..synth.mapped import MappedNetlist
 from .cts import ClockTree, synthesize_clock_tree
 from .floorplan import Floorplan, make_floorplan
@@ -63,6 +73,9 @@ def implement(
     placer: str = "quadratic",
     seed: int = 1,
     tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    checkpoints: StageCheckpointer | None = None,
+    inject: FaultInjector | None = None,
 ) -> PhysicalDesign:
     """Run the full backend on ``mapped`` with the given knobs.
 
@@ -71,40 +84,91 @@ def implement(
     buffering, router rip-up and the placer algorithm itself.  ``tracer``
     (default: the process tracer) receives one span per backend flow step
     plus sub-spans for the inner phases; tracing never changes results.
+    ``checkpoints`` loads completed stages and saves fresh ones as they
+    finish; a loaded stage's span carries ``cached=True`` and takes
+    effectively no time.  ``inject`` fails named stages on purpose
+    (resilience drills) by raising
+    :class:`~repro.resil.failure.InjectedFault`.
     """
     if tracer is None:
         tracer = get_tracer()
+    if metrics is None:
+        metrics = get_metrics()
+
+    def restore(stage: str):
+        """Checkpointed artifact for ``stage``, with hit/miss metering."""
+        if checkpoints is None:
+            return None
+        artifact = checkpoints.load(stage)
+        metrics.counter(
+            f"resil.checkpoint.{'hit' if artifact is not None else 'miss'}"
+        ).inc()
+        return artifact
+
+    def preserve(stage: str, artifact) -> None:
+        if checkpoints is not None:
+            checkpoints.save(stage, artifact)
+
+    def drill(stage: str) -> None:
+        if inject is not None:
+            inject.check(stage)
+
     with tracer.span("step.floorplanning") as sp:
-        floorplan = make_floorplan(
-            mapped, pdk.node, utilization=utilization,
-            aspect_ratio=aspect_ratio,
-        )
+        drill("floorplanning")
+        floorplan = restore("floorplan")
+        if floorplan is None:
+            floorplan = make_floorplan(
+                mapped, pdk.node, utilization=utilization,
+                aspect_ratio=aspect_ratio,
+            )
+            preserve("floorplan", floorplan)
+        else:
+            sp.set(cached=True)
         sp.set(**floorplan.stats())
     with tracer.span("step.placement", placer=placer) as sp:
-        if placer == "quadratic":
-            placement = place(
-                mapped, floorplan,
-                detailed_passes=detailed_placement_passes, seed=seed,
-                tracer=tracer,
-            )
-        elif placer == "random":
-            placement = random_place(mapped, floorplan, seed=seed)
+        drill("placement")
+        placement = restore("placement")
+        if placement is None:
+            if placer == "quadratic":
+                placement = place(
+                    mapped, floorplan,
+                    detailed_passes=detailed_placement_passes, seed=seed,
+                    tracer=tracer,
+                )
+            elif placer == "random":
+                placement = random_place(mapped, floorplan, seed=seed)
+            else:
+                raise ValueError(f"unknown placer {placer!r}")
+            preserve("placement", placement)
         else:
-            raise ValueError(f"unknown placer {placer!r}")
+            sp.set(cached=True)
         sp.set(hpwl_um=placement.hpwl_um)
     with tracer.span("step.clock_tree_synthesis") as sp:
-        clock_tree = synthesize_clock_tree(
-            placement, mapped.library, pdk.node, buffering=cts_buffering,
-            tracer=tracer,
-        )
+        drill("clock_tree_synthesis")
+        clock_tree = restore("clock_tree")
+        if clock_tree is None:
+            clock_tree = synthesize_clock_tree(
+                placement, mapped.library, pdk.node, buffering=cts_buffering,
+                tracer=tracer,
+            )
+            preserve("clock_tree", clock_tree)
+        else:
+            sp.set(cached=True)
         sp.set(**clock_tree.stats())
     with tracer.span("step.routing") as sp:
-        capacity = grid_capacity(pdk.node, pdk.layers)
-        routing = route(
-            mapped, placement, pdk.node, rip_up=router_rip_up,
-            capacity=capacity, max_iterations=8, tracer=tracer,
-        )
+        drill("routing")
+        routing = restore("routing")
+        if routing is None:
+            capacity = grid_capacity(pdk.node, pdk.layers)
+            routing = route(
+                mapped, placement, pdk.node, rip_up=router_rip_up,
+                capacity=capacity, max_iterations=8, tracer=tracer,
+            )
+            preserve("routing", routing)
+        else:
+            sp.set(cached=True)
         sp.set(**routing.stats())
+    metrics.counter("pnr.implementations").inc()
     return PhysicalDesign(
         mapped=mapped,
         pdk=pdk,

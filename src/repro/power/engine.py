@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from ..pdk.node import ProcessNode
 from ..synth.mapped import MappedNetlist
@@ -57,12 +58,15 @@ class PowerAnalyzer:
         wire_lengths_um: dict[int, float] | None = None,
         input_probabilities: dict[str, float] | None = None,
         tracer=None,
+        metrics=None,
     ):
         self.mapped = mapped
         self.node = node
         self._tracer = tracer if tracer is not None else get_tracer()
+        self._metrics = metrics if metrics is not None else get_metrics()
         self.timing = TimingAnalyzer(mapped, node, wire_lengths_um,
-                                     tracer=self._tracer)
+                                     tracer=self._tracer,
+                                     metrics=self._metrics)
         self.input_probabilities = input_probabilities or {}
 
     def signal_probabilities(self) -> dict[int, float]:
@@ -124,6 +128,7 @@ class PowerAnalyzer:
                 activities=activities,
             )
             root.set(frequency_mhz=frequency_mhz, total_uw=report.total_uw)
+        self._metrics.counter("power.analyses").inc()
         return report
 
 

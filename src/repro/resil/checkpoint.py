@@ -1,0 +1,180 @@
+"""Per-stage flow checkpoints keyed by a content hash of the request.
+
+The same shape as training-job checkpointing: a long flow serializes its
+expensive intermediate artifacts (synthesis result, floorplan, placement,
+clock tree, routing) under a key derived from *what was asked for* — the
+RTL's canonical Verilog, the PDK, the preset knobs and the seed — so a
+retried or resumed run skips every stage that already completed, and a
+request whose inputs changed in any way misses cleanly.
+
+Two stores share one pickle-based contract: :class:`MemoryCheckpointStore`
+(per-process; used by the hub's retry loop) and
+:class:`DirectoryCheckpointStore` (survives the process; used by the CLI
+``--checkpoint-dir``).  Both round-trip through ``pickle.dumps`` even in
+memory, so a loaded artifact is always a private copy — a resumed flow
+can never mutate the checkpointed bytes of an earlier one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+
+#: Stage names a full flow run checkpoints, in order.
+CHECKPOINT_STAGES = (
+    "synthesis", "floorplan", "placement", "clock_tree", "routing",
+)
+
+
+def _canonical(value):
+    """A JSON-stable view of preset-like values (sorted sets, dataclasses)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    return value
+
+
+def flow_cache_key(module, pdk_name: str, preset, seed: int) -> str:
+    """Content hash of one flow request.
+
+    The module contributes its canonical Verilog text (not its object
+    identity), so two builds of the same RTL share checkpoints and any
+    edit — however small — misses.
+    """
+    from ..hdl.verilog import to_verilog
+
+    payload = json.dumps(
+        {
+            "rtl": to_verilog(module),
+            "pdk": pdk_name,
+            "preset": _canonical(preset),
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+class CheckpointStore:
+    """Pickle-serialized stage artifacts; subclasses supply the backend."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    # -- backend contract --------------------------------------------------
+
+    def _read(self, key: str, stage: str) -> bytes | None:
+        raise NotImplementedError
+
+    def _write(self, key: str, stage: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def stages(self, key: str) -> list[str]:
+        """Checkpointed stage names for ``key`` (canonical order first)."""
+        raise NotImplementedError
+
+    # -- public API --------------------------------------------------------
+
+    def save(self, key: str, stage: str, obj) -> None:
+        self._write(key, stage, pickle.dumps(obj, protocol=4))
+
+    def load(self, key: str, stage: str):
+        """The checkpointed artifact, or ``None`` on a miss."""
+        data = self._read(key, stage)
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pickle.loads(data)
+
+    def has(self, key: str, stage: str) -> bool:
+        return self._read(key, stage) is not None
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-process store: a dict of pickled blobs."""
+
+    def __init__(self):
+        super().__init__()
+        self._blobs: dict[tuple[str, str], bytes] = {}
+
+    def _read(self, key, stage):
+        return self._blobs.get((key, stage))
+
+    def _write(self, key, stage, data):
+        self._blobs[(key, stage)] = data
+
+    def stages(self, key):
+        found = {s for k, s in self._blobs if k == key}
+        ordered = [s for s in CHECKPOINT_STAGES if s in found]
+        return ordered + sorted(found.difference(CHECKPOINT_STAGES))
+
+
+class DirectoryCheckpointStore(CheckpointStore):
+    """Filesystem store: ``root/<key>/<stage>.ckpt`` files."""
+
+    def __init__(self, root: str):
+        super().__init__()
+        self.root = root
+
+    def _path(self, key: str, stage: str) -> str:
+        return os.path.join(self.root, key, f"{stage}.ckpt")
+
+    def _read(self, key, stage):
+        try:
+            with open(self._path(key, stage), "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def _write(self, key, stage, data):
+        os.makedirs(os.path.join(self.root, key), exist_ok=True)
+        with open(self._path(key, stage), "wb") as handle:
+            handle.write(data)
+
+    def stages(self, key):
+        try:
+            found = {
+                name[: -len(".ckpt")]
+                for name in os.listdir(os.path.join(self.root, key))
+                if name.endswith(".ckpt")
+            }
+        except OSError:
+            return []
+        ordered = [s for s in CHECKPOINT_STAGES if s in found]
+        return ordered + sorted(found.difference(CHECKPOINT_STAGES))
+
+
+@dataclass
+class StageCheckpointer:
+    """A store bound to one flow request's key.
+
+    The flow runner and the backend orchestrator share this object:
+    ``load`` returns ``None`` when resuming is disabled, so callers need
+    no resume conditionals of their own.
+    """
+
+    store: CheckpointStore
+    key: str
+    resume: bool = True
+
+    def load(self, stage: str):
+        if not self.resume:
+            return None
+        return self.store.load(self.key, stage)
+
+    def save(self, stage: str, obj) -> None:
+        self.store.save(self.key, stage, obj)

@@ -1,0 +1,53 @@
+"""Structured flow-failure records and the injected-fault exception.
+
+A shared university platform cannot present a stack trace as the outcome
+of a student's flow run.  :class:`FlowFailure` is the structured record a
+degraded flow produces instead: which stage failed, why, and whether the
+failure was a quality *gate* (DRC, equivalence, strict lint), an engine
+*crash*, or a deliberately *injected* drill fault.  The flow runner
+collects these on ``FlowResult.failures`` when running with
+``continue_on_error``; the hub and CLI render them per stage.
+
+:class:`InjectedFault` is the exception a fault drill raises inside an
+instrumented stage (see :class:`~repro.resil.faults.FaultInjector`).  It
+deliberately does *not* subclass ``FlowError``: an injected fault models
+infrastructure failure (a preempted node, an OOM kill), not a design
+quality gate, and retry policies treat the two identically anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The failure taxonomy: a design-quality gate that did not pass, an
+#: engine exception, or a deliberately injected drill fault.
+FAILURE_KINDS = ("gate", "crash", "injected")
+
+
+@dataclass(frozen=True)
+class FlowFailure:
+    """One stage failure recorded by a degraded (partial) flow run."""
+
+    #: Stage name — a ``FlowStep.value`` such as ``"design_rule_check"``,
+    #: or ``"lint"`` for the strict-lint gate (which has no FlowStep).
+    stage: str
+    message: str
+    kind: str = "gate"
+
+    def __post_init__(self):
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; "
+                f"expected one of {FAILURE_KINDS}"
+            )
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.stage}: {self.message}"
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a :class:`~repro.resil.faults.FaultInjector` drill."""
+
+    def __init__(self, stage: str):
+        super().__init__(f"injected fault at stage {stage!r}")
+        self.stage = stage

@@ -1,0 +1,121 @@
+"""Seeded failure models: stochastic infrastructure faults and drills.
+
+Real shared academic compute — the centralized platform of the paper's
+Recommendation 7 — has preempted jobs, failed nodes and repair windows.
+:class:`FaultModel` parameterizes that reality for the cloud simulator:
+server MTBF/MTTR, a per-execution preemption probability, and the split
+between transient faults (retryable) and fatal ones (the job is lost).
+All randomness flows through one :class:`FaultSampler` built from the
+model's seed, so a simulation with faults is exactly as deterministic as
+one without: same seed, same schedule, same statistics.
+
+:class:`FaultInjector` is the deterministic counterpart for *flows*: a
+drill that fails named stages the first N times they run, used to test
+``continue_on_error`` degradation and checkpoint resume without
+monkeypatching engines.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from .failure import InjectedFault
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Stochastic fault parameters for a pool of identical servers.
+
+    ``mtbf_min`` is the mean simulated time between server faults while a
+    job is executing (exponential inter-fault times); ``mttr_min`` is how
+    long a faulted server stays down.  ``preemption_prob`` is the chance
+    a given execution is preempted (resource reclaimed — the server is
+    immediately reusable).  A server fault is fatal to the *job* with
+    probability ``fatal_prob``; otherwise it is transient and the job may
+    retry.
+    """
+
+    seed: int = 0
+    mtbf_min: float = math.inf
+    mttr_min: float = 30.0
+    preemption_prob: float = 0.0
+    fatal_prob: float = 0.0
+
+    def __post_init__(self):
+        if self.mtbf_min <= 0:
+            raise ValueError("MTBF must be positive")
+        if self.mttr_min < 0:
+            raise ValueError("MTTR cannot be negative")
+        for name in ("preemption_prob", "fatal_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+    def sampler(self) -> "FaultSampler":
+        """A fresh seeded sampler; one per simulation run."""
+        return FaultSampler(self)
+
+
+class FaultSampler:
+    """Draws per-execution fault outcomes from a :class:`FaultModel`.
+
+    Owns the run's single :class:`random.Random`; retry-backoff jitter
+    shares it (via :attr:`rng`) so the entire schedule is reproducible
+    from the model seed alone.
+    """
+
+    def __init__(self, model: FaultModel):
+        self.model = model
+        self.rng = random.Random(model.seed)
+
+    def draw(self, duration_min: float) -> tuple[str, float]:
+        """Outcome of one execution attempt of ``duration_min`` minutes.
+
+        Returns ``(kind, fraction)`` where ``kind`` is one of ``"ok"``,
+        ``"preempt"``, ``"transient"`` or ``"fatal"`` and ``fraction`` is
+        how far through the execution the fault struck (1.0 for ok).
+        """
+        model, rng = self.model, self.rng
+        if model.preemption_prob > 0 and rng.random() < model.preemption_prob:
+            return "preempt", rng.random()
+        if math.isfinite(model.mtbf_min):
+            strike_min = rng.expovariate(1.0 / model.mtbf_min)
+            if strike_min < duration_min:
+                fatal = model.fatal_prob > 0 and rng.random() < model.fatal_prob
+                return ("fatal" if fatal else "transient",
+                        strike_min / duration_min)
+        return "ok", 1.0
+
+
+class FaultInjector:
+    """Deterministic fault drills for flow stages.
+
+    ``FaultInjector("routing")`` fails the routing stage the first time
+    it runs and then stands down, so a retried (or checkpoint-resumed)
+    flow succeeds — the shape of a transient infrastructure fault.
+    ``times`` raises the per-stage budget for permanent-failure drills.
+    """
+
+    def __init__(self, *stages: str, times: int = 1):
+        if times < 1:
+            raise ValueError("fault budget must be at least 1")
+        self._budget: dict[str, int] = {stage: times for stage in stages}
+
+    def trip(self, stage: str) -> bool:
+        """Consume one fault from ``stage``'s budget; True if it fires."""
+        left = self._budget.get(stage, 0)
+        if left <= 0:
+            return False
+        self._budget[stage] = left - 1
+        return True
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`InjectedFault` if the drill fires for ``stage``."""
+        if self.trip(stage):
+            raise InjectedFault(stage)
+
+    @property
+    def armed(self) -> bool:
+        return any(left > 0 for left in self._budget.values())

@@ -1,0 +1,73 @@
+"""Retry policies: when and how a failed job re-enters the queue.
+
+Backoff is budgeted in *simulated minutes* — the cloud simulator's clock
+— so capacity-planning questions ("how many servers to hit the deadline
+at p95 given 2% node failures") account for retry pressure the same way
+they account for queueing.  Policies are deadline-aware: retrying a job
+that can no longer finish before its deadline only burns server time a
+classmate needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class RetryPolicy:
+    """Base contract; subclass to plug in a different schedule.
+
+    ``backoff_min(attempt, rng)`` is the delay before re-queueing after
+    the given (1-based) failed attempt; ``gives_up(attempt)`` is checked
+    after each failure; ``deadline_aware`` lets schedulers cancel retries
+    that cannot finish before a job's deadline.
+    """
+
+    max_attempts: int = 1
+    deadline_aware: bool = True
+
+    def backoff_min(self, attempt: int,
+                    rng: random.Random | None = None) -> float:
+        raise NotImplementedError
+
+    def gives_up(self, attempt: int) -> bool:
+        return attempt >= self.max_attempts
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff(RetryPolicy):
+    """Exponential backoff with bounded multiplicative jitter.
+
+    The un-jittered delay for failed attempt *k* (1-based) is
+    ``min(base_min * factor**(k-1), max_backoff_min)``; with an ``rng``
+    the delay is scaled by a factor uniform in ``[1-jitter, 1+jitter]``,
+    so every delay lies within those bounds — testable, and budgeted in
+    simulated minutes.
+    """
+
+    base_min: float = 1.0
+    factor: float = 2.0
+    max_backoff_min: float = 60.0
+    jitter: float = 0.1
+    max_attempts: int = 4
+    deadline_aware: bool = True
+
+    def __post_init__(self):
+        if self.base_min <= 0 or self.factor < 1.0:
+            raise ValueError("backoff needs base_min > 0 and factor >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+
+    def raw_backoff_min(self, attempt: int) -> float:
+        """The capped, un-jittered delay for failed attempt ``attempt``."""
+        return min(self.base_min * self.factor ** max(0, attempt - 1),
+                   self.max_backoff_min)
+
+    def backoff_min(self, attempt: int,
+                    rng: random.Random | None = None) -> float:
+        raw = self.raw_backoff_min(attempt)
+        if rng is None or self.jitter <= 0:
+            return raw
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from ..pdk.node import ProcessNode
 from ..synth.mapped import CellInst, MappedNetlist
@@ -81,6 +82,7 @@ class TimingAnalyzer:
         skew_ps: dict[str, float] | None = None,
         wireload_fanout_um: float = 6.0,
         tracer=None,
+        metrics=None,
     ):
         self.mapped = mapped
         self.node = node
@@ -88,6 +90,7 @@ class TimingAnalyzer:
         self.skew = skew_ps or {}
         self.wireload_fanout_um = wireload_fanout_um
         self._tracer = tracer if tracer is not None else get_tracer()
+        self._metrics = metrics if metrics is not None else get_metrics()
         self._loads = mapped.net_loads()
         self._order = mapped.topo_comb()
         # Stage delays depend only on static loads and routed lengths, so
@@ -185,6 +188,7 @@ class TimingAnalyzer:
                 )
             root.set(clock_period_ps=clock_period_ps,
                      wns_ps=report.wns_ps, met=report.met)
+        self._metrics.counter("sta.analyses").inc()
         return report
 
     def _build_report(

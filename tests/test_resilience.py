@@ -1,0 +1,424 @@
+"""Tests for repro.resil: fault injection, retry/backoff, checkpoints,
+graceful degradation, and the FlowOptions request API."""
+
+import math
+import random
+import warnings
+
+import pytest
+
+from repro.core import (
+    AccessTier,
+    CloudPlatform,
+    EnablementHub,
+    FlowError,
+    FlowOptions,
+    FlowStep,
+    HubError,
+    User,
+    run_flow,
+    run_signoff,
+)
+from repro.core.presets import COMMERCIAL, OPEN
+from repro.ip.digital import make_counter
+from repro.pdk import get_pdk
+from repro.resil import (
+    CHECKPOINT_STAGES,
+    DirectoryCheckpointStore,
+    ExponentialBackoff,
+    FaultInjector,
+    FaultModel,
+    FlowFailure,
+    InjectedFault,
+    MemoryCheckpointStore,
+    flow_cache_key,
+)
+
+
+def counter_module(width: int = 4):
+    return make_counter(width).module
+
+
+def faulty_platform(seed: int = 7, **model_kwargs) -> CloudPlatform:
+    defaults = dict(mtbf_min=90.0, mttr_min=20.0, preemption_prob=0.05)
+    defaults.update(model_kwargs)
+    return CloudPlatform(
+        servers=3, fault_model=FaultModel(seed=seed, **defaults)
+    )
+
+
+def schedule(platform: CloudPlatform):
+    return [
+        (j.outcome, j.attempts, j.start_min, j.finish_min)
+        for j in platform.jobs()
+    ]
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(mtbf_min=0.0)
+        with pytest.raises(ValueError):
+            FaultModel(preemption_prob=1.5)
+
+    def test_sampler_is_seed_deterministic(self):
+        model = FaultModel(seed=11, mtbf_min=60.0, preemption_prob=0.1)
+        sampler_a, sampler_b = model.sampler(), model.sampler()
+        draws_a = [sampler_a.draw(30.0) for _ in range(50)]
+        draws_b = [sampler_b.draw(30.0) for _ in range(50)]
+        assert draws_a == draws_b
+
+    def test_infinite_mtbf_never_strikes(self):
+        sampler = FaultModel(seed=1).sampler()
+        assert all(
+            sampler.draw(1000.0) == ("ok", 1.0) for _ in range(100)
+        )
+
+
+class TestSeededFaultDeterminism:
+    def submit_workload(self, platform):
+        rng = random.Random(3)
+        for i in range(20):
+            platform.submit(
+                f"u{i % 4}", rng.uniform(10, 120), rng.uniform(0, 240),
+                deadline_min=500.0 if i % 3 == 0 else None,
+            )
+
+    def test_same_seed_same_schedule(self):
+        runs = []
+        for _ in range(2):
+            platform = faulty_platform(seed=7)
+            self.submit_workload(platform)
+            platform.run()
+            runs.append(schedule(platform))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_differs(self):
+        schedules = []
+        for seed in (7, 8):
+            platform = faulty_platform(seed=seed)
+            self.submit_workload(platform)
+            platform.run()
+            schedules.append(schedule(platform))
+        assert schedules[0] != schedules[1]
+
+    def test_stats_count_fault_outcomes(self):
+        platform = faulty_platform(seed=7)
+        self.submit_workload(platform)
+        stats = platform.run()
+        assert stats.retries > 0
+        assert stats.faults >= stats.retries
+        assert stats.jobs + stats.failed == 20
+
+    def test_fault_spans_traced(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        platform = CloudPlatform(
+            servers=2, tracer=tracer,
+            fault_model=FaultModel(seed=5, mtbf_min=30.0, mttr_min=10.0),
+        )
+        self.submit_workload(platform)
+        platform.run()
+        names = {s.name for s in tracer.spans}
+        assert "cloud.job.fault" in names
+        assert "resil.retry" in names
+
+
+class TestExponentialBackoff:
+    def test_raw_schedule_doubles_and_caps(self):
+        policy = ExponentialBackoff(base_min=2.0, factor=2.0,
+                                    max_backoff_min=10.0)
+        assert [policy.raw_backoff_min(k) for k in (1, 2, 3, 4)] == [
+            2.0, 4.0, 8.0, 10.0
+        ]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = ExponentialBackoff(base_min=4.0, jitter=0.25)
+        rng = random.Random(0)
+        for attempt in (1, 2, 3):
+            raw = policy.raw_backoff_min(attempt)
+            for _ in range(200):
+                delay = policy.backoff_min(attempt, rng)
+                assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_no_rng_means_no_jitter(self):
+        policy = ExponentialBackoff(base_min=3.0)
+        assert policy.backoff_min(2) == 6.0
+
+    def test_gives_up_after_max_attempts(self):
+        policy = ExponentialBackoff(max_attempts=3)
+        assert not policy.gives_up(2)
+        assert policy.gives_up(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(jitter=1.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(max_attempts=0)
+
+
+class TestDeadlines:
+    def test_deadline_aware_policy_abandons_hopeless_retry(self):
+        platform = CloudPlatform(
+            servers=1,
+            fault_model=FaultModel(seed=2, mtbf_min=5.0, mttr_min=5.0),
+        )
+        platform.submit("u", 60.0, 0.0, deadline_min=30.0)
+        stats = platform.run()
+        job = platform.jobs()[0]
+        assert job.outcome == "gave_up"
+        assert stats.failed == 1
+
+    def test_utilization_measured_from_first_submit(self):
+        # Regression: a job submitted late must not dilute utilization
+        # with the idle time before anything was submitted.
+        platform = CloudPlatform(servers=1)
+        platform.submit("u", 10.0, 100.0)
+        stats = platform.run()
+        assert stats.utilization == pytest.approx(1.0)
+
+
+class TestCheckpointStores:
+    def test_cache_key_depends_on_inputs(self):
+        module = counter_module()
+        base = flow_cache_key(module, "edu130", OPEN, 1)
+        assert base == flow_cache_key(counter_module(), "edu130", OPEN, 1)
+        assert base != flow_cache_key(module, "edu180", OPEN, 1)
+        assert base != flow_cache_key(module, "edu130", COMMERCIAL, 1)
+        assert base != flow_cache_key(module, "edu130", OPEN, 2)
+        assert base != flow_cache_key(counter_module(6), "edu130", OPEN, 1)
+
+    def test_memory_store_round_trip_is_a_copy(self):
+        store = MemoryCheckpointStore()
+        store.save("k", "placement", {"xs": [1, 2]})
+        loaded = store.load("k", "placement")
+        assert loaded == {"xs": [1, 2]}
+        loaded["xs"].append(3)
+        assert store.load("k", "placement") == {"xs": [1, 2]}
+
+    def test_directory_store_persists(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "ckpt")
+        store.save("key1", "routing", [1.5, 2.5])
+        again = DirectoryCheckpointStore(tmp_path / "ckpt")
+        assert again.load("key1", "routing") == [1.5, 2.5]
+        assert again.load("key1", "floorplan") is None
+        assert set(again.stages("key1")) == {"routing"}
+
+
+class TestFlowOptionsApi:
+    def test_string_preset_coerced(self):
+        assert FlowOptions(preset="commercial").preset is COMMERCIAL
+
+    def test_with_overrides(self):
+        options = FlowOptions(seed=1)
+        assert options.with_overrides(seed=9).seed == 9
+        assert options.seed == 1
+
+    def test_legacy_kwargs_warn_once_and_match(self):
+        module, pdk = counter_module(), get_pdk("edu130")
+        new = run_flow(module, pdk, FlowOptions(seed=2))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            old = run_flow(module, pdk, seed=2)
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert new.gds_bytes == old.gds_bytes
+
+    def test_positional_preset_is_legacy(self):
+        module, pdk = counter_module(), get_pdk("edu130")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_flow(module, pdk, COMMERCIAL)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert result.preset is COMMERCIAL
+
+    def test_mixing_options_and_legacy_rejected(self):
+        with pytest.raises(TypeError):
+            run_flow(counter_module(), get_pdk("edu130"),
+                     FlowOptions(), seed=2)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            run_flow(counter_module(), get_pdk("edu130"), bogus=1)
+
+
+class TestFaultInjector:
+    def test_budgeted_trips(self):
+        injector = FaultInjector("routing", times=2)
+        assert injector.trip("routing")
+        assert injector.trip("routing")
+        assert not injector.trip("routing")
+        assert not injector.trip("placement")
+
+    def test_check_raises_with_stage(self):
+        injector = FaultInjector("placement")
+        with pytest.raises(InjectedFault) as exc:
+            injector.check("placement")
+        assert exc.value.stage == "placement"
+
+
+class TestGracefulDegradation:
+    def test_failed_stage_recorded_not_raised(self):
+        result = run_flow(
+            counter_module(), get_pdk("edu130"),
+            FlowOptions(continue_on_error=True,
+                        inject=FaultInjector("routing", times=99)),
+        )
+        assert result.partial and not result.ok
+        assert [f.stage for f in result.failures] == ["routing"]
+        assert result.failures[0].kind == "injected"
+        routing = result.step(FlowStep.ROUTING)
+        assert not routing.ok
+        # Upstream stages still ran and are reported.
+        assert result.step(FlowStep.PLACEMENT).ok
+        assert result.synthesis is not None
+        # Downstream stages that need routing are absent, not crashed.
+        assert result.timing is None and result.gds_bytes is None
+
+    def test_without_continue_on_error_raises(self):
+        with pytest.raises(FlowError):
+            run_flow(
+                counter_module(), get_pdk("edu130"),
+                FlowOptions(inject=FaultInjector("routing")),
+            )
+
+    def test_downstream_of_analysis_fault_still_runs(self):
+        result = run_flow(
+            counter_module(), get_pdk("edu130"),
+            FlowOptions(continue_on_error=True,
+                        inject=FaultInjector("static_timing_analysis")),
+        )
+        assert result.timing is None
+        # Power, DRC and GDS export do not need STA: they all ran.
+        assert result.power is not None
+        assert result.drc is not None and result.drc.clean
+        assert result.gds_bytes
+        assert result.partial
+
+    def test_partial_result_blocks_signoff(self):
+        result = run_flow(
+            counter_module(), get_pdk("edu130"),
+            FlowOptions(continue_on_error=True,
+                        inject=FaultInjector("routing", times=99)),
+        )
+        report = run_signoff(result)
+        assert not report.ready_for_tapeout
+        flow_complete = report.items[0]
+        assert flow_complete.name == "flow_complete"
+        assert not flow_complete.passed and not flow_complete.waivable
+
+    def test_failure_kind_validated(self):
+        with pytest.raises(ValueError):
+            FlowFailure("routing", "boom", kind="mystery")
+
+
+class TestCheckpointResume:
+    def test_resume_is_byte_identical(self):
+        module, pdk = counter_module(), get_pdk("edu130")
+        cold = run_flow(module, pdk, FlowOptions(seed=3))
+        store = MemoryCheckpointStore()
+        first = run_flow(module, pdk,
+                         FlowOptions(seed=3, checkpoints=store))
+        resumed = run_flow(module, pdk,
+                           FlowOptions(seed=3, checkpoints=store))
+        assert first.gds_bytes == cold.gds_bytes
+        assert resumed.gds_bytes == cold.gds_bytes
+        assert store.hits == len(CHECKPOINT_STAGES)
+
+    def test_interrupted_after_placement_resumes_identically(self):
+        module, pdk = counter_module(), get_pdk("edu130")
+        cold = run_flow(module, pdk, FlowOptions(seed=3))
+        store = MemoryCheckpointStore()
+        interrupted = run_flow(
+            module, pdk,
+            FlowOptions(seed=3, checkpoints=store, continue_on_error=True,
+                        inject=FaultInjector("routing")),
+        )
+        assert interrupted.gds_bytes is None
+        assert set(store.stages(flow_cache_key(module, pdk.name,
+                                               OPEN, 3))) >= {
+            "synthesis", "floorplan", "placement", "clock_tree",
+        }
+        resumed = run_flow(module, pdk,
+                           FlowOptions(seed=3, checkpoints=store))
+        assert resumed.ok
+        assert resumed.gds_bytes == cold.gds_bytes
+
+    def test_resume_false_recomputes(self):
+        module, pdk = counter_module(), get_pdk("edu130")
+        store = MemoryCheckpointStore()
+        run_flow(module, pdk, FlowOptions(seed=3, checkpoints=store))
+        hits_before = store.hits
+        run_flow(module, pdk,
+                 FlowOptions(seed=3, checkpoints=store, resume=False))
+        assert store.hits == hits_before
+
+    def test_different_seed_different_key(self):
+        module, pdk = counter_module(), get_pdk("edu130")
+        store = MemoryCheckpointStore()
+        run_flow(module, pdk, FlowOptions(seed=3, checkpoints=store))
+        run_flow(module, pdk, FlowOptions(seed=4, checkpoints=store))
+        assert store.hits == 0
+
+
+class TestHubRetries:
+    def make_hub(self, **kwargs) -> EnablementHub:
+        hub = EnablementHub(**kwargs)
+        hub.enroll(User("alice", "tu-kaiserslautern"),
+                   AccessTier.INTERMEDIATE)
+        return hub
+
+    def test_transient_fault_retried_from_checkpoint(self):
+        hub = self.make_hub()
+        record = hub.run_design(
+            "alice", counter_module(), "edu130",
+            options=FlowOptions(seed=3, inject=FaultInjector("routing")),
+        )
+        assert record.attempts == 2
+        assert [f.kind for f in record.failures] == ["crash"]
+        assert record.result.ok
+        # The retry resumed: every pre-routing stage came from checkpoint.
+        assert hub.checkpoints.hits >= 4
+        assert record.queued_minutes > 0
+
+    def test_gives_up_after_policy_budget(self):
+        hub = self.make_hub(
+            retry_policy=ExponentialBackoff(max_attempts=2)
+        )
+        with pytest.raises(HubError, match="after 2 attempt"):
+            hub.run_design(
+                "alice", counter_module(), "edu130",
+                options=FlowOptions(
+                    seed=3, inject=FaultInjector("routing", times=99)
+                ),
+            )
+
+    def test_deadline_blocks_retry(self):
+        hub = self.make_hub()
+        with pytest.raises(HubError, match="deadline"):
+            hub.run_design(
+                "alice", counter_module(), "edu130",
+                options=FlowOptions(
+                    seed=3, inject=FaultInjector("routing", times=99)
+                ),
+                deadline_minute=0.25,
+            )
+
+    def test_partial_job_cannot_tape_out(self):
+        hub = self.make_hub()
+        record = hub.run_design(
+            "alice", counter_module(), "edu130",
+            options=FlowOptions(
+                seed=3, continue_on_error=True,
+                inject=FaultInjector("routing", times=99),
+            ),
+        )
+        assert record.result.partial
+        with pytest.raises(HubError, match="signoff blocks"):
+            hub.request_tapeout("alice", record)
