@@ -15,6 +15,8 @@ and run the full RTL→GDSII flow on any catalogue IP:
    $ python -m repro trace build/trace.jsonl
    $ python -m repro lint --ip counter --json build/lint.json
    $ python -m repro lint --demo --waive 'net.high-fanout'
+   $ python -m repro lint --ip counter --formal
+   $ python -m repro prove --ip counter --pdk edu130 --json build/lec.json
    $ python -m repro liberty edu130 > edu130.lib
 """
 
@@ -28,6 +30,13 @@ import sys
 from .core.flow import run_flow
 from .core.options import FlowOptions
 from .core.reporting import full_report
+from .formal import (
+    LecError,
+    lec_flow,
+    prove_facts,
+    refine_lint_report,
+    replay_counterexample,
+)
 from .hdl.ir import HdlError
 from .hdl.verilog import to_verilog
 from .ip.base import quality_score
@@ -167,8 +176,9 @@ def _cmd_lint(args) -> int:
         return 2
 
     if args.demo:
+        module = make_defective_module()
         report = lint_design(
-            make_defective_module(),
+            module,
             netlist=make_defective_netlist(),
             waivers=waivers,
         )
@@ -202,6 +212,18 @@ def _cmd_lint(args) -> int:
                 ).mapped
         report = lint_design(module, mapped=mapped, waivers=waivers)
 
+    if args.formal:
+        # SAT refinement: prove or refute the const-expr / dead-mux-arm
+        # suspicions.  Needs an elaborable module — the solver reasons
+        # about semantics, which a non-validating design does not have.
+        try:
+            module.validate()
+        except HdlError as exc:
+            print(f"note: formal refinement skipped, RTL does not "
+                  f"elaborate ({exc})", file=sys.stderr)
+        else:
+            report = refine_lint_report(report, prove_facts(module))
+
     if args.strict:
         report = report.promote_warnings()
 
@@ -217,6 +239,77 @@ def _cmd_lint(args) -> int:
                 handle.write(report.to_json())
             print(f"lint report written to {args.json}")
     return 1 if report.errors else 0
+
+
+def _cmd_prove(args) -> int:
+    """SAT-based LEC of the synthesis pipeline, lint-style exit codes.
+
+    Returns 0 when every stage is proved equivalent, 1 when any cone has
+    a counterexample or exhausted the solver budget, 2 on usage errors.
+    Counterexamples are replayed on the lockstep gate-level simulator so
+    the formal verdict is cross-checked against simulation semantics.
+    """
+    if args.verilog:
+        from .hdl.verilog_parser import parse_verilog
+
+        with open(args.verilog) as handle:
+            module = parse_verilog(handle.read())
+    elif args.ip:
+        if args.ip not in GENERATORS:
+            print(f"error: unknown IP {args.ip!r}; try: python -m repro ips",
+                  file=sys.stderr)
+            return 2
+        module = generate(args.ip).module
+    else:
+        print("error: one of --ip or --verilog is required", file=sys.stderr)
+        return 2
+
+    try:
+        module.validate()
+    except HdlError as exc:
+        print(f"error: RTL does not elaborate: {exc}", file=sys.stderr)
+        return 2
+
+    synth = synthesize(module, get_pdk(args.pdk).library)
+    try:
+        report = lec_flow(module, synth, max_conflicts=args.max_conflicts)
+    except LecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    implementations = {
+        "post_opt": synth.netlist,
+        "post_mapping": synth.mapped,
+    }
+    if args.json == "-":
+        print(report.to_json())
+        return 0 if report.passed else 1
+    print(report.summary())
+    for stage, check in report.checks.items():
+        for verdict in check.cones:
+            if verdict.status == "equal":
+                continue
+            print(f"  {stage} {verdict.cone}: {verdict.status}")
+            cex = verdict.counterexample
+            if cex is None:
+                continue
+            print(f"    inputs={cex.inputs} state={cex.state} "
+                  f"expect={cex.expect} got={cex.got}")
+            impl = implementations.get(stage)
+            if impl is not None:
+                mismatch = replay_counterexample(module, impl, cex)
+                confirmed = mismatch is not None
+                print(f"    simulation replay: "
+                      f"{'reproduces' if confirmed else 'DOES NOT reproduce'}")
+
+    if args.json:
+        directory = os.path.dirname(args.json)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"LEC report written to {args.json}")
+    return 0 if report.passed else 1
 
 
 def _cmd_cloud(args) -> int:
@@ -393,7 +486,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="file of RULE[@LOCATION]  # reason lines")
     lint.add_argument("--strict", action="store_true",
                       help="promote warnings to errors")
+    lint.add_argument("--formal", action="store_true",
+                      help="SAT-refine findings: proved facts promote to "
+                      "error, refuted suspicions are dropped")
     lint.set_defaults(fn=_cmd_lint)
+
+    prove = sub.add_parser(
+        "prove",
+        help="SAT-based logic equivalence check: RTL vs gates vs cells",
+    )
+    prove.add_argument("--ip", help="catalogue IP name")
+    prove.add_argument("--verilog", help="path to a Verilog file to prove")
+    prove.add_argument("--pdk", default="edu130", choices=list_pdks(),
+                       help="library the design is mapped onto")
+    prove.add_argument("--max-conflicts", type=int, default=100_000,
+                       help="CDCL conflict budget per cone (exhaustion "
+                       "reports 'unknown', never 'equivalent')")
+    prove.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                       help="write the JSON report to PATH (or stdout)")
+    prove.set_defaults(fn=_cmd_prove)
 
     trace = sub.add_parser(
         "trace", help="render a JSONL trace file as a timeline + profile"

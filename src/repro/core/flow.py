@@ -33,6 +33,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field
 
+from ..formal.lec import LecReport, lec_flow
 from ..hdl.ir import Module
 from ..layout.chip import build_chip_gds
 from ..layout.drc import DrcReport, check_drc
@@ -114,6 +115,9 @@ class FlowResult:
     #: Static-analysis verdict: RTL lint (pre-synthesis) merged with
     #: netlist lint (post-mapping).  Signoff gates on unwaived errors.
     lint: LintReport | None = None
+    #: SAT-based equivalence verdicts (``options.formal_lec``): RTL vs
+    #: lowered, optimized and mapped netlists.
+    lec: LecReport | None = None
     #: Structured failures swallowed by ``continue_on_error``.
     failures: list[FlowFailure] = field(default_factory=list)
 
@@ -318,6 +322,7 @@ def run_flow(
                     max_load_per_drive_ff=preset.max_load_per_drive_ff,
                     verify=preset.run_equivalence,
                     verify_cycles=preset.equivalence_cycles,
+                    verify_seed=opts.seed,
                     tracer=tracer,
                 )
             except InjectedFault as exc:
@@ -328,6 +333,7 @@ def run_flow(
                     ckpt.save("synthesis", synth)
 
         lint_report = rtl_lint
+        lec_report: LecReport | None = None
         if synth is not None:
             record(
                 FlowStep.SYNTHESIS,
@@ -374,6 +380,15 @@ def run_flow(
                     f"finding(s), first: {first.rule} at "
                     f"{first.target}.{first.location}: {first.message}",
                 )
+
+            # Formal signoff gate: SAT-based LEC across the synthesis
+            # pipeline (RTL vs lowered, optimized and mapped netlists).
+            if opts.formal_lec:
+                lec_report = lec_flow(
+                    module, synth, tracer=tracer, metrics=metrics
+                )
+                if not lec_report.passed:
+                    fail("formal_lec", f"LEC failed: {lec_report.summary()}")
 
         # -- backend: floorplan → place → CTS → route (checkpointable) ------
         physical: PhysicalDesign | None = None
@@ -542,5 +557,6 @@ def run_flow(
         ppa=ppa,
         trace=tracer.since(mark),
         lint=lint_report,
+        lec=lec_report,
         failures=failures,
     )

@@ -49,6 +49,10 @@ class FlowOptions:
     seed: int = 1
     lint_waivers: tuple[Waiver, ...] = ()
     strict_lint: bool = False
+    #: Run SAT-based logic equivalence checking (repro.formal) after
+    #: synthesis: RTL vs lowered, optimized and mapped netlists.  A
+    #: counterexample fails the flow at stage ``formal_lec``.
+    formal_lec: bool = False
     # -- resilience ---------------------------------------------------------
     continue_on_error: bool = False
     checkpoints: CheckpointStore | None = field(

@@ -138,6 +138,21 @@ def run_signoff(
         lint_report.summary(),
     ))
 
+    # SAT-based LEC across the synthesis pipeline.  Waivable — unlike
+    # the simulation check it may return "unknown" on solver-budget
+    # exhaustion, which a supervisor may accept; a counterexample is a
+    # real bug and should never be waived in practice.
+    lec_report = result.lec
+    if lec_report is None:
+        from ..formal.lec import lec_flow
+
+        lec_report = lec_flow(result.synthesis.module, result.synthesis)
+    add(SignoffItem(
+        "lec_clean",
+        lec_report.passed,
+        lec_report.summary(),
+    ))
+
     add(SignoffItem(
         "setup_timing",
         result.timing.wns_ps >= 0,

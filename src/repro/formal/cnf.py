@@ -1,0 +1,76 @@
+"""Tseitin encoding of AIG cones into CNF.
+
+The encoding allocates one SAT variable per AIG node in the cone of the
+requested literals and emits the standard three clauses per AND node:
+
+    c = a & b   →   (¬c ∨ a) (¬c ∨ b) (c ∨ ¬a ∨ ¬b)
+
+SAT literals use the DIMACS-style signed-integer convention (variable ``v``
+is the positive literal ``v``, its negation ``-v``; variables start at 1).
+The constant node is encoded as a variable forced false by a unit clause,
+so constants need no special cases downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .aig import Aig
+
+Clause = tuple[int, ...]
+
+
+@dataclass
+class Cnf:
+    """A CNF formula plus the AIG-node → SAT-variable correspondence."""
+
+    n_vars: int = 0
+    clauses: list[Clause] = field(default_factory=list)
+    #: AIG node id -> SAT variable (1-based).
+    var_of_node: dict[int, int] = field(default_factory=dict)
+
+    def new_var(self) -> int:
+        self.n_vars += 1
+        return self.n_vars
+
+    def add(self, *lits: int) -> None:
+        self.clauses.append(tuple(lits))
+
+    def lit(self, aig_lit: int) -> int:
+        """The signed SAT literal for an already-encoded AIG literal."""
+        var = self.var_of_node[aig_lit >> 1]
+        return -var if aig_lit & 1 else var
+
+    def assumption_unit(self, aig_lit: int, value: bool) -> Clause:
+        """A unit clause asserting ``aig_lit == value``."""
+        lit = self.lit(aig_lit)
+        return (lit,) if value else (-lit,)
+
+    def stats(self) -> dict[str, int]:
+        return {"vars": self.n_vars, "clauses": len(self.clauses)}
+
+
+def tseitin(aig: Aig, roots: list[int], cnf: Cnf | None = None) -> Cnf:
+    """Encode the cone of ``roots`` into ``cnf`` (a fresh one by default).
+
+    Nodes already present in ``cnf.var_of_node`` are reused, so repeated
+    calls against the same :class:`Cnf` incrementally grow one formula —
+    this is how the LEC miter shares the common cone between the reference
+    and implementation sides.
+    """
+    cnf = cnf or Cnf()
+    for node in aig.cone(roots):
+        if node in cnf.var_of_node:
+            continue
+        var = cnf.new_var()
+        cnf.var_of_node[node] = var
+        pair = aig.fanins(node)
+        if pair is None:
+            if node == 0:  # the constant node is always false
+                cnf.add(-var)
+            continue  # primary input: free variable
+        a, b = (cnf.lit(lit) for lit in pair)
+        cnf.add(-var, a)
+        cnf.add(-var, b)
+        cnf.add(var, -a, -b)
+    return cnf

@@ -1,0 +1,219 @@
+"""SAT-proved design facts, consumable by :mod:`repro.lint`.
+
+The lint rules reason *syntactically*: ``rtl.const-expr`` fires when a
+driver references no signals, ``rtl.dead-mux-arm`` when a mux select is
+a literal constant.  This module proves (or refutes) the *semantic*
+versions of the same properties with the SAT machinery:
+
+* **const-net** — a signal word whose every bit is provably constant
+  under all inputs and all register states (reachable or not — state
+  bits are free variables, so a "proved" here is sound but a
+  "disproved" may still be constant on the reachable states);
+* **mux-select-const** — a mux whose select literal is provably stuck,
+  making one arm dead for every input/state assignment.
+
+:func:`refine_lint_report` folds the facts back into a
+:class:`~repro.lint.core.LintReport`: a finding whose property is
+SAT-proved is promoted to ``error`` confidence, one whose property is
+refuted (a witness exists where it toggles) is dropped, and findings
+with no matching fact pass through untouched.  ``repro lint --formal``
+is this function behind a flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..hdl.ir import Module
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.trace import Tracer, get_tracer
+from .aig import FALSE, TRUE, Aig, from_module
+from .cnf import tseitin
+from .sat import CdclSolver
+
+
+@dataclass
+class ProvedFact:
+    """One SAT-settled property of a design."""
+
+    kind: str  # "const-net" | "mux-select-const"
+    location: str  # signal name / mux owner location
+    proved: bool  # True: property holds; False: refuted with a witness
+    value: int | None = None  # the proved constant, when proved
+    detail: str = ""
+    conflicts: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "location": self.location,
+            "proved": self.proved,
+            "value": self.value,
+            "detail": self.detail,
+            "conflicts": self.conflicts,
+        }
+
+
+@dataclass
+class _BitVerdict:
+    constant: bool
+    value: int = 0
+    conflicts: int = 0
+
+
+def _prove_bit(aig: Aig, lit: int, max_conflicts: int | None) -> _BitVerdict:
+    """Is ``lit`` constant under all assignments?  Two UNSAT calls."""
+    if lit == FALSE:
+        return _BitVerdict(True, 0)
+    if lit == TRUE:
+        return _BitVerdict(True, 1)
+    cnf = tseitin(aig, [lit])
+    conflicts = 0
+    can_be = {}
+    for value in (1, 0):
+        unit = (cnf.lit(lit),) if value else (-cnf.lit(lit),)
+        sat = CdclSolver([*cnf.clauses, unit], cnf.n_vars).solve(
+            max_conflicts=max_conflicts
+        )
+        conflicts += sat.stats.conflicts
+        can_be[value] = not sat.is_unsat  # "unknown" counts as possible
+    if can_be[1] and not can_be[0]:
+        return _BitVerdict(True, 1, conflicts)
+    if can_be[0] and not can_be[1]:
+        return _BitVerdict(True, 0, conflicts)
+    return _BitVerdict(False, conflicts=conflicts)
+
+
+def prove_facts(
+    module: Module,
+    locations: set[str] | None = None,
+    max_conflicts: int | None = 10_000,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> list[ProvedFact]:
+    """Settle the const-net and dead-mux-arm properties of ``module``.
+
+    ``locations`` restricts the candidate sites (typically the locations
+    of the lint findings being refined); by default every assigned
+    signal, register next-value and mux select is examined.  Register
+    state bits are treated as free variables, so proved facts hold on
+    every state, reachable or not.
+    """
+    if tracer is None:
+        tracer = get_tracer()
+    if metrics is None:
+        metrics = get_metrics()
+
+    facts: list[ProvedFact] = []
+    with tracer.span("formal.props", design=module.name) as span:
+        cones = from_module(module)
+        aig = cones.aig
+
+        candidates: dict[str, list[int]] = dict(cones.signals)
+        for name, lits in cones.next_state.items():
+            candidates.setdefault(name, lits)
+        for location, lits in sorted(candidates.items()):
+            if locations is not None and location not in locations:
+                continue
+            with tracer.span("formal.props.const", location=location):
+                value = 0
+                conflicts = 0
+                constant = True
+                for i, lit in enumerate(lits):
+                    verdict = _prove_bit(aig, lit, max_conflicts)
+                    conflicts += verdict.conflicts
+                    if not verdict.constant:
+                        constant = False
+                        break
+                    value |= verdict.value << i
+            facts.append(ProvedFact(
+                kind="const-net",
+                location=location,
+                proved=constant,
+                value=value if constant else None,
+                detail=(
+                    f"always {value}" if constant
+                    else "a witness assignment toggles it"
+                ),
+                conflicts=conflicts,
+            ))
+
+        for location, sel in cones.mux_selects:
+            if locations is not None and location not in locations:
+                continue
+            with tracer.span("formal.props.mux", location=location):
+                verdict = _prove_bit(aig, sel, max_conflicts)
+            facts.append(ProvedFact(
+                kind="mux-select-const",
+                location=location,
+                proved=verdict.constant,
+                value=verdict.value if verdict.constant else None,
+                detail=(
+                    f"select stuck at {verdict.value}; the "
+                    f"{'if_false' if verdict.value else 'if_true'} arm "
+                    "is dead" if verdict.constant
+                    else "select toggles under some assignment"
+                ),
+                conflicts=verdict.conflicts,
+            ))
+
+        if tracer.enabled:
+            span.set(
+                facts=len(facts),
+                proved=sum(1 for f in facts if f.proved),
+            )
+    metrics.counter("formal.props.runs").inc()
+    metrics.counter("formal.props.proved").inc(
+        sum(1 for f in facts if f.proved)
+    )
+    metrics.counter("formal.props.disproved").inc(
+        sum(1 for f in facts if not f.proved)
+    )
+    return facts
+
+
+#: lint rule id -> the fact kind that settles it.
+_RULE_TO_KIND = {
+    "rtl.const-expr": "const-net",
+    "rtl.dead-mux-arm": "mux-select-const",
+}
+
+
+def refine_lint_report(report, facts: list[ProvedFact]):
+    """Fold SAT verdicts into a lint report (``repro lint --formal``).
+
+    Findings whose rule has a matching proved fact at the same location
+    are promoted to ``error`` severity (the tool is now *sure*, not
+    suspicious); findings whose property was refuted are dropped; all
+    other findings — including every rule the formal layer has no
+    opinion on — pass through unchanged.  Returns a new report; the
+    input is not modified.
+    """
+    from ..lint.core import LintReport
+
+    by_site: dict[tuple[str, str], list[ProvedFact]] = {}
+    for fact in facts:
+        by_site.setdefault((fact.kind, fact.location), []).append(fact)
+
+    refined = []
+    for finding in report.findings:
+        kind = _RULE_TO_KIND.get(finding.rule)
+        if kind is None:
+            refined.append(finding)
+            continue
+        site_facts = by_site.get((kind, finding.location))
+        if not site_facts:
+            refined.append(finding)
+            continue
+        proved = [f for f in site_facts if f.proved]
+        if proved:
+            refined.append(replace(
+                finding,
+                severity="error",
+                message=f"{finding.message} [SAT-proved: {proved[0].detail}]",
+            ))
+        else:
+            # Refuted: a concrete witness toggles the property — the
+            # syntactic suspicion was wrong, drop the finding.
+            continue
+    return LintReport(findings=refined, waivers=report.waivers)

@@ -1,0 +1,305 @@
+"""A small CDCL SAT solver.
+
+Clauses are tuples of non-zero signed integers (DIMACS convention).  The
+solver implements the classic conflict-driven loop:
+
+* **two-watched-literal propagation** — each clause watches two of its
+  literals; only clauses watching the negation of a newly assigned
+  literal are visited, so propagation cost tracks the watch lists rather
+  than the whole formula;
+* **first-UIP conflict analysis** — conflicts are resolved backwards
+  along the trail until a single literal of the current decision level
+  remains, producing an asserting learned clause and a backjump level;
+* **VSIDS-style decisions** — variables bumped during conflict analysis
+  accumulate activity that decays geometrically; decisions pick the most
+  active unassigned variable, with phase saving;
+* **geometric restarts** — the trail is rewound to level 0 after a
+  growing number of conflicts, keeping learned clauses.
+
+The instances produced by LEC miters are small (hundreds to a few
+thousand variables), so there is no clause-database reduction; every
+learned clause is kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cnf import Clause, Cnf
+
+
+@dataclass
+class SolverStats:
+    """Search statistics, surfaced as ``formal.sat.*`` metrics."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned": self.learned,
+        }
+
+
+@dataclass
+class SatResult:
+    """Outcome of one solver run."""
+
+    status: str  # "sat" | "unsat" | "unknown"
+    model: dict[int, bool] | None = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+_RESTART_FIRST = 100
+_RESTART_FACTOR = 1.5
+_ACTIVITY_DECAY = 0.95
+_ACTIVITY_RESCALE = 1e100
+
+
+class CdclSolver:
+    """Conflict-driven clause learning over a fixed clause set."""
+
+    def __init__(self, clauses: list[Clause], n_vars: int):
+        self.n_vars = n_vars
+        self._clauses: list[list[int]] = []
+        # Assignment state, 1-indexed by variable.
+        self._assign = [0] * (n_vars + 1)  # 0 free, +1 true, -1 false
+        self._level = [0] * (n_vars + 1)
+        self._reason: list[int | None] = [None] * (n_vars + 1)
+        self._phase = [False] * (n_vars + 1)
+        self._activity = [0.0] * (n_vars + 1)
+        self._var_inc = 1.0
+        self._watches: dict[int, list[int]] = {}
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._queue_head = 0
+        self._unsat_at_setup = False
+        self.stats = SolverStats()
+        for clause in clauses:
+            self._add_clause(list(clause), learned=False)
+
+    # -- assignment primitives ------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        """+1 if lit is true, -1 if false, 0 if unassigned."""
+        v = self._assign[abs(lit)]
+        return v if lit > 0 else -v
+
+    @property
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: int | None) -> bool:
+        if self._value(lit) != 0:
+            return self._value(lit) > 0
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = self._decision_level
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    # -- clause management ------------------------------------------------
+
+    def _watch(self, lit: int, ci: int) -> None:
+        self._watches.setdefault(lit, []).append(ci)
+
+    def _add_clause(self, lits: list[int], learned: bool) -> int | None:
+        if not learned:
+            unique = list(dict.fromkeys(lits))
+            if any(-lit in unique for lit in unique):
+                return None  # tautology
+            lits = unique
+        if not lits:
+            self._unsat_at_setup = True
+            return None
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._unsat_at_setup = True
+            return None
+        ci = len(self._clauses)
+        self._clauses.append(lits)
+        self._watch(lits[0], ci)
+        self._watch(lits[1], ci)
+        return ci
+
+    # -- propagation -------------------------------------------------------
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.stats.propagations += 1
+            falsified = -lit
+            watchers = self._watches.get(falsified)
+            if not watchers:
+                continue
+            kept: list[int] = []
+            conflict: int | None = None
+            for idx, ci in enumerate(watchers):
+                clause = self._clauses[ci]
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) > 0:
+                    kept.append(ci)
+                    continue
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) >= 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], ci)
+                        break
+                else:
+                    kept.append(ci)
+                    if not self._enqueue(first, ci):
+                        conflict = ci
+                        kept.extend(watchers[idx + 1:])
+                        break
+            self._watches[falsified] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- conflict analysis ---------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > _ACTIVITY_RESCALE:
+            for v in range(1, self.n_vars + 1):
+                self._activity[v] *= 1.0 / _ACTIVITY_RESCALE
+            self._var_inc *= 1.0 / _ACTIVITY_RESCALE
+
+    def _analyze(self, confl: int) -> tuple[list[int], int]:
+        """First-UIP learning: (asserting clause, backjump level)."""
+        learnt: list[int] = [0]  # slot 0 is the UIP literal
+        seen = [False] * (self.n_vars + 1)
+        counter = 0
+        p: int | None = None
+        index = len(self._trail) - 1
+        while True:
+            clause = self._clauses[confl]
+            start = 0 if p is None else 1
+            for lit in clause[start:]:
+                var = abs(lit)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] == self._decision_level:
+                    counter += 1
+                else:
+                    learnt.append(lit)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            p = self._trail[index]
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            confl = self._reason[abs(p)]  # type: ignore[assignment]
+        learnt[0] = -p
+        if len(learnt) == 1:
+            return learnt, 0
+        # Move the deepest non-UIP literal to the watch slot.
+        deepest = max(range(1, len(learnt)),
+                      key=lambda i: self._level[abs(learnt[i])])
+        learnt[1], learnt[deepest] = learnt[deepest], learnt[1]
+        return learnt, self._level[abs(learnt[1])]
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level <= level:
+            return
+        cut = self._trail_lim[level]
+        for lit in self._trail[cut:]:
+            var = abs(lit)
+            self._assign[var] = 0
+            self._reason[var] = None
+        del self._trail[cut:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    # -- decisions ----------------------------------------------------------
+
+    def _pick_branch(self) -> int | None:
+        best_var, best_act = None, -1.0
+        for var in range(1, self.n_vars + 1):
+            if self._assign[var] == 0 and self._activity[var] > best_act:
+                best_var, best_act = var, self._activity[var]
+        if best_var is None:
+            return None
+        return best_var if self._phase[best_var] else -best_var
+
+    # -- main loop ------------------------------------------------------------
+
+    def solve(self, max_conflicts: int | None = None) -> SatResult:
+        if self._unsat_at_setup:
+            return SatResult("unsat", stats=self.stats)
+        restart_limit = _RESTART_FIRST
+        conflicts_since_restart = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level == 0:
+                    return SatResult("unsat", stats=self.stats)
+                learnt, back_level = self._analyze(confl)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    ci = self._add_clause(learnt, learned=True)
+                    self._enqueue(learnt[0], ci)
+                self.stats.learned += 1
+                self._var_inc /= _ACTIVITY_DECAY
+                if (max_conflicts is not None
+                        and self.stats.conflicts >= max_conflicts):
+                    return SatResult("unknown", stats=self.stats)
+                if conflicts_since_restart >= restart_limit:
+                    self.stats.restarts += 1
+                    conflicts_since_restart = 0
+                    restart_limit = int(restart_limit * _RESTART_FACTOR)
+                    self._backtrack(0)
+                continue
+            decision = self._pick_branch()
+            if decision is None:
+                model = {
+                    var: self._assign[var] > 0
+                    for var in range(1, self.n_vars + 1)
+                }
+                return SatResult("sat", model=model, stats=self.stats)
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"CdclSolver(vars={self.n_vars}, clauses={len(self._clauses)})"
+        )
+
+
+def solve_cnf(
+    cnf: Cnf,
+    extra: list[Clause] = (),
+    max_conflicts: int | None = None,
+) -> SatResult:
+    """Solve ``cnf`` together with ``extra`` clauses (e.g. miter units)."""
+    solver = CdclSolver([*cnf.clauses, *extra], cnf.n_vars)
+    return solver.solve(max_conflicts=max_conflicts)

@@ -110,6 +110,32 @@ class Simulator:
         for tracer in self._tracers:
             tracer.sample(self)
 
+    def load_state(self, state: dict[str, int]) -> None:
+        """Force register words to the given values (by register name).
+
+        Used to replay formal counterexamples, which may start from a
+        state no reset-and-step sequence reaches.
+        """
+        by_name = {reg.signal.name: reg for reg in self.module.registers}
+        for name, value in state.items():
+            if name not in by_name:
+                raise KeyError(f"no register named {name!r} in module")
+            reg = by_name[name]
+            self._values[reg.signal] = value & reg.signal.mask
+        self._settle()
+
+    def get_register(self, name: str) -> int:
+        """Current value of the register word ``name``.
+
+        Same as :meth:`get` for RTL, but checked: raises ``KeyError``
+        when ``name`` is not a register.  The gate-level simulators
+        expose the same method, so generic replay code (formal
+        counterexamples) reads state identically across all three.
+        """
+        if not any(reg.signal.name == name for reg in self.module.registers):
+            raise KeyError(f"no register named {name!r} in module")
+        return self.get(name)
+
     def step(self, cycles: int = 1) -> None:
         """Advance ``cycles`` rising clock edges."""
         for _ in range(cycles):

@@ -257,7 +257,8 @@ class Lowerer:
             d_bits = self._pad(self.lower_expr(reg.next), reg.signal.width)
             for i, (d, q) in enumerate(zip(d_bits, self.bits[reg.signal])):
                 nl.dffs.append(
-                    FlipFlop(d, q, (reg.reset_value >> i) & 1)
+                    FlipFlop(d, q, (reg.reset_value >> i) & 1,
+                             name=f"{reg.signal.name}[{i}]")
                 )
 
         for sig in self.module.outputs:

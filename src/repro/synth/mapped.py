@@ -18,13 +18,16 @@ class CellInst:
     """One placed-able standard-cell instance.
 
     ``pins`` maps pin name to net id and includes the output pin.
-    Sequential cells store their reset value for simulation.
+    Sequential cells store their reset value for simulation and a ``tag``
+    naming the RTL register bit they implement (``reg[index]``), which is
+    the register correspondence used by formal equivalence checking.
     """
 
     name: str
     cell: StandardCell
     pins: dict[str, int]
     reset_value: int = 0
+    tag: str = ""
 
     @property
     def output_net(self) -> int | None:
@@ -65,9 +68,9 @@ class MappedNetlist:
         self.index_version = 0
 
     def add_cell(self, cell: StandardCell, pins: dict[str, int],
-                 reset_value: int = 0) -> CellInst:
+                 reset_value: int = 0, tag: str = "") -> CellInst:
         inst = CellInst(f"u{len(self.cells)}_{cell.kind}", cell, dict(pins),
-                        reset_value)
+                        reset_value, tag)
         self.cells.append(inst)
         self.invalidate()
         return inst
@@ -250,6 +253,44 @@ class MappedSimulator:
     def get(self, name: str) -> int:
         nets = self.mapped.outputs[name]
         return sum(self._values[net] << i for i, net in enumerate(nets))
+
+    def _state_words(self) -> dict[str, list[tuple[int, CellInst]]]:
+        """DFF cells grouped into register words by the ``reg[i]`` tag."""
+        words: dict[str, list[tuple[int, CellInst]]] = {}
+        for index, inst in enumerate(self.mapped.seq_cells):
+            label = inst.tag or f"dff{index}"
+            base, _, rest = label.rpartition("[")
+            if base and rest.endswith("]") and rest[:-1].isdigit():
+                words.setdefault(base, []).append((int(rest[:-1]), inst))
+            else:
+                words.setdefault(label, []).append((0, inst))
+        return words
+
+    def load_state(self, state: dict[str, int]) -> None:
+        """Force register words (by DFF tag) to the given values.
+
+        Keys are RTL register names; DFF cells tagged ``reg[i]`` supply
+        bit ``i`` of the word ``reg``.  Used to replay formal
+        counterexamples from an arbitrary state.
+        """
+        words = self._state_words()
+        for name, value in state.items():
+            if name not in words:
+                raise KeyError(f"no register named {name!r} in netlist")
+            for bit_index, inst in words[name]:
+                q = inst.pins[inst.cell.output]
+                self._values[q] = (value >> bit_index) & 1
+        self._settle()
+
+    def get_register(self, name: str) -> int:
+        """Current value of the register word ``name`` (DFF-tag grouping)."""
+        words = self._state_words()
+        if name not in words:
+            raise KeyError(f"no register named {name!r} in netlist")
+        return sum(
+            self._values[inst.pins[inst.cell.output]] << bit_index
+            for bit_index, inst in words[name]
+        )
 
     def step(self, cycles: int = 1) -> None:
         for _ in range(cycles):

@@ -222,7 +222,7 @@ def tech_map(
     dff_cell = library.dff
     for ff in netlist.dffs:
         mapped.add_cell(dff_cell, {"d": ff.d, "q": ff.q},
-                        reset_value=ff.reset_value)
+                        reset_value=ff.reset_value, tag=ff.name)
 
     # Tie cells for constants that survived optimization.
     used: set[int] = set()

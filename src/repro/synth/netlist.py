@@ -45,11 +45,18 @@ class Gate:
 
 @dataclass(frozen=True)
 class FlipFlop:
-    """A single-bit D flip-flop with a synchronous reset value."""
+    """A single-bit D flip-flop with a synchronous reset value.
+
+    ``name`` records which RTL register bit this flop implements (the
+    ``reg[index]`` convention), establishing the register correspondence
+    that formal equivalence checking and state loading rely on.  It is
+    purely an annotation: empty names are legal for hand-built netlists.
+    """
 
     d: int
     q: int
     reset_value: int = 0
+    name: str = ""
 
 
 class GateNetlist:
@@ -77,9 +84,9 @@ class GateNetlist:
         self.gates.append(Gate(op, tuple(inputs), out))
         return out
 
-    def add_dff(self, d: int, reset_value: int = 0) -> int:
+    def add_dff(self, d: int, reset_value: int = 0, name: str = "") -> int:
         q = self.new_net()
-        self.dffs.append(FlipFlop(d, q, reset_value))
+        self.dffs.append(FlipFlop(d, q, reset_value, name))
         return q
 
     def add_input(self, name: str, width: int) -> list[int]:
@@ -194,6 +201,21 @@ class GateNetlist:
         )
 
 
+def _flops_by_word(
+    dffs: list[FlipFlop],
+) -> dict[str, list[tuple[int, FlipFlop]]]:
+    """Group flops into register words by the ``reg[i]`` name convention."""
+    words: dict[str, list[tuple[int, FlipFlop]]] = {}
+    for index, ff in enumerate(dffs):
+        label = ff.name or f"dff{index}"
+        base, _, rest = label.rpartition("[")
+        if base and rest.endswith("]") and rest[:-1].isdigit():
+            words.setdefault(base, []).append((int(rest[:-1]), ff))
+        else:
+            words.setdefault(label, []).append((0, ff))
+    return words
+
+
 class GateSimulator:
     """Cycle-accurate simulator over a :class:`GateNetlist`.
 
@@ -230,6 +252,30 @@ class GateSimulator:
         for i, net in enumerate(nets):
             self._values[net] = (value >> i) & 1
         self._settle()
+
+    def load_state(self, state: dict[str, int]) -> None:
+        """Force register words (by flop name) to the given values.
+
+        Keys are RTL register names; flops named ``reg[i]`` supply bit
+        ``i`` of the word ``reg``.  Used to replay formal counterexamples
+        from an arbitrary reachable-or-not state.
+        """
+        flops = _flops_by_word(self.netlist.dffs)
+        for name, value in state.items():
+            if name not in flops:
+                raise KeyError(f"no register named {name!r} in netlist")
+            for bit_index, ff in flops[name]:
+                self._values[ff.q] = (value >> bit_index) & 1
+        self._settle()
+
+    def get_register(self, name: str) -> int:
+        """Current value of the register word ``name`` (flop-name grouping)."""
+        flops = _flops_by_word(self.netlist.dffs)
+        if name not in flops:
+            raise KeyError(f"no register named {name!r} in netlist")
+        return sum(
+            self._values[ff.q] << bit_index for bit_index, ff in flops[name]
+        )
 
     def get(self, name: str) -> int:
         nets = self.netlist.outputs[name]

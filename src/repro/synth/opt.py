@@ -171,7 +171,7 @@ class _Rewriter:
             self.rewrite_gate(gate)
         for ff in self.src.dffs:
             self.out.dffs.append(
-                FlipFlop(self.resolve(ff.d), ff.q, ff.reset_value)
+                FlipFlop(self.resolve(ff.d), ff.q, ff.reset_value, ff.name)
             )
         for name, nets in self.src.outputs.items():
             self.out.set_output(name, [self.resolve(n) for n in nets])

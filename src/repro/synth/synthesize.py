@@ -74,6 +74,7 @@ def synthesize(
     max_load_per_drive_ff: float = 8.0,
     verify: bool = False,
     verify_cycles: int = 64,
+    verify_seed: int = 2025,
     tracer: Tracer | None = None,
 ) -> SynthesisResult:
     """Synthesize ``module`` onto ``library``.
@@ -81,8 +82,9 @@ def synthesize(
     ``objective`` ("area" or "delay") selects the mapper pattern set;
     ``sizing`` enables post-mapping drive-strength selection; ``verify``
     runs a simulation equivalence check of the mapped netlist against the
-    RTL reference.  ``tracer`` (default: the process tracer) receives one
-    span per frontend flow step plus sub-spans for the inner phases.
+    RTL reference, driving ``verify_cycles`` cycles of stimulus from
+    ``verify_seed``.  ``tracer`` (default: the process tracer) receives
+    one span per frontend flow step plus sub-spans for the inner phases.
     """
     if tracer is None:
         tracer = get_tracer()
@@ -113,7 +115,9 @@ def synthesize(
         map_span.set(cells=len(mapped.cells))
     with tracer.span("step.equivalence_check", checked=verify) as sp:
         equivalence = (
-            check_equivalence(module, mapped, cycles=verify_cycles)
+            check_equivalence(
+                module, mapped, cycles=verify_cycles, seed=verify_seed
+            )
             if verify
             else None
         )

@@ -4,10 +4,17 @@ Runs the RTL simulator and a gate-level simulator (pre- or post-mapping)
 in lockstep on random stimulus and compares every output every cycle.
 This is the verification backbone of the flow: synthesis, optimization and
 mapping are each checked against the original RTL semantics.
+
+Each divergence is recorded as a structured :class:`Mismatch` — the
+failing cycle, the exact input vector applied that cycle and the RTL
+register state it was applied in — so CI can archive failures
+(:meth:`EquivalenceResult.to_json`) and so formal counterexamples from
+:mod:`repro.formal.lec` replay through the same record type.
 """
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
 
@@ -18,16 +25,97 @@ from .netlist import GateNetlist, GateSimulator
 
 
 @dataclass
+class Mismatch:
+    """One observed divergence between RTL and an implementation.
+
+    ``inputs`` is the input vector applied on the failing cycle and
+    ``state`` the RTL register values it was applied in — together they
+    reproduce the failure directly via the simulators' ``load_state`` /
+    ``set`` without replaying the whole random run.  ``gate_state``
+    holds the implementation's register values on that cycle when they
+    had already diverged from the RTL's (a buggy next-state function
+    shows up one or more cycles before the wrong value reaches an
+    output); empty means "same as ``state``".
+    """
+
+    cycle: int
+    output: str
+    expect: int
+    got: int
+    inputs: dict[str, int] = field(default_factory=dict)
+    state: dict[str, int] = field(default_factory=dict)
+    gate_state: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"cycle {self.cycle}: output {self.output}: "
+            f"rtl={self.expect} gate={self.got} inputs={self.inputs}"
+        )
+
+    __repr__ = __str__
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "cycle": self.cycle,
+            "output": self.output,
+            "expect": self.expect,
+            "got": self.got,
+            "inputs": dict(self.inputs),
+            "state": dict(self.state),
+            "gate_state": dict(self.gate_state),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Mismatch":
+        return cls(
+            cycle=int(data["cycle"]),
+            output=data["output"],
+            expect=int(data["expect"]),
+            got=int(data["got"]),
+            inputs={k: int(v) for k, v in data.get("inputs", {}).items()},
+            state={k: int(v) for k, v in data.get("state", {}).items()},
+            gate_state={
+                k: int(v) for k, v in data.get("gate_state", {}).items()
+            },
+        )
+
+
+@dataclass
 class EquivalenceResult:
     """Outcome of a lockstep equivalence run."""
 
     passed: bool
     cycles: int
-    mismatches: list[str] = field(default_factory=list)
+    mismatches: list[Mismatch] = field(default_factory=list)
+    seed: int | None = None
 
     def summary(self) -> str:
         status = "EQUIVALENT" if self.passed else "MISMATCH"
         return f"{status} after {self.cycles} cycles"
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The CI-archivable failure record."""
+        return json.dumps(
+            {
+                "passed": self.passed,
+                "cycles": self.cycles,
+                "seed": self.seed,
+                "mismatches": [m.to_dict() for m in self.mismatches],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EquivalenceResult":
+        data = json.loads(text)
+        return cls(
+            passed=bool(data["passed"]),
+            cycles=int(data["cycles"]),
+            mismatches=[
+                Mismatch.from_dict(m) for m in data.get("mismatches", ())
+            ],
+            seed=data.get("seed"),
+        )
 
 
 def _gate_sim(impl):
@@ -47,29 +135,82 @@ def check_equivalence(
     """Compare ``module`` (RTL reference) against an implementation.
 
     Random inputs are applied each cycle; all outputs are compared both
-    combinationally (after input settle) and across clock edges.
+    combinationally (after input settle) and across clock edges.  The
+    stimulus stream is a pure function of ``seed`` — the flow threads
+    its own ``FlowOptions.seed`` through here so runs are reproducible.
     """
     rtl = Simulator(module)
     gate = _gate_sim(implementation)
     rng = random.Random(seed)
 
     input_sigs = list(rtl.module.inputs)
+    register_names = [reg.signal.name for reg in rtl.module.registers]
     output_names = [sig.name for sig in rtl.module.outputs]
-    mismatches: list[str] = []
+    mismatches: list[Mismatch] = []
+
+    def impl_state() -> dict[str, int]:
+        """The implementation's register words, where flops are named.
+
+        Hand-built netlists may leave flop names empty; they simply get
+        no divergence snapshot (replay then reuses the RTL state).
+        """
+        words: dict[str, int] = {}
+        for name in register_names:
+            try:
+                words[name] = gate.get_register(name)
+            except KeyError:
+                pass
+        return words
 
     for cycle in range(cycles):
+        state = {name: rtl.get(name) for name in register_names}
+        gate_state = impl_state()
+        vector: dict[str, int] = {}
         for sig in input_sigs:
             value = rng.randrange(1 << sig.width)
+            vector[sig.name] = value
             rtl.set(sig.name, value)
             gate.set(sig.name, value)
         for name in output_names:
             want, got = rtl.get(name), gate.get(name)
             if want != got:
-                mismatches.append(
-                    f"cycle {cycle}: output {name}: rtl={want} gate={got}"
-                )
+                mismatches.append(Mismatch(
+                    cycle, name, want, got, dict(vector), state,
+                    {} if gate_state == state else gate_state,
+                ))
                 if len(mismatches) >= 10:
-                    return EquivalenceResult(False, cycle + 1, mismatches)
+                    return EquivalenceResult(
+                        False, cycle + 1, mismatches, seed
+                    )
         rtl.step()
         gate.step()
-    return EquivalenceResult(not mismatches, cycles, mismatches)
+    return EquivalenceResult(not mismatches, cycles, mismatches, seed)
+
+
+def replay_mismatch(
+    module: Module,
+    implementation: GateNetlist | MappedNetlist,
+    mismatch: Mismatch,
+) -> Mismatch | None:
+    """Re-apply one recorded (or formally derived) failure directly.
+
+    Loads the recorded register state into both simulators, applies the
+    input vector, and compares the failing output once — no random
+    replay needed.  Returns a fresh :class:`Mismatch` if the divergence
+    reproduces, ``None`` if it does not.
+    """
+    rtl = Simulator(module)
+    gate = _gate_sim(implementation)
+    if mismatch.state:
+        rtl.load_state(mismatch.state)
+        gate.load_state(mismatch.gate_state or mismatch.state)
+    for name, value in mismatch.inputs.items():
+        rtl.set(name, value)
+        gate.set(name, value)
+    want, got = rtl.get(mismatch.output), gate.get(mismatch.output)
+    if want == got:
+        return None
+    return Mismatch(
+        0, mismatch.output, want, got, dict(mismatch.inputs),
+        dict(mismatch.state),
+    )
