@@ -28,7 +28,7 @@ from repro.formal import (  # noqa: E402
     check_lec,
     lec_flow,
     mutate_netlist,
-    replay_counterexample,
+    replay_counterexamples,
 )
 from repro.ip.catalog import catalogue, generate  # noqa: E402
 from repro.pdk import get_pdk  # noqa: E402
@@ -82,8 +82,11 @@ def must_fail_mutated(library):
         if result.equivalent:
             continue  # this seed's rewire was functionally benign
         print(f"mutation detected (seed {seed}): {description}")
-        for cex in result.counterexamples:
-            mismatch = replay_counterexample(module, mutant, cex)
+        # One packed batch replays every witness at once (a lane each).
+        cexes = result.counterexamples
+        for cex, mismatch in zip(
+            cexes, replay_counterexamples(module, mutant, cexes)
+        ):
             if mismatch is None:
                 print(f"  cex does NOT reproduce in simulation: {cex}")
                 return False

@@ -35,7 +35,7 @@ from .formal import (
     lec_flow,
     prove_facts,
     refine_lint_report,
-    replay_counterexample,
+    replay_counterexamples,
 )
 from .hdl.ir import HdlError
 from .hdl.verilog import to_verilog
@@ -286,6 +286,24 @@ def _cmd_prove(args) -> int:
         return 0 if report.passed else 1
     print(report.summary())
     for stage, check in report.checks.items():
+        # All replayable witnesses of a stage go through one packed
+        # batch (each occupies a simulation lane) instead of one
+        # simulator pair per counterexample.
+        replayable = [
+            verdict.counterexample
+            for verdict in check.cones
+            if verdict.counterexample is not None
+            and verdict.counterexample.kind in ("output", "state")
+            and implementations.get(stage) is not None
+        ]
+        replays = {}
+        if replayable:
+            replays = dict(zip(
+                map(id, replayable),
+                replay_counterexamples(
+                    module, implementations[stage], replayable
+                ),
+            ))
         for verdict in check.cones:
             if verdict.status == "equal":
                 continue
@@ -295,10 +313,8 @@ def _cmd_prove(args) -> int:
                 continue
             print(f"    inputs={cex.inputs} state={cex.state} "
                   f"expect={cex.expect} got={cex.got}")
-            impl = implementations.get(stage)
-            if impl is not None:
-                mismatch = replay_counterexample(module, impl, cex)
-                confirmed = mismatch is not None
+            if id(cex) in replays:
+                confirmed = replays[id(cex)] is not None
                 print(f"    simulation replay: "
                       f"{'reproduces' if confirmed else 'DOES NOT reproduce'}")
 

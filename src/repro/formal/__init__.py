@@ -30,6 +30,7 @@ from .lec import (
     lec_flow,
     mutate_netlist,
     replay_counterexample,
+    replay_counterexamples,
 )
 from .props import ProvedFact, prove_facts, refine_lint_report
 from .sat import CdclSolver, SatResult, solve_cnf
@@ -54,6 +55,7 @@ __all__ = [
     "lec_flow",
     "mutate_netlist",
     "replay_counterexample",
+    "replay_counterexamples",
     "ProvedFact",
     "prove_facts",
     "refine_lint_report",

@@ -1,0 +1,527 @@
+"""Word-parallel (bit-packed) logic simulation.
+
+The scalar simulators evaluate one test vector at a time: every gate
+costs one Python-level operation per vector.  This module packs
+``W = 64`` *independent* vectors into one Python int per signal **bit**
+— lane ``l`` of the word is the value of that bit under vector ``l`` —
+and evaluates gates with bitwise operations, so one ``&``/``|``/``^``
+simulates all 64 vectors at once.  This is the classic PPSFP technique
+from EDA fault simulators, and it is pure-Python friendly because
+Python ints are arbitrary-width bit vectors.
+
+Packed value convention
+-----------------------
+
+A *packed word* for an ``n``-bit signal is a list of ``n`` ints, LSB
+first (the same bit ordering the netlists use): ``words[i]`` holds bit
+``i`` of the signal across all lanes, with lane ``l`` in bit ``l`` of
+the int.  :func:`pack_word` transposes a list of per-lane scalar values
+into this layout, :func:`unpack_word` transposes back, and
+:func:`extract_lane` recovers the single scalar value of one lane — the
+mismatch-localization primitive the equivalence checker uses to hand a
+failing lane back to the scalar simulators.
+
+Three packed engines mirror the scalar simulator APIs
+(``set``/``set_many``/``get``/``step``/``get_register``/``load_state``)
+so lockstep drivers can treat them interchangeably:
+
+* :class:`PackedGateSimulator` — over a ``GateNetlist``;
+* :class:`PackedMappedSimulator` — over a ``MappedNetlist`` of
+  standard cells (packed per-kind boolean functions, with a per-lane
+  fallback for unknown cells);
+* :class:`PackedRtlSimulator` — over an RTL ``Module``, by reusing the
+  flow's own verified bit-blaster (:func:`repro.synth.lower.lower`)
+  and running the resulting netlist packed.
+
+This module deliberately imports nothing from :mod:`repro.synth` at
+module level (the synth package imports back into here); the RTL engine
+lowers lazily at construction time.
+"""
+
+from __future__ import annotations
+
+#: Number of vectors packed into one machine word.  64 keeps every
+#: lane word within one CPython "digit spill" of a small int and
+#: matches the classic PPSFP word size.
+LANES = 64
+
+#: All-ones mask over the full lane count.
+FULL_MASK = (1 << LANES) - 1
+
+
+class PackedSimError(Exception):
+    """Raised for malformed packed stimulus or unsupported designs."""
+
+
+# ---------------------------------------------------------------------------
+# Packing helpers
+# ---------------------------------------------------------------------------
+
+
+def pack_word(values: list[int], width: int) -> list[int]:
+    """Transpose per-lane scalar ``values`` into a packed word.
+
+    ``values[l]`` is the scalar value of lane ``l``; the result is one
+    int per signal bit, LSB first, with lane ``l`` in bit ``l``.  At
+    most :data:`LANES` values are allowed; missing lanes stay 0.
+    """
+    if len(values) > LANES:
+        raise PackedSimError(
+            f"cannot pack {len(values)} vectors into {LANES} lanes"
+        )
+    words = [0] * width
+    for bit in range(width):
+        probe = 1 << bit
+        word = 0
+        for lane, value in enumerate(values):
+            if value & probe:
+                word |= 1 << lane
+        words[bit] = word
+    return words
+
+
+def unpack_word(words: list[int], lane_count: int = LANES) -> list[int]:
+    """Transpose a packed word back into per-lane scalar values."""
+    return [extract_lane(words, lane) for lane in range(lane_count)]
+
+
+def extract_lane(words: list[int], lane: int) -> int:
+    """Scalar value of one lane of a packed word.
+
+    This is the mismatch-localization routine: given the packed inputs
+    (or outputs) of a failing simulation and the index of the offending
+    lane, it recovers the exact single test vector to replay through
+    the scalar simulators.
+    """
+    value = 0
+    for bit, word in enumerate(words):
+        value |= ((word >> lane) & 1) << bit
+    return value
+
+
+def extract_lane_vector(
+    packed: dict[str, list[int]], lane: int
+) -> dict[str, int]:
+    """Scalar ``{signal: value}`` vector for one lane of packed stimulus."""
+    return {name: extract_lane(words, lane) for name, words in packed.items()}
+
+
+def broadcast_word(value: int, width: int, mask: int = FULL_MASK) -> list[int]:
+    """Packed word holding the same scalar ``value`` in every lane."""
+    return [mask if (value >> bit) & 1 else 0 for bit in range(width)]
+
+
+def group_bit_labels(labels: list[str]) -> dict[str, list[tuple[int, int]]]:
+    """Group flat bit labels into words by the ``reg[i]`` convention.
+
+    ``labels[p]`` names state element ``p`` (a flop name or a DFF tag);
+    the result maps each word name to ``(bit_index, position)`` pairs.
+    Unlabelled positions become single-bit ``dff<p>`` words — the same
+    convention the scalar gate simulators use.
+    """
+    words: dict[str, list[tuple[int, int]]] = {}
+    for position, label in enumerate(labels):
+        label = label or f"dff{position}"
+        base, _, rest = label.rpartition("[")
+        if base and rest.endswith("]") and rest[:-1].isdigit():
+            words.setdefault(base, []).append((int(rest[:-1]), position))
+        else:
+            words.setdefault(label, []).append((0, position))
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Packed standard-cell functions
+# ---------------------------------------------------------------------------
+
+#: Lane-parallel boolean functions per cell kind.  Each takes the lane
+#: mask first, then one packed lane word per input pin.
+_PACKED_CELL_FUNCS = {
+    "INV": lambda m, a: a ^ m,
+    "BUF": lambda m, a: a,
+    "NAND2": lambda m, a, b: (a & b) ^ m,
+    "NOR2": lambda m, a, b: (a | b) ^ m,
+    "AND2": lambda m, a, b: a & b,
+    "OR2": lambda m, a, b: a | b,
+    "XOR2": lambda m, a, b: a ^ b,
+    "XNOR2": lambda m, a, b: (a ^ b) ^ m,
+    "NAND3": lambda m, a, b, c: (a & b & c) ^ m,
+    "NOR3": lambda m, a, b, c: (a | b | c) ^ m,
+    "AOI21": lambda m, a, b, c: ((a & b) | c) ^ m,
+    "OAI21": lambda m, a, b, c: ((a | b) & c) ^ m,
+    "MUX2": lambda m, a, b, s: (b & s) | (a & (s ^ m)),
+    "TIE0": lambda m: 0,
+    "TIE1": lambda m: m,
+}
+
+
+def packed_cell_function(cell, mask: int):
+    """The lane-parallel function of a standard cell.
+
+    Known kinds use a closed-form bitwise expression; anything else
+    falls back to evaluating the cell's scalar ``function`` once per
+    lane (correct for any cell, just not fast).
+    """
+    fn = _PACKED_CELL_FUNCS.get(cell.kind)
+    if fn is not None:
+        return lambda *words, _fn=fn, _m=mask: _fn(_m, *words)
+    scalar = cell.function
+    if scalar is None:
+        raise PackedSimError(
+            f"cell {cell.name!r} has no combinational function"
+        )
+    lanes = mask.bit_length()
+
+    def per_lane(*words):
+        out = 0
+        for lane in range(lanes):
+            if scalar(*(((w >> lane) & 1) for w in words)):
+                out |= 1 << lane
+        return out
+
+    return per_lane
+
+
+# ---------------------------------------------------------------------------
+# Packed gate-netlist simulator
+# ---------------------------------------------------------------------------
+
+# settle() opcodes, kept as ints so the hot loop branches on an int
+# compare instead of a dict lookup + lambda call per gate.
+_OP_AND, _OP_OR, _OP_XOR, _OP_NOT, _OP_BUF = range(5)
+_OPCODES = {"AND": _OP_AND, "OR": _OP_OR, "XOR": _OP_XOR,
+            "NOT": _OP_NOT, "BUF": _OP_BUF}
+
+
+class PackedGateSimulator:
+    """Word-parallel simulator over a ``GateNetlist``.
+
+    Mirrors :class:`repro.synth.netlist.GateSimulator` but every net
+    holds a lane word: one Python-level bitwise op per gate simulates
+    all ``lanes`` vectors.  Packed values are lists of lane words, LSB
+    first (see the module docstring).
+    """
+
+    def __init__(self, netlist, lanes: int = LANES):
+        if not 1 <= lanes <= LANES:
+            raise PackedSimError(f"lanes must be in 1..{LANES}, got {lanes}")
+        self.netlist = netlist
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        # Pre-encode the topological settle program once.
+        self._program: list[tuple[int, int, int, int]] = []
+        for gate in netlist.topo_gates():
+            opcode = _OPCODES[gate.op]
+            a = gate.inputs[0]
+            b = gate.inputs[1] if len(gate.inputs) > 1 else a
+            self._program.append((opcode, gate.output, a, b))
+        self._values: list[int] = [0] * netlist.n_nets
+        self._words = group_bit_labels([ff.name for ff in netlist.dffs])
+        self.reset()
+
+    # -- state --------------------------------------------------------------
+
+    def register_words(self) -> dict[str, list[int]]:
+        """Register word name -> sorted bit indices (correspondence map)."""
+        return {
+            name: sorted(bit for bit, _ in pairs)
+            for name, pairs in self._words.items()
+        }
+
+    def input_widths(self) -> dict[str, int]:
+        """Input port name -> bit width."""
+        return {name: len(nets) for name, nets in self.netlist.inputs.items()}
+
+    def reset(self) -> None:
+        values = self._values
+        mask = self.mask
+        for net, value in self.netlist.const_nets.items():
+            values[net] = mask if value else 0
+        for ff in self.netlist.dffs:
+            values[ff.q] = mask if ff.reset_value else 0
+        self._settle()
+
+    def load_state(
+        self, state: dict[str, list[int]], settle: bool = True
+    ) -> None:
+        """Force register words to packed per-lane values (by flop name).
+
+        ``settle=False`` defers combinational re-evaluation for callers
+        that immediately follow with :meth:`set_many` (which settles).
+        """
+        dffs = self.netlist.dffs
+        for name, words in state.items():
+            if name not in self._words:
+                raise KeyError(f"no register named {name!r} in netlist")
+            for bit_index, position in self._words[name]:
+                word = words[bit_index] if bit_index < len(words) else 0
+                self._check_word(word)
+                self._values[dffs[position].q] = word
+        if settle:
+            self._settle()
+
+    def get_register(self, name: str) -> list[int]:
+        """Packed current value of the register word ``name``."""
+        if name not in self._words:
+            raise KeyError(f"no register named {name!r} in netlist")
+        pairs = self._words[name]
+        width = 1 + max(bit for bit, _ in pairs)
+        words = [0] * width
+        for bit_index, position in pairs:
+            words[bit_index] = self._values[self.netlist.dffs[position].q]
+        return words
+
+    # -- stimulus -----------------------------------------------------------
+
+    def _check_word(self, word: int) -> None:
+        if not 0 <= word <= self.mask:
+            raise PackedSimError(
+                f"lane word {word:#x} exceeds the {self.lanes}-lane mask"
+            )
+
+    def _write_input(self, name: str, words: list[int]) -> None:
+        nets = self.netlist.inputs[name]
+        if len(words) != len(nets):
+            raise PackedSimError(
+                f"input {name!r} is {len(nets)} bits, got {len(words)} "
+                "lane words"
+            )
+        for net, word in zip(nets, words):
+            self._check_word(word)
+            self._values[net] = word
+
+    def set(self, name: str, words: list[int]) -> None:
+        """Drive an input with one lane word per bit, then settle."""
+        self._write_input(name, words)
+        self._settle()
+
+    def set_many(self, values: dict[str, list[int]]) -> None:
+        """Drive several inputs with a single settle sweep."""
+        for name, words in values.items():
+            self._write_input(name, words)
+        self._settle()
+
+    def get(self, name: str) -> list[int]:
+        """Packed value of output ``name`` (one lane word per bit)."""
+        values = self._values
+        return [values[net] for net in self.netlist.outputs[name]]
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _settle(self) -> None:
+        values = self._values
+        mask = self.mask
+        for opcode, out, a, b in self._program:
+            if opcode == _OP_AND:
+                values[out] = values[a] & values[b]
+            elif opcode == _OP_OR:
+                values[out] = values[a] | values[b]
+            elif opcode == _OP_XOR:
+                values[out] = values[a] ^ values[b]
+            elif opcode == _OP_NOT:
+                values[out] = values[a] ^ mask
+            else:
+                values[out] = values[a]
+
+    def step(self, cycles: int = 1) -> None:
+        values = self._values
+        dffs = self.netlist.dffs
+        for _ in range(cycles):
+            sampled = [values[ff.d] for ff in dffs]
+            for ff, word in zip(dffs, sampled):
+                values[ff.q] = word
+            self._settle()
+
+
+# ---------------------------------------------------------------------------
+# Packed mapped-netlist simulator
+# ---------------------------------------------------------------------------
+
+
+class PackedMappedSimulator:
+    """Word-parallel simulator over a ``MappedNetlist`` of standard cells."""
+
+    def __init__(self, mapped, lanes: int = LANES):
+        if not 1 <= lanes <= LANES:
+            raise PackedSimError(f"lanes must be in 1..{LANES}, got {lanes}")
+        self.mapped = mapped
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        # Program entries carry the input nets arity-split (a, b, c) so
+        # settle can call without *args tuple building per cell.
+        self._program = []
+        for inst in mapped.topo_comb():
+            fn = packed_cell_function(inst.cell, self.mask)
+            ins = [inst.pins[p] for p in inst.cell.inputs]
+            a, b, c = (ins + [0, 0, 0])[:3]
+            self._program.append(
+                (len(ins), fn, inst.pins[inst.cell.output], a, b, c)
+            )
+        self._seq = [
+            (inst.pins["d"], inst.pins[inst.cell.output], inst.reset_value)
+            for inst in mapped.seq_cells
+        ]
+        self._words = group_bit_labels(
+            [inst.tag for inst in mapped.seq_cells]
+        )
+        self._values: dict[int, int] = {n: 0 for n in mapped.nets()}
+        self.reset()
+
+    # -- state --------------------------------------------------------------
+
+    def register_words(self) -> dict[str, list[int]]:
+        """Register word name -> sorted bit indices (correspondence map)."""
+        return {
+            name: sorted(bit for bit, _ in pairs)
+            for name, pairs in self._words.items()
+        }
+
+    def input_widths(self) -> dict[str, int]:
+        """Input port name -> bit width."""
+        return {name: len(nets) for name, nets in self.mapped.inputs.items()}
+
+    def reset(self) -> None:
+        mask = self.mask
+        for _, q, reset_value in self._seq:
+            self._values[q] = mask if reset_value else 0
+        self._settle()
+
+    def load_state(
+        self, state: dict[str, list[int]], settle: bool = True
+    ) -> None:
+        """Force register words to packed per-lane values (by DFF tag).
+
+        ``settle=False`` defers combinational re-evaluation for callers
+        that immediately follow with :meth:`set_many` (which settles).
+        """
+        for name, words in state.items():
+            if name not in self._words:
+                raise KeyError(f"no register named {name!r} in netlist")
+            for bit_index, position in self._words[name]:
+                word = words[bit_index] if bit_index < len(words) else 0
+                self._check_word(word)
+                self._values[self._seq[position][1]] = word
+        if settle:
+            self._settle()
+
+    def get_register(self, name: str) -> list[int]:
+        """Packed current value of the register word ``name``."""
+        if name not in self._words:
+            raise KeyError(f"no register named {name!r} in netlist")
+        pairs = self._words[name]
+        width = 1 + max(bit for bit, _ in pairs)
+        words = [0] * width
+        for bit_index, position in pairs:
+            words[bit_index] = self._values[self._seq[position][1]]
+        return words
+
+    # -- stimulus -----------------------------------------------------------
+
+    def _check_word(self, word: int) -> None:
+        if not 0 <= word <= self.mask:
+            raise PackedSimError(
+                f"lane word {word:#x} exceeds the {self.lanes}-lane mask"
+            )
+
+    def _write_input(self, name: str, words: list[int]) -> None:
+        nets = self.mapped.inputs[name]
+        if len(words) != len(nets):
+            raise PackedSimError(
+                f"input {name!r} is {len(nets)} bits, got {len(words)} "
+                "lane words"
+            )
+        for net, word in zip(nets, words):
+            self._check_word(word)
+            self._values[net] = word
+
+    def set(self, name: str, words: list[int]) -> None:
+        self._write_input(name, words)
+        self._settle()
+
+    def set_many(self, values: dict[str, list[int]]) -> None:
+        for name, words in values.items():
+            self._write_input(name, words)
+        self._settle()
+
+    def get(self, name: str) -> list[int]:
+        values = self._values
+        return [values[net] for net in self.mapped.outputs[name]]
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _settle(self) -> None:
+        values = self._values
+        for arity, fn, out, a, b, c in self._program:
+            if arity == 2:
+                values[out] = fn(values[a], values[b])
+            elif arity == 3:
+                values[out] = fn(values[a], values[b], values[c])
+            elif arity == 1:
+                values[out] = fn(values[a])
+            else:
+                values[out] = fn()
+
+    def step(self, cycles: int = 1) -> None:
+        values = self._values
+        for _ in range(cycles):
+            sampled = [(q, values[d]) for d, q, _ in self._seq]
+            for q, word in sampled:
+                values[q] = word
+            self._settle()
+
+
+# ---------------------------------------------------------------------------
+# Packed RTL simulator
+# ---------------------------------------------------------------------------
+
+
+class PackedRtlSimulator:
+    """Word-parallel simulator over an RTL ``Module``.
+
+    RTL expressions are word-level (adds, compares, muxes), which do
+    not vectorize over lane words directly, so this engine follows the
+    bit-blaster conventions: the module is lowered through the flow's
+    own verified bit blaster (:func:`repro.synth.lower.lower`) and the
+    resulting gate netlist is simulated packed.  Flop names carry the
+    ``reg[i]`` register correspondence, so ``get_register`` /
+    ``load_state`` address the same words as the scalar
+    :class:`repro.sim.Simulator`.
+    """
+
+    def __init__(self, module, lanes: int = LANES):
+        # Imported lazily: repro.synth imports back into repro.sim.
+        from ..synth.lower import lower
+
+        self.netlist = lower(module)
+        self._sim = PackedGateSimulator(self.netlist, lanes)
+        self.lanes = self._sim.lanes
+        self.mask = self._sim.mask
+
+    def register_words(self) -> dict[str, list[int]]:
+        return self._sim.register_words()
+
+    def input_widths(self) -> dict[str, int]:
+        return self._sim.input_widths()
+
+    def reset(self) -> None:
+        self._sim.reset()
+
+    def load_state(
+        self, state: dict[str, list[int]], settle: bool = True
+    ) -> None:
+        self._sim.load_state(state, settle)
+
+    def get_register(self, name: str) -> list[int]:
+        return self._sim.get_register(name)
+
+    def set(self, name: str, words: list[int]) -> None:
+        self._sim.set(name, words)
+
+    def set_many(self, values: dict[str, list[int]]) -> None:
+        self._sim.set_many(values)
+
+    def get(self, name: str) -> list[int]:
+        return self._sim.get(name)
+
+    def step(self, cycles: int = 1) -> None:
+        self._sim.step(cycles)

@@ -154,6 +154,51 @@ class Simulator:
         """Register an object with a ``sample(sim)`` method (e.g. VCD)."""
         self._tracers.append(tracer)
 
+    def run_trajectory(
+        self, vectors: list[dict[str, int]], watch: list[str]
+    ) -> tuple[list[dict[str, int]], list[list[int]]]:
+        """Replay one input vector per cycle, recording the trajectory.
+
+        Returns ``(states, outputs)``: ``states[c]`` is the register
+        state *before* vector ``c`` was applied (so it has one more
+        entry than ``vectors`` — the final post-run state), and
+        ``outputs[c]`` the settled ``watch`` values under vector ``c``.
+        This is the record the word-parallel equivalence fast path
+        forces into the implementation simulator.
+
+        Semantically identical to :meth:`run_vectors` plus register
+        snapshots, but with a single combinational settle per cycle:
+        the settle :meth:`step` runs after the register update is
+        redundant here because nothing combinational is read before the
+        next cycle's :meth:`set_many` re-settles.  With tracers
+        attached the method falls back to the plain loop so waveform
+        sampling sees fully settled values.
+        """
+        registers = [reg.signal for reg in self.module.registers]
+        watch_sigs = [self._signal(name) for name in watch]
+        values = self._values
+        fast = not self._tracers
+        states: list[dict[str, int]] = []
+        outputs: list[list[int]] = []
+        for vector in vectors:
+            states.append({sig.name: values[sig] for sig in registers})
+            self.set_many(vector)
+            outputs.append([values[sig] for sig in watch_sigs])
+            if fast:
+                next_values = {
+                    reg.signal: eval_expr(reg.next, values)
+                    & reg.signal.mask
+                    for reg in self.module.registers
+                }
+                values.update(next_values)
+                self.cycle += 1
+            else:
+                self.step()
+        states.append({sig.name: values[sig] for sig in registers})
+        if fast and vectors:
+            self._settle()  # leave combinational reads consistent
+        return states, outputs
+
     def run_vectors(
         self, vectors: list[dict[str, int]], watch: list[str]
     ) -> list[dict[str, int]]:

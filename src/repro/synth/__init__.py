@@ -1,6 +1,15 @@
 """Logic synthesis: lowering, optimization, technology mapping, checking."""
 
-from .dft import DftError, ScanReport, coverage_estimate, insert_scan_chain
+from .dft import (
+    DftError,
+    FaultSimReport,
+    FaultSite,
+    ScanReport,
+    coverage_estimate,
+    fault_sites,
+    insert_scan_chain,
+    simulate_faults,
+)
 from .lower import Lowerer, lower
 from .mapped import CellInst, MappedNetlist, MappedSimulator
 from .mapper import MapStats, tech_map
@@ -16,6 +25,8 @@ __all__ = [
     "CellInst",
     "DftError",
     "EquivalenceResult",
+    "FaultSimReport",
+    "FaultSite",
     "FlipFlop",
     "Gate",
     "GateNetlist",
@@ -32,7 +43,9 @@ __all__ = [
     "check_equivalence",
     "coverage_estimate",
     "dead_code_elim",
+    "fault_sites",
     "insert_scan_chain",
+    "simulate_faults",
     "lower",
     "optimize",
     "size_for_load",

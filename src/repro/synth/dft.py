@@ -1,4 +1,4 @@
-"""Design-for-test: scan-chain insertion.
+"""Design-for-test: scan-chain insertion and stuck-at fault simulation.
 
 Section III-C notes that access to "foundries and test infrastructure"
 is part of the barrier; scan insertion is the flow step that makes a
@@ -11,15 +11,27 @@ a shift register behind a scan multiplexer:
 * functional behaviour with ``scan_en = 0`` is untouched (equivalence
   checked in the tests).
 
-The resulting observability is summarized as a stuck-at test-coverage
-estimate: with full scan every flip-flop is controllable and observable,
-so coverage approaches the combinational fault coverage.
+Testability is then *measured*, not guessed: :func:`simulate_faults` is
+a word-parallel (PPSFP) stuck-at fault simulator built on the packed
+evaluation of :mod:`repro.sim.bitsim`.  Lane 0 of every 64-lane word
+carries the fault-free ("good") machine; each of the other lanes
+carries the same circuit with exactly one stuck-at fault injected, so
+one packed pass simulates 63 faulty machines against their reference
+simultaneously.  A fault is *detected* when its lane's value differs
+from lane 0 at an observation point — the primary outputs, plus (with
+scan) every flip-flop output after a capture pulse, since the chain
+can shift the captured state out.  :func:`coverage_estimate` reports
+the measured detected / total ratio.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.trace import Tracer, get_tracer
+from ..sim.bitsim import LANES, packed_cell_function
 from .mapped import MappedNetlist
 
 
@@ -85,46 +97,349 @@ def insert_scan_chain(mapped: MappedNetlist) -> ScanReport:
     )
 
 
-def coverage_estimate(mapped: MappedNetlist, scanned: bool) -> float:
-    """Stuck-at coverage estimate.
+@dataclass
+class FaultSite:
+    """One stuck-at fault: a cell pin tied to a constant.
 
-    Full scan makes every net controllable/observable through the chain,
-    leaving only collapsed-fault residue (~1%).  Without scan, faults in
-    logic buried behind sequential depth need multi-cycle justification;
-    we approximate testability decay as 0.85^depth per register stage.
+    A fault on the cell's *output* pin sticks the driven net (visible to
+    all fanout); a fault on an *input* pin sticks only that cell's view
+    of the net — the classic distinction that makes input-pin faults of
+    multi-fanout nets separately testable.
     """
-    if scanned:
-        return 0.99
-    depth = _sequential_depth(mapped)
-    return round(0.99 * (0.85 ** depth), 4)
+
+    cell_index: int
+    pin: str
+    stuck_at: int
+
+    def describe(self, mapped: MappedNetlist) -> str:
+        inst = mapped.cells[self.cell_index]
+        return f"{inst.name}.{self.pin}/SA{self.stuck_at}"
 
 
-def _sequential_depth(mapped: MappedNetlist) -> int:
-    """Longest register-to-register stage count from primary inputs."""
-    driver = mapped.net_driver()
-    memo: dict[int, int] = {}
+@dataclass
+class FaultSimReport:
+    """Outcome of a word-parallel stuck-at fault-simulation run."""
 
-    def net_depth(net: int, seen: frozenset) -> int:
-        if net in memo:
-            return memo[net]
-        inst = driver.get(net)
-        if inst is None:
-            return 0
-        if inst.name in seen:
-            return 1  # feedback loop: at least one stage
-        if inst.cell.is_sequential:
-            result = 1 + net_depth(inst.pins["d"], seen | {inst.name})
-        else:
-            result = max(
-                (net_depth(n, seen) for n in inst.input_nets()), default=0
+    total_faults: int
+    detected_faults: int
+    patterns: int
+    scanned: bool
+    undetected: list[FaultSite]
+
+    @property
+    def coverage(self) -> float:
+        if not self.total_faults:
+            return 1.0
+        return self.detected_faults / self.total_faults
+
+    def summary(self) -> str:
+        mode = "scan" if self.scanned else "functional"
+        return (
+            f"{self.detected_faults}/{self.total_faults} stuck-at faults "
+            f"detected ({self.coverage:.1%}) after {self.patterns} "
+            f"{mode} patterns"
+        )
+
+
+def fault_sites(mapped: MappedNetlist) -> list[FaultSite]:
+    """The full (uncollapsed) stuck-at fault universe: both polarities
+    on every cell pin, inputs and outputs alike."""
+    sites: list[FaultSite] = []
+    for index, inst in enumerate(mapped.cells):
+        pins = list(inst.cell.inputs)
+        if inst.cell.output:
+            pins.append(inst.cell.output)
+        for pin in pins:
+            for stuck in (0, 1):
+                sites.append(FaultSite(index, pin, stuck))
+    return sites
+
+
+class _FaultMachine:
+    """Packed mapped-netlist evaluator with per-lane pin forces.
+
+    Like :class:`repro.sim.bitsim.PackedMappedSimulator`, every net
+    holds a 64-lane word — but each program entry carries optional
+    ``(or_mask, and_mask)`` force pairs per pin, so lane ``l`` can see
+    pin ``p`` stuck at a constant while every other lane reads the real
+    net value.  ``v' = (v | or_mask) & and_mask`` implements both
+    polarities: stuck-at-1 sets the lane bit in ``or_mask``, stuck-at-0
+    clears it in ``and_mask``.
+    """
+
+    def __init__(self, mapped: MappedNetlist, lanes: int = LANES):
+        self.mapped = mapped
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        self._comb_index: dict[int, int] = {}
+        self._seq_index: dict[int, int] = {}
+        # Comb entry: [arity, fn, out, a, b, c, forces|None]; forces is
+        # [a_or, a_and, b_or, b_and, c_or, c_and, out_or, out_and].
+        self._program: list[list] = []
+        cell_order = {id(inst): i for i, inst in enumerate(mapped.cells)}
+        for inst in mapped.topo_comb():
+            fn = packed_cell_function(inst.cell, self.mask)
+            ins = [inst.pins[p] for p in inst.cell.inputs]
+            a, b, c = (ins + [0, 0, 0])[:3]
+            self._comb_index[cell_order[id(inst)]] = len(self._program)
+            self._program.append(
+                [len(ins), fn, inst.pins[inst.cell.output], a, b, c, None]
             )
-        memo[net] = result
-        return result
+        # Seq entry: [d, q, reset_value, forces|None]; forces is
+        # [d_or, d_and, q_or, q_and].
+        self._seq: list[list] = []
+        for inst in mapped.seq_cells:
+            self._seq_index[cell_order[id(inst)]] = len(self._seq)
+            self._seq.append([
+                inst.pins["d"], inst.pins[inst.cell.output],
+                inst.reset_value, None,
+            ])
+        self._values: dict[int, int] = {n: 0 for n in mapped.nets()}
+        self._forced: list[list] = []
 
-    depths = [
-        net_depth(inst.pins[inst.cell.output], frozenset())
-        for inst in mapped.seq_cells
+    # -- fault injection ----------------------------------------------------
+
+    def clear_faults(self) -> None:
+        for entry in self._forced:
+            entry[-1] = None
+        self._forced.clear()
+
+    def inject(self, site: FaultSite, lane: int) -> None:
+        """Stick ``site``'s pin for one lane (lane 0 stays fault-free)."""
+        inst = self.mapped.cells[site.cell_index]
+        bit = 1 << lane
+        sequential = inst.cell.is_sequential
+        if sequential:
+            entry = self._seq[self._seq_index[site.cell_index]]
+            if entry[-1] is None:
+                entry[-1] = [0, self.mask, 0, self.mask]
+                self._forced.append(entry)
+            slot = 0 if site.pin == "d" else 2
+        else:
+            entry = self._program[self._comb_index[site.cell_index]]
+            if entry[-1] is None:
+                entry[-1] = [0, self.mask] * 4
+                self._forced.append(entry)
+            pins = list(inst.cell.inputs)
+            if site.pin == inst.cell.output:
+                slot = 6
+            else:
+                slot = 2 * pins.index(site.pin)
+        if site.stuck_at:
+            entry[-1][slot] |= bit
+        else:
+            entry[-1][slot + 1] &= ~bit
+
+    # -- evaluation ---------------------------------------------------------
+
+    def load(self, state_bits: list[int], input_bits: dict[int, int]) -> None:
+        """Broadcast scalar flop/input bits to all lanes and settle.
+
+        ``state_bits[i]`` seeds sequential cell ``i``; ``input_bits``
+        maps primary-input net id to its bit.  Output forces on flops
+        apply immediately (a stuck Q is stuck in any state).
+        """
+        values = self._values
+        mask = self.mask
+        for entry, bit in zip(self._seq, state_bits):
+            word = mask if bit else 0
+            forces = entry[3]
+            if forces is not None:
+                word = (word | forces[2]) & forces[3]
+            values[entry[1]] = word
+        for net, bit in input_bits.items():
+            values[net] = mask if bit else 0
+        self._settle()
+
+    def drive(self, input_bits: dict[int, int]) -> None:
+        """Broadcast scalar primary-input bits to all lanes and settle."""
+        values = self._values
+        mask = self.mask
+        for net, bit in input_bits.items():
+            values[net] = mask if bit else 0
+        self._settle()
+
+    def _settle(self) -> None:
+        values = self._values
+        for arity, fn, out, a, b, c, forces in self._program:
+            if forces is None:
+                if arity == 2:
+                    values[out] = fn(values[a], values[b])
+                elif arity == 3:
+                    values[out] = fn(values[a], values[b], values[c])
+                elif arity == 1:
+                    values[out] = fn(values[a])
+                else:
+                    values[out] = fn()
+            else:
+                if arity == 2:
+                    word = fn(
+                        (values[a] | forces[0]) & forces[1],
+                        (values[b] | forces[2]) & forces[3],
+                    )
+                elif arity == 3:
+                    word = fn(
+                        (values[a] | forces[0]) & forces[1],
+                        (values[b] | forces[2]) & forces[3],
+                        (values[c] | forces[4]) & forces[5],
+                    )
+                elif arity == 1:
+                    word = fn((values[a] | forces[0]) & forces[1])
+                else:
+                    word = fn()
+                values[out] = (word | forces[6]) & forces[7]
+
+    def step(self) -> None:
+        """One clock edge: capture (forced) D into (forced) Q, settle."""
+        values = self._values
+        sampled = []
+        for d, q, _, forces in self._seq:
+            word = values[d]
+            if forces is not None:
+                word = (word | forces[0]) & forces[1]
+                word = (word | forces[2]) & forces[3]
+            sampled.append((q, word))
+        for q, word in sampled:
+            values[q] = word
+        self._settle()
+
+    def observe(self, nets: list[int]) -> int:
+        """Lanes whose value differs from the good machine (lane 0) on
+        any of ``nets`` — the per-pattern detection mask."""
+        values = self._values
+        mask = self.mask
+        detected = 0
+        for net in nets:
+            word = values[net]
+            good = -(word & 1) & mask  # lane 0's bit replicated
+            detected |= word ^ good
+        return detected & mask
+
+
+def simulate_faults(
+    mapped: MappedNetlist,
+    scanned: bool,
+    patterns: int | None = None,
+    seed: int = 2025,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> FaultSimReport:
+    """Word-parallel stuck-at fault simulation over the full fault list.
+
+    Faults are packed 63 per word (lane 0 is the fault-free machine)
+    and simulated against random patterns:
+
+    * ``scanned=True`` models scan-based test: every pattern loads a
+      random register state (the chain makes any state controllable),
+      drives random primary inputs, observes the primary outputs, then
+      pulses the clock once (capture) and observes every flip-flop
+      output (the chain shifts the captured state out).  Effectively a
+      combinational test with full state observability.
+    * ``scanned=False`` models functional test: one sequential run from
+      reset per fault chunk, random primary inputs each cycle,
+      observing only the primary outputs.  Faults buried behind
+      sequential depth need their effect to propagate to an output
+      before the budget runs out, which is exactly why unscanned
+      coverage decays with pipeline depth.
+
+    ``patterns`` defaults to 64 scan patterns or 24 functional cycles.
+    Deterministic per ``seed``.
+    """
+    if tracer is None:
+        tracer = get_tracer()
+    if metrics is None:
+        metrics = get_metrics()
+    if patterns is None:
+        patterns = 64 if scanned else 24
+    sites = fault_sites(mapped)
+    machine = _FaultMachine(mapped)
+    rng = random.Random(seed)
+
+    po_nets = [net for nets in mapped.outputs.values() for net in nets]
+    q_nets = [inst.pins[inst.cell.output] for inst in mapped.seq_cells]
+    input_nets = [
+        net for nets in mapped.inputs.values() for net in nets
     ]
-    for nets in mapped.outputs.values():
-        depths.extend(net_depth(n, frozenset()) for n in nets)
-    return max(depths, default=0)
+    # Scan test holds scan_en low while capturing — a shifting capture
+    # observes the chain, not the logic.  Every fourth pattern shifts
+    # (scan_en high) instead, so scan-path faults are exercised too.
+    scan_en_nets = set(mapped.inputs.get("scan_en", ())) if scanned else set()
+    n_seq = len(mapped.seq_cells)
+    fault_lanes = machine.lanes - 1  # lane 0 carries the good machine
+
+    detected: list[bool] = [False] * len(sites)
+    with tracer.span(
+        "sim.packed.faults", design=mapped.name, faults=len(sites),
+        scanned=scanned, patterns=patterns,
+    ) as span:
+        for base in range(0, len(sites), fault_lanes):
+            chunk = sites[base:base + fault_lanes]
+            machine.clear_faults()
+            for lane, site in enumerate(chunk, start=1):
+                machine.inject(site, lane)
+            chunk_detected = 0
+            if scanned:
+                for index in range(patterns):
+                    shifting = index % 4 == 3
+                    machine.load(
+                        [rng.getrandbits(1) for _ in range(n_seq)],
+                        {
+                            net: (
+                                int(shifting) if net in scan_en_nets
+                                else rng.getrandbits(1)
+                            )
+                            for net in input_nets
+                        },
+                    )
+                    chunk_detected |= machine.observe(po_nets)
+                    machine.step()  # capture; chain shifts state out
+                    chunk_detected |= machine.observe(q_nets)
+            else:
+                machine.load(
+                    [entry[2] for entry in machine._seq],
+                    {net: 0 for net in input_nets},
+                )
+                for _ in range(patterns):
+                    machine.drive(
+                        {net: rng.getrandbits(1) for net in input_nets}
+                    )
+                    chunk_detected |= machine.observe(po_nets)
+                    machine.step()
+            for lane, site in enumerate(chunk, start=1):
+                if (chunk_detected >> lane) & 1:
+                    detected[base + lane - 1] = True
+            metrics.counter("sim.packed.vectors").inc(
+                patterns * (len(chunk) + 1)
+            )
+        if tracer.enabled:
+            span.set(detected=sum(detected))
+
+    undetected = [
+        site for site, hit in zip(sites, detected) if not hit
+    ]
+    return FaultSimReport(
+        total_faults=len(sites),
+        detected_faults=sum(detected),
+        patterns=patterns,
+        scanned=scanned,
+        undetected=undetected,
+    )
+
+
+def coverage_estimate(
+    mapped: MappedNetlist,
+    scanned: bool,
+    patterns: int | None = None,
+    seed: int = 2025,
+) -> float:
+    """Measured stuck-at coverage: detected / total over the full fault
+    list, via word-parallel fault simulation (:func:`simulate_faults`).
+
+    With full scan every flip-flop is controllable and observable, so
+    coverage approaches the combinational fault coverage; without scan,
+    faults buried behind sequential depth must propagate to a primary
+    output within the functional-pattern budget, so deeper pipelines
+    measure lower.
+    """
+    report = simulate_faults(mapped, scanned, patterns=patterns, seed=seed)
+    return round(report.coverage, 4)

@@ -242,13 +242,27 @@ class MappedSimulator:
             out = inst.pins[inst.cell.output]
             values[out] = fn(*(values[inst.pins[p]] for p in inst.cell.inputs))
 
-    def set(self, name: str, value: int) -> None:
+    def _write_input(self, name: str, value: int) -> None:
         nets = self.mapped.inputs[name]
         if not 0 <= value < (1 << len(nets)):
             raise ValueError(f"value {value} too wide for {name!r}")
         for i, net in enumerate(nets):
             self._values[net] = (value >> i) & 1
+
+    def set(self, name: str, value: int) -> None:
+        self._write_input(name, value)
         self._settle()
+
+    def set_many(self, values: dict[str, int]) -> None:
+        """Drive several inputs, settling combinational logic once.
+
+        Mirrors :meth:`repro.sim.Simulator.set_many` so lockstep
+        drivers can batch a whole cycle's stimulus into one sweep.
+        """
+        for name, value in values.items():
+            self._write_input(name, value)
+        if values:
+            self._settle()
 
     def get(self, name: str) -> int:
         nets = self.mapped.outputs[name]

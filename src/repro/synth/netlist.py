@@ -242,7 +242,7 @@ class GateSimulator:
             fn = _EVAL[gate.op]
             values[gate.output] = fn(*(values[n] for n in gate.inputs))
 
-    def set(self, name: str, value: int) -> None:
+    def _write_input(self, name: str, value: int) -> None:
         nets = self.netlist.inputs[name]
         if not 0 <= value < (1 << len(nets)):
             raise ValueError(
@@ -251,7 +251,21 @@ class GateSimulator:
             )
         for i, net in enumerate(nets):
             self._values[net] = (value >> i) & 1
+
+    def set(self, name: str, value: int) -> None:
+        self._write_input(name, value)
         self._settle()
+
+    def set_many(self, values: dict[str, int]) -> None:
+        """Drive several inputs, settling combinational logic once.
+
+        Mirrors :meth:`repro.sim.Simulator.set_many` so lockstep
+        drivers can batch a whole cycle's stimulus into one sweep.
+        """
+        for name, value in values.items():
+            self._write_input(name, value)
+        if values:
+            self._settle()
 
     def load_state(self, state: dict[str, int]) -> None:
         """Force register words (by flop name) to the given values.

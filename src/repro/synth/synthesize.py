@@ -116,7 +116,8 @@ def synthesize(
     with tracer.span("step.equivalence_check", checked=verify) as sp:
         equivalence = (
             check_equivalence(
-                module, mapped, cycles=verify_cycles, seed=verify_seed
+                module, mapped, cycles=verify_cycles, seed=verify_seed,
+                tracer=tracer,
             )
             if verify
             else None

@@ -16,12 +16,33 @@ from __future__ import annotations
 
 import json
 import random
+import time
 from dataclasses import dataclass, field
 
 from ..hdl.ir import Module
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.trace import Tracer, get_tracer
+from ..sim.bitsim import (
+    LANES,
+    PackedGateSimulator,
+    PackedMappedSimulator,
+    PackedSimError,
+    extract_lane,
+    pack_word,
+)
 from ..sim.engine import Simulator
 from .mapped import MappedNetlist, MappedSimulator
 from .netlist import GateNetlist, GateSimulator
+
+#: Lockstep equivalence stops collecting divergences at this many
+#: mismatches: past that point the netlist is plainly broken and more
+#: records add noise, not signal.  The cap is serialized into
+#: :meth:`EquivalenceResult.to_json` so archived failures are
+#: self-describing.
+MISMATCH_CAP = 10
+
+#: Histogram buckets for packed-simulation throughput (vectors/second).
+_RATE_BUCKETS = (1e2, 1e3, 1e4, 1e5, 3e5, 1e6, 3e6, 1e7)
 
 
 @dataclass
@@ -82,12 +103,20 @@ class Mismatch:
 
 @dataclass
 class EquivalenceResult:
-    """Outcome of a lockstep equivalence run."""
+    """Outcome of a lockstep equivalence run.
+
+    ``cycles`` is the number of cycles actually simulated: a run that
+    early-exits at the :data:`MISMATCH_CAP` reports the cycle count at
+    the point it stopped, not the requested budget.  ``mismatch_cap``
+    records the cap in force so an archived failure with exactly that
+    many mismatches is recognizable as truncated.
+    """
 
     passed: bool
     cycles: int
     mismatches: list[Mismatch] = field(default_factory=list)
     seed: int | None = None
+    mismatch_cap: int = MISMATCH_CAP
 
     def summary(self) -> str:
         status = "EQUIVALENT" if self.passed else "MISMATCH"
@@ -100,6 +129,7 @@ class EquivalenceResult:
                 "passed": self.passed,
                 "cycles": self.cycles,
                 "seed": self.seed,
+                "mismatch_cap": self.mismatch_cap,
                 "mismatches": [m.to_dict() for m in self.mismatches],
             },
             indent=indent,
@@ -115,6 +145,7 @@ class EquivalenceResult:
                 Mismatch.from_dict(m) for m in data.get("mismatches", ())
             ],
             seed=data.get("seed"),
+            mismatch_cap=int(data.get("mismatch_cap", MISMATCH_CAP)),
         )
 
 
@@ -131,6 +162,9 @@ def check_equivalence(
     implementation: GateNetlist | MappedNetlist,
     cycles: int = 64,
     seed: int = 2025,
+    engine: str = "auto",
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> EquivalenceResult:
     """Compare ``module`` (RTL reference) against an implementation.
 
@@ -138,7 +172,49 @@ def check_equivalence(
     combinationally (after input settle) and across clock edges.  The
     stimulus stream is a pure function of ``seed`` — the flow threads
     its own ``FlowOptions.seed`` through here so runs are reproducible.
+
+    Mismatch collection stops at :data:`MISMATCH_CAP` records; the
+    result then reports the cycle count actually simulated (the failing
+    cycle + 1), not the requested budget.
+
+    ``engine`` selects the simulation strategy:
+
+    * ``"scalar"`` — the classic one-vector-per-cycle lockstep loop;
+    * ``"packed"`` — the word-parallel fast path
+      (:mod:`repro.sim.bitsim`): the RTL simulator records the random
+      trajectory once, then the implementation verifies 64 cycles per
+      packed pass.  Any packed divergence (or a netlist the packed
+      engine cannot map onto the RTL registers) re-derives the result
+      through the scalar loop, so the returned
+      :class:`EquivalenceResult` — down to its JSON serialization — is
+      identical to the scalar engine's for the same seed;
+    * ``"auto"`` (default) — packed, with the scalar fallback.
     """
+    if engine not in ("auto", "scalar", "packed"):
+        raise ValueError(
+            f"engine must be 'auto', 'scalar' or 'packed', got {engine!r}"
+        )
+    if tracer is None:
+        tracer = get_tracer()
+    if metrics is None:
+        metrics = get_metrics()
+    if engine != "scalar":
+        result = _check_equivalence_packed(
+            module, implementation, cycles, seed, tracer, metrics
+        )
+        if result is not None:
+            return result
+        metrics.counter("sim.packed.fallbacks").inc()
+    return _check_equivalence_scalar(module, implementation, cycles, seed)
+
+
+def _check_equivalence_scalar(
+    module: Module,
+    implementation: GateNetlist | MappedNetlist,
+    cycles: int,
+    seed: int,
+) -> EquivalenceResult:
+    """The reference lockstep loop; defines the result contract."""
     rtl = Simulator(module)
     gate = _gate_sim(implementation)
     rng = random.Random(seed)
@@ -165,12 +241,11 @@ def check_equivalence(
     for cycle in range(cycles):
         state = {name: rtl.get(name) for name in register_names}
         gate_state = impl_state()
-        vector: dict[str, int] = {}
-        for sig in input_sigs:
-            value = rng.randrange(1 << sig.width)
-            vector[sig.name] = value
-            rtl.set(sig.name, value)
-            gate.set(sig.name, value)
+        vector = {
+            sig.name: rng.randrange(1 << sig.width) for sig in input_sigs
+        }
+        rtl.set_many(vector)
+        gate.set_many(vector)
         for name in output_names:
             want, got = rtl.get(name), gate.get(name)
             if want != got:
@@ -178,13 +253,162 @@ def check_equivalence(
                     cycle, name, want, got, dict(vector), state,
                     {} if gate_state == state else gate_state,
                 ))
-                if len(mismatches) >= 10:
+                if len(mismatches) >= MISMATCH_CAP:
                     return EquivalenceResult(
                         False, cycle + 1, mismatches, seed
                     )
         rtl.step()
         gate.step()
     return EquivalenceResult(not mismatches, cycles, mismatches, seed)
+
+
+def _packed_impl_sim(impl):
+    if isinstance(impl, GateNetlist):
+        return PackedGateSimulator(impl)
+    if isinstance(impl, MappedNetlist):
+        return PackedMappedSimulator(impl)
+    raise TypeError(f"cannot simulate implementation of type {type(impl)!r}")
+
+
+def _check_equivalence_packed(
+    module: Module,
+    implementation: GateNetlist | MappedNetlist,
+    cycles: int,
+    seed: int,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+) -> EquivalenceResult | None:
+    """The word-parallel fast path; ``None`` means "use the scalar loop".
+
+    Lockstep equivalence is inherently sequential (each cycle's state
+    depends on the last), so the packed pass *forces the trajectory*:
+    the cheap RTL simulator replays the seeded stimulus once, recording
+    per-cycle register states, input vectors and expected outputs; the
+    implementation then verifies 64 cycles per packed evaluation — each
+    lane loaded with one cycle's RTL state and inputs — comparing both
+    the settled outputs and the next-state register values against the
+    recorded trajectory.  With the implementation's reset state checked
+    up front, agreement on every transition of the trajectory implies
+    (by induction) that the scalar lockstep run passes; any divergence
+    returns ``None`` and the caller re-derives the exact mismatch
+    records through the scalar loop.
+    """
+    rtl = Simulator(module)
+    try:
+        impl = _packed_impl_sim(implementation)
+    except (PackedSimError, ValueError, KeyError):
+        return None
+
+    register_names = [reg.signal.name for reg in rtl.module.registers]
+    reg_widths = {
+        reg.signal.name: reg.signal.width for reg in rtl.module.registers
+    }
+    # The trajectory argument needs the implementation's *entire* state
+    # to be forced and checked through the RTL register words: every
+    # flop must belong to a named RTL register word covering exactly
+    # bits 0..width-1, every RTL input/output must exist.  Anything
+    # else (hand-built or renamed netlists) takes the scalar loop.
+    words = impl.register_words()
+    if set(words) != set(register_names):
+        return None
+    for name in register_names:
+        if words[name] != list(range(reg_widths[name])):
+            return None
+    for sig in rtl.module.inputs:
+        nets = implementation.inputs.get(sig.name)
+        if nets is None or len(nets) != sig.width:
+            return None
+    out_widths = {}
+    for sig in rtl.module.outputs:
+        nets = implementation.outputs.get(sig.name)
+        if nets is None:
+            return None
+        out_widths[sig.name] = max(sig.width, len(nets))
+    for name in register_names:
+        if extract_lane(impl.get_register(name), 0) != rtl.get(name):
+            return None  # implementation wakes up in a different state
+
+    started = time.perf_counter()
+    with tracer.span(
+        "sim.packed.equivalence", design=module.name, cycles=cycles
+    ) as span:
+        # Pass 1: scalar RTL replay records the trajectory.  The rng
+        # stream is drawn exactly as the scalar loop draws it — per
+        # cycle, per input signal in declaration order.
+        rng = random.Random(seed)
+        input_sigs = list(rtl.module.inputs)
+        output_names = [sig.name for sig in rtl.module.outputs]
+        vectors = [
+            {
+                sig.name: rng.randrange(1 << sig.width)
+                for sig in input_sigs
+            }
+            for _ in range(cycles)
+        ]
+        states, expected = rtl.run_trajectory(vectors, output_names)
+
+        # Pass 2: the implementation checks 64 trajectory cycles at once.
+        clean = True
+        for base in range(0, cycles, LANES):
+            chunk = range(base, min(base + LANES, cycles))
+            active = (1 << len(chunk)) - 1
+            impl.load_state(
+                {
+                    name: pack_word(
+                        [states[c][name] for c in chunk], reg_widths[name]
+                    )
+                    for name in register_names
+                },
+                settle=False,
+            )
+            impl.set_many({
+                sig.name: pack_word(
+                    [vectors[c][sig.name] for c in chunk], sig.width
+                )
+                for sig in input_sigs
+            })
+            for index, name in enumerate(output_names):
+                got = impl.get(name)
+                want = pack_word(
+                    [expected[c][index] for c in chunk], out_widths[name]
+                )
+                got += [0] * (out_widths[name] - len(got))
+                if any(
+                    (g ^ w) & active for g, w in zip(got, want)
+                ):
+                    clean = False
+                    break
+            if not clean:
+                break
+            impl.step()
+            for name in register_names:
+                got = impl.get_register(name)
+                want = pack_word(
+                    [states[c + 1][name] for c in chunk], reg_widths[name]
+                )
+                if any(
+                    (g ^ w) & active for g, w in zip(got, want)
+                ):
+                    clean = False
+                    break
+            if not clean:
+                break
+        if tracer.enabled:
+            span.set(clean=clean, lanes=impl.lanes)
+
+    elapsed = time.perf_counter() - started
+    metrics.counter("sim.packed.vectors").inc(cycles)
+    if elapsed > 0:
+        metrics.histogram(
+            "sim.packed.vectors_per_sec", buckets=_RATE_BUCKETS
+        ).observe(cycles / elapsed)
+    if not clean:
+        # Some lane diverged: the scalar loop re-derives the exact
+        # Mismatch records (cycle, inputs, state, the implementation's
+        # own evolved divergence snapshots) so the result is
+        # byte-identical to a scalar-engine run.
+        return None
+    return EquivalenceResult(True, cycles, [], seed)
 
 
 def replay_mismatch(

@@ -1,0 +1,338 @@
+"""Differential tests for the word-parallel bit-packed simulators.
+
+The packed engines (:mod:`repro.sim.bitsim`) are a performance fast
+path: every answer they produce must be *bit-exact* against the scalar
+simulators they replace.  These tests pin that down three ways:
+
+* packing round-trips (property tests over widths 1-64);
+* lockstep differential runs — packed lanes vs independent scalar
+  simulators, outputs and register state, over catalogue designs and
+  randomly generated modules;
+* end-to-end result equality — ``check_equivalence`` must return
+  byte-identical JSON with ``engine="scalar"`` and ``engine="packed"``,
+  both for passing designs and for seeded must-fail mutations, and
+  batched LEC replay must agree with scalar replay witness by witness.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal import check_lec, mutate_netlist, replay_counterexamples
+from repro.formal.lec import PACKED_REPLAY_MIN, _replay_counterexample_scalar
+from repro.hdl import ModuleBuilder, mux
+from repro.ip.catalog import generate
+from repro.pdk import get_pdk
+from repro.sim import Simulator
+from repro.sim.bitsim import (
+    LANES,
+    PackedGateSimulator,
+    PackedMappedSimulator,
+    PackedRtlSimulator,
+    PackedSimError,
+    broadcast_word,
+    extract_lane,
+    extract_lane_vector,
+    pack_word,
+    unpack_word,
+)
+from repro.synth import (
+    GateSimulator,
+    MappedSimulator,
+    check_equivalence,
+    lower,
+    optimize,
+    synthesize,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return get_pdk("edu130").library
+
+
+# ---------------------------------------------------------------------------
+# Packing helpers
+# ---------------------------------------------------------------------------
+
+
+class TestPackingRoundTrip:
+    @given(
+        st.integers(min_value=1, max_value=64).flatmap(
+            lambda width: st.tuples(
+                st.just(width),
+                st.lists(
+                    st.integers(min_value=0, max_value=2 ** width - 1),
+                    min_size=1,
+                    max_size=LANES,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_extract_lane_round_trips_pack(self, width_and_values):
+        width, values = width_and_values
+        words = pack_word(values, width)
+        assert len(words) == width
+        for lane, value in enumerate(values):
+            assert extract_lane(words, lane) == value
+        # Lanes beyond the packed vectors read as zero.
+        assert unpack_word(words)[len(values):] == [0] * (
+            LANES - len(values)
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=2 ** 64 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_broadcast_is_pack_of_identical_lanes(self, width, value):
+        value &= (1 << width) - 1
+        assert broadcast_word(value, width) == pack_word(
+            [value] * LANES, width
+        )
+
+    def test_pack_rejects_too_many_lanes(self):
+        with pytest.raises(PackedSimError):
+            pack_word([0] * (LANES + 1), 4)
+
+    def test_extract_lane_vector_localizes_mismatch(self):
+        packed = {"a": pack_word([3, 5, 9], 4), "b": pack_word([1, 0, 7], 3)}
+        assert extract_lane_vector(packed, 1) == {"a": 5, "b": 0}
+
+
+# ---------------------------------------------------------------------------
+# Lockstep differential: packed lanes vs scalar simulators
+# ---------------------------------------------------------------------------
+
+
+def random_stimulus(module, rng, cycles, lanes):
+    """Per-cycle packed stimulus plus the per-lane scalar views."""
+    widths = {signal.name: signal.width for signal in module.inputs}
+    packed, scalar = [], []
+    for _ in range(cycles):
+        lane_vectors = [
+            {name: rng.getrandbits(width) for name, width in widths.items()}
+            for _ in range(lanes)
+        ]
+        packed.append({
+            name: pack_word([v[name] for v in lane_vectors], width)
+            for name, width in widths.items()
+        })
+        scalar.append(lane_vectors)
+    return packed, scalar
+
+
+def run_differential(module, packed_sim, scalar_sims, rng, cycles=16):
+    """Drive packed and scalar sims in lockstep, compare everything."""
+    lanes = len(scalar_sims)
+    packed_stim, scalar_stim = random_stimulus(module, rng, cycles, lanes)
+    watch = [signal.name for signal in module.outputs]
+    for cycle in range(cycles):
+        packed_sim.set_many(packed_stim[cycle])
+        for lane, sim in enumerate(scalar_sims):
+            sim.set_many(scalar_stim[cycle][lane])
+        for name in watch:
+            got = packed_sim.get(name)
+            for lane, sim in enumerate(scalar_sims):
+                assert extract_lane(got, lane) == sim.get(name), (
+                    f"{name} diverged at cycle {cycle} lane {lane}"
+                )
+        packed_sim.step()
+        for sim in scalar_sims:
+            sim.step()
+    for name in packed_sim.register_words():
+        packed_value = packed_sim.get_register(name)
+        for lane, sim in enumerate(scalar_sims):
+            assert extract_lane(packed_value, lane) == sim.get_register(name)
+
+
+DIFF_DESIGNS = ("counter", "gray_counter", "lfsr", "alu", "uart_tx")
+
+
+class TestLockstepDifferential:
+    @pytest.mark.parametrize("name", DIFF_DESIGNS)
+    def test_packed_rtl_matches_scalar_simulator(self, name):
+        module = generate(name).module
+        rng = random.Random(7)
+        packed = PackedRtlSimulator(module)
+        # The packed RTL simulator runs the *lowered* netlist; scalar
+        # reference is the RTL interpreter, so this also cross-checks
+        # lowering.
+        scalars = [Simulator(module) for _ in range(8)]
+        run_differential(module, packed, scalars, rng)
+
+    @pytest.mark.parametrize("name", DIFF_DESIGNS)
+    def test_packed_gate_matches_scalar_gate(self, name):
+        module = generate(name).module
+        netlist, _ = optimize(lower(module))
+        rng = random.Random(11)
+        packed = PackedGateSimulator(netlist)
+        scalars = [GateSimulator(netlist) for _ in range(8)]
+        run_differential(module, packed, scalars, rng)
+
+    @pytest.mark.parametrize("name", DIFF_DESIGNS)
+    def test_packed_mapped_matches_scalar_mapped(self, name, library):
+        module = generate(name).module
+        mapped = synthesize(module, library, verify=False).mapped
+        rng = random.Random(13)
+        packed = PackedMappedSimulator(mapped)
+        scalars = [MappedSimulator(mapped) for _ in range(8)]
+        run_differential(module, packed, scalars, rng)
+
+    def test_random_modules_differential(self, library):
+        """Randomly generated datapaths, packed vs scalar, all layers."""
+        for seed in range(6):
+            module = build_random_module(seed)
+            rng = random.Random(seed + 100)
+            packed = PackedRtlSimulator(module)
+            scalars = [Simulator(module) for _ in range(4)]
+            run_differential(module, packed, scalars, rng, cycles=8)
+            mapped = synthesize(module, library, verify=False).mapped
+            rng = random.Random(seed + 200)
+            packed = PackedMappedSimulator(mapped)
+            scalars = [MappedSimulator(mapped) for _ in range(4)]
+            run_differential(module, packed, scalars, rng, cycles=8)
+
+    def test_partial_lane_counts(self):
+        module = generate("counter").module
+        packed = PackedRtlSimulator(module, lanes=3)
+        scalars = [Simulator(module) for _ in range(3)]
+        run_differential(module, packed, scalars, random.Random(3), cycles=6)
+
+    def test_load_state_round_trip(self):
+        module = generate("counter").module
+        packed = PackedRtlSimulator(module)
+        values = [i * 5 % 256 for i in range(LANES)]
+        packed.load_state({"count": pack_word(values, 8)})
+        assert unpack_word(packed.get_register("count")) == values
+
+
+def build_random_module(seed):
+    """A random small datapath: registers, muxes, arithmetic, slicing."""
+    rng = random.Random(seed)
+    b = ModuleBuilder(f"rand{seed}")
+    width = rng.choice((3, 5, 8))
+    a = b.input("a", width)
+    c = b.input("c", width)
+    sel = b.input("sel", 1)
+    acc = b.register("acc", width)
+    shift = b.register("shift", width)
+    combine = rng.choice((
+        lambda x, y: (x + y).trunc(width),
+        lambda x, y: x ^ y,
+        lambda x, y: (x & y) | (x ^ y),
+    ))
+    acc.next = mux(sel, combine(acc, a), acc)
+    shift.next = combine(shift, c) ^ a
+    b.output("y", combine(acc, shift))
+    b.output("msb", acc[width - 1])
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# End to end: check_equivalence must not change its answers
+# ---------------------------------------------------------------------------
+
+
+EQUIV_DESIGNS = ("counter", "gray_counter", "alu", "uart_tx", "fir")
+
+
+class TestEquivalenceEngines:
+    @pytest.mark.parametrize("name", EQUIV_DESIGNS)
+    def test_passing_results_byte_identical(self, name, library):
+        module = generate(name).module
+        for impl in (
+            lower(module),
+            synthesize(module, library, verify=False).mapped,
+        ):
+            scalar = check_equivalence(
+                module, impl, cycles=96, seed=5, engine="scalar")
+            packed = check_equivalence(
+                module, impl, cycles=96, seed=5, engine="packed")
+            assert scalar.passed
+            assert packed.to_json() == scalar.to_json()
+
+    def test_mutated_netlists_byte_identical(self, library):
+        """Must-fail path: mismatch records match field for field."""
+        module = generate("counter").module
+        mapped = synthesize(module, library, verify=False).mapped
+        failing = 0
+        for seed in range(10):
+            mutant, _ = mutate_netlist(mapped, seed=seed)
+            scalar = check_equivalence(
+                module, mutant, cycles=96, seed=5, engine="scalar")
+            packed = check_equivalence(
+                module, mutant, cycles=96, seed=5, engine="packed")
+            assert packed.to_json() == scalar.to_json()
+            if not scalar.passed:
+                failing += 1
+                assert packed.mismatches  # records survived the fallback
+        assert failing, "no mutation produced a detectable mismatch"
+
+    def test_auto_engine_matches_scalar(self, library):
+        module = generate("lfsr").module
+        mapped = synthesize(module, library, verify=False).mapped
+        auto = check_equivalence(module, mapped, cycles=64, seed=9)
+        scalar = check_equivalence(
+            module, mapped, cycles=64, seed=9, engine="scalar")
+        assert auto.to_json() == scalar.to_json()
+
+    def test_unknown_engine_rejected(self, library):
+        module = generate("counter").module
+        with pytest.raises(ValueError):
+            check_equivalence(module, lower(module), engine="simd")
+
+    def test_result_json_records_mismatch_cap(self, library):
+        module = generate("counter").module
+        result = check_equivalence(module, lower(module), cycles=16)
+        parsed = type(result).from_json(result.to_json())
+        assert parsed.mismatch_cap == result.mismatch_cap == 10
+
+
+# ---------------------------------------------------------------------------
+# Batched LEC replay vs scalar replay
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedReplay:
+    def test_batch_matches_scalar_witness_by_witness(self, library):
+        module = generate("counter").module
+        mapped = synthesize(module, library, verify=False).mapped
+        checked = 0
+        for seed in range(8):
+            mutant, _ = mutate_netlist(mapped, seed=seed)
+            result = check_lec(module, mutant)
+            if result.equivalent:
+                continue
+            cexes = result.counterexamples
+            # Tile past the packed threshold so the packed path runs.
+            batch = (cexes * PACKED_REPLAY_MIN)[:max(
+                PACKED_REPLAY_MIN, len(cexes))]
+            packed = replay_counterexamples(module, mutant, batch)
+            for cex, mismatch in zip(batch, packed):
+                scalar = _replay_counterexample_scalar(module, mutant, cex)
+                assert (mismatch is None) == (scalar is None)
+                if mismatch is not None:
+                    assert mismatch.output == scalar.output
+                    assert mismatch.expect == scalar.expect
+                    assert mismatch.got == scalar.got
+                checked += 1
+        assert checked, "no mutation yielded replayable counterexamples"
+
+    def test_reset_kind_rejected(self, library):
+        module = generate("counter").module
+        mapped = synthesize(module, library, verify=False).mapped
+        mutant, _ = mutate_netlist(mapped, seed=0)
+        result = check_lec(module, mutant)
+        if result.equivalent or not result.counterexamples:
+            pytest.skip("seed 0 mutation was benign")
+        cex = result.counterexamples[0]
+        fake = type(cex)(
+            cone=cex.cone, kind="reset", inputs=cex.inputs,
+            state=cex.state, expect=cex.expect, got=cex.got,
+        )
+        with pytest.raises(ValueError):
+            replay_counterexamples(module, mutant, [fake])
