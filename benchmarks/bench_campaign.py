@@ -1,0 +1,182 @@
+"""Campaign engine benchmark: cached throughput vs serial no-cache.
+
+Runs the seeded duplicate-heavy synthetic campaign from ``repro
+campaign`` at CI scale (10k jobs over a 10-design pool) and measures:
+
+* **Throughput** — jobs/s of the real campaign engine (fair-share
+  scheduler + content-hash result cache) against a serial no-cache
+  baseline.  The baseline is timed on a seeded sample of the same
+  workload and extrapolated, because running 10k uncached flows is the
+  very cost the cache exists to avoid.
+* **Cache hit rate** — duplicate-heavy means ~10 unique designs across
+  10k submissions; the hit rate is the campaign's headline economics.
+* **p95 queue latency** — from the deterministic list-scheduling
+  simulation (simulated minutes, not wall-clock), so the number is
+  diffable across machines.
+* **Serial vs process-pool divergence** — a small campaign run both
+  ways must produce byte-identical result signatures and identical
+  hit/miss accounting.  A parallel path that changes answers is a bug,
+  not an optimization.
+
+Writes ``BENCH_campaign.json`` and exits nonzero if the cached
+campaign speeds up less than the CI floor (5x) over the serial
+no-cache baseline, or if the pool diverges from serial.
+
+Usage::
+
+    python benchmarks/bench_campaign.py [BENCH_campaign.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.campaign import Campaign, result_signature
+from repro.cli import synth_campaign_workload
+from repro.core import FlowOptions, run_flow
+from repro.pdk import get_pdk
+
+JOBS = 10_000
+TENANTS = 6
+SEED = 2025
+BASELINE_SAMPLE = 200
+CI_FLOOR = 5.0
+EQUIV_JOBS = 24
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_baseline():
+    """Serial no-cache throughput on a seeded sample of the workload.
+
+    Every job runs the full flow even when the design was seen before —
+    exactly what a campaign without the result cache would do.
+    """
+    campaign = Campaign(seed=SEED)
+    synth_campaign_workload(campaign, BASELINE_SAMPLE, TENANTS, SEED)
+    jobs = campaign.queue.jobs()
+    pdk = get_pdk("edu130")
+
+    def run():
+        for job in jobs:
+            run_flow(job.module, pdk, job.options or FlowOptions())
+
+    _, elapsed = _time(run)
+    throughput = len(jobs) / elapsed
+    print(f"baseline  {len(jobs):6d} uncached flows in {elapsed:7.2f}s  "
+          f"({throughput:8.1f} jobs/s)")
+    return {
+        "sample_jobs": len(jobs),
+        "elapsed_s": round(elapsed, 4),
+        "throughput_jobs_per_s": round(throughput, 2),
+    }
+
+
+def bench_campaign():
+    """The real engine at scale: fair share + result cache, serial exec."""
+    campaign = Campaign(seed=SEED)
+    synth_campaign_workload(campaign, JOBS, TENANTS, SEED)
+    report, elapsed = _time(campaign.run)
+    print(f"campaign  {report.jobs:6d} jobs in {elapsed:7.2f}s  "
+          f"({report.throughput_jobs_per_s:8.1f} jobs/s)  "
+          f"hit_rate={report.hit_rate:.4f}  "
+          f"unique={report.unique_designs}  "
+          f"p95_wait={report.sim.p95_wait_min:.2f}min")
+    return report
+
+
+def bench_equivalence():
+    """Serial vs process-pool on one workload: answers must not move."""
+    runs = {}
+    for label, workers in (("serial", 0), ("pool", 2)):
+        campaign = Campaign(workers=workers, seed=SEED)
+        synth_campaign_workload(campaign, EQUIV_JOBS, 3, SEED)
+        report = campaign.run()
+        jobs = sorted(campaign.queue.jobs(), key=lambda j: j.job_id)
+        runs[label] = {
+            "signatures": [result_signature(j.result) for j in jobs],
+            "flags": [(j.status, j.cache_hit) for j in jobs],
+            "hits": report.cache_hits,
+            "misses": report.cache_misses,
+        }
+    identical_signatures = (
+        runs["serial"]["signatures"] == runs["pool"]["signatures"]
+    )
+    identical_accounting = (
+        runs["serial"]["flags"] == runs["pool"]["flags"]
+        and runs["serial"]["hits"] == runs["pool"]["hits"]
+        and runs["serial"]["misses"] == runs["pool"]["misses"]
+    )
+    identical = identical_signatures and identical_accounting
+    print(f"equiv     {EQUIV_JOBS:6d} jobs serial vs 2-worker pool: "
+          f"identical={identical}")
+    return {
+        "jobs": EQUIV_JOBS,
+        "serial_hits": runs["serial"]["hits"],
+        "pool_hits": runs["pool"]["hits"],
+        "identical_signatures": identical_signatures,
+        "identical_accounting": identical_accounting,
+        "identical": identical,
+    }
+
+
+def main(argv):
+    out_path = argv[1] if len(argv) > 1 else "BENCH_campaign.json"
+
+    baseline = bench_baseline()
+    report = bench_campaign()
+    equivalence = bench_equivalence()
+
+    speedup = (
+        report.throughput_jobs_per_s / baseline["throughput_jobs_per_s"]
+    )
+    payload = {
+        "jobs": JOBS,
+        "tenants": TENANTS,
+        "seed": SEED,
+        "baseline_serial_no_cache": baseline,
+        "throughput_jobs_per_s": round(report.throughput_jobs_per_s, 2),
+        "speedup_vs_serial_no_cache": round(speedup, 2),
+        "ci_floor": CI_FLOOR,
+        "cache_hit_rate": round(report.hit_rate, 4),
+        "unique_designs": report.unique_designs,
+        "p95_queue_latency_min": report.sim.p95_wait_min,
+        "mean_queue_latency_min": report.sim.mean_wait_min,
+        "deadline_misses": report.sim.deadline_misses,
+        "serial_vs_pool": equivalence,
+    }
+    directory = os.path.dirname(out_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nheadline speedup (cached vs serial no-cache): {speedup:.1f}x")
+    print(f"JSON written to {out_path}")
+
+    failures = []
+    if speedup < CI_FLOOR:
+        failures.append(
+            f"throughput: {speedup:.1f}x < {CI_FLOOR}x floor over the "
+            "serial no-cache baseline"
+        )
+    if not equivalence["identical"]:
+        failures.append("serial and process-pool campaigns diverged")
+    if report.failed:
+        failures.append(f"{report.failed} jobs failed")
+    if failures:
+        print("\nBENCH FAILED:\n  " + "\n  ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,67 @@
+"""repro.campaign — the distributed multi-design campaign engine.
+
+The paper's Recommendation 7 asks for centralized cloud execution of
+university design flows; this package is the scheduler-and-cache layer
+that turns the single-flow :class:`~repro.core.hub.EnablementHub` into
+a multi-tenant campaign service:
+
+* :mod:`~repro.campaign.queue` — :class:`CampaignJob` submissions with
+  tenant, priority, deadline and an estimated service time;
+* :mod:`~repro.campaign.sched` — :class:`FairShareScheduler`
+  (fair-share across tenants, EDF tie-breaks, deterministic under a
+  seed), the :class:`FifoScheduler` baseline, and the simulated-minutes
+  schedule evaluator;
+* :mod:`~repro.campaign.cache` — the global content-hash result cache
+  (memory + directory backends, LRU-bounded) built on the *same*
+  :func:`~repro.resil.cachekey.flow_cache_key` the checkpointer uses;
+* :mod:`~repro.campaign.executor` — serial or process-pool execution
+  with in-flight dedup of identical submissions;
+* :mod:`~repro.campaign.report` — throughput, cache hit rate and p95
+  queue latency through the :mod:`repro.obs` metrics registry;
+* :mod:`~repro.campaign.engine` — :class:`Campaign`, the composition.
+
+This package imports :mod:`repro.core` submodules (flow, options), so
+:mod:`repro.core` must only import it lazily (the hub does).
+"""
+
+from .cache import (
+    DirectoryResultCache,
+    MemoryResultCache,
+    ResultCache,
+    result_cache_key,
+    result_signature,
+)
+from .engine import Campaign, CampaignError
+from .executor import CampaignExecutor
+from .queue import CampaignJob, CampaignQueue, estimate_flow_minutes
+from .report import CampaignReport, build_report
+from .sched import (
+    FairShareScheduler,
+    FifoScheduler,
+    Scheduler,
+    SimSchedule,
+    evaluate_schedule,
+    nearest_rank_p95,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignExecutor",
+    "CampaignJob",
+    "CampaignQueue",
+    "CampaignReport",
+    "DirectoryResultCache",
+    "FairShareScheduler",
+    "FifoScheduler",
+    "MemoryResultCache",
+    "ResultCache",
+    "Scheduler",
+    "SimSchedule",
+    "build_report",
+    "estimate_flow_minutes",
+    "evaluate_schedule",
+    "nearest_rank_p95",
+    "result_cache_key",
+    "result_signature",
+]

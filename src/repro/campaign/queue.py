@@ -1,0 +1,127 @@
+"""Campaign work queue: multi-tenant flow jobs awaiting dispatch.
+
+A :class:`CampaignJob` is one tenant's request to run one design through
+the flow — the unit the scheduler orders, the executor runs and the
+result cache memoizes.  The queue itself is deliberately dumb: it
+assigns ids in submission order and hands the pending set to a
+:mod:`~repro.campaign.sched` policy; all ordering intelligence lives
+there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.options import FlowOptions
+from ..hdl.ir import Module
+
+
+def estimate_flow_minutes(module: Module) -> float:
+    """Nominal flow runtime from RTL size, in simulated minutes.
+
+    The campaign schedules *before* synthesis, so the cell count the
+    cloud simulator bills from is not known yet; register bits plus
+    assignment count is the cheap pre-synthesis proxy (calibrated to the
+    same ~15 min base as :func:`~repro.core.cloud.estimate_job_minutes`).
+    """
+    stats = module.stats()
+    work = stats["register_bits"] * 4 + stats["assigns"] + stats["wires"]
+    return 15.0 + work / 4.0
+
+
+@dataclass
+class CampaignJob:
+    """One design submission inside a campaign.
+
+    The first block is the request (set at submission); the second is
+    filled in by the scheduler, executor and simulated-schedule
+    evaluation as the campaign runs.
+    """
+
+    job_id: int
+    tenant: str
+    module: Module
+    pdk_name: str
+    options: FlowOptions
+    #: Lower runs first among one tenant's jobs (after deadlines).
+    priority: int = 0
+    #: Simulated minute the results are needed by, if any.
+    deadline_min: float | None = None
+    #: Estimated service time in simulated minutes (scheduling weight).
+    est_minutes: float = 15.0
+
+    # -- filled in by the campaign run --------------------------------------
+    #: Content-hash result-cache key (assigned before execution).
+    key: str | None = None
+    #: Position in the dispatch order the scheduler chose.
+    order: int | None = None
+    #: ``pending`` → ``done`` | ``failed``.
+    status: str = "pending"
+    #: True when the result came from the cache (or an identical job
+    #: already in flight) instead of a fresh flow execution.
+    cache_hit: bool = False
+    result: object = None  # FlowResult | None (kept loose for pickling)
+    error: str | None = None
+    #: Simulated dispatch timeline (see sched.evaluate_schedule).
+    sim_start_min: float | None = None
+    sim_finish_min: float | None = None
+
+    @property
+    def sim_wait_min(self) -> float:
+        """Simulated queue latency: submission (t=0) to dispatch."""
+        return self.sim_start_min if self.sim_start_min is not None else 0.0
+
+    @property
+    def missed_deadline(self) -> bool:
+        if self.deadline_min is None:
+            return False
+        if self.sim_finish_min is None:
+            return True
+        return self.sim_finish_min > self.deadline_min
+
+
+class CampaignQueue:
+    """Submission-ordered job intake for one campaign."""
+
+    def __init__(self):
+        self._jobs: list[CampaignJob] = []
+
+    def submit(self, tenant: str, module: Module, pdk_name: str,
+               options: FlowOptions | None = None, priority: int = 0,
+               deadline_min: float | None = None,
+               est_minutes: float | None = None) -> CampaignJob:
+        if options is None:
+            options = FlowOptions()
+        if est_minutes is None:
+            est_minutes = estimate_flow_minutes(module)
+        if est_minutes <= 0:
+            raise ValueError("estimated minutes must be positive")
+        job = CampaignJob(
+            job_id=len(self._jobs),
+            tenant=tenant,
+            module=module,
+            pdk_name=pdk_name,
+            options=options,
+            priority=priority,
+            deadline_min=deadline_min,
+            est_minutes=est_minutes,
+        )
+        self._jobs.append(job)
+        return job
+
+    def jobs(self) -> list[CampaignJob]:
+        """All submitted jobs, in submission order."""
+        return list(self._jobs)
+
+    def pending(self) -> list[CampaignJob]:
+        return [j for j in self._jobs if j.status == "pending"]
+
+    def tenants(self) -> list[str]:
+        """Distinct tenants, in first-submission order."""
+        seen: dict[str, None] = {}
+        for job in self._jobs:
+            seen.setdefault(job.tenant, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self._jobs)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer, get_tracer
@@ -104,6 +104,10 @@ class CloudStats:
     faults: int = 0
     failed: int = 0
     deadline_misses: int = 0
+    #: Per-user fairness view over finished jobs: ``{user: {"jobs": n,
+    #: "mean_wait_min": w, "service_min": s}}`` — the numbers a
+    #: fair-share campaign is judged against.
+    by_user: dict = field(default_factory=dict)
 
 
 class CloudPlatform:
@@ -286,6 +290,17 @@ class CloudPlatform:
         # arrived late.
         first_submit = min(j.submit_min for j in self._jobs)
         window = (max(busy_end, makespan) - first_submit) * self.servers
+        by_user: dict[str, dict[str, float]] = {}
+        for job in finished:
+            row = by_user.setdefault(
+                job.user, {"jobs": 0, "mean_wait_min": 0.0, "service_min": 0.0}
+            )
+            row["jobs"] += 1
+            row["mean_wait_min"] += job.wait_min
+            row["service_min"] += job.duration_min
+        for row in by_user.values():
+            row["mean_wait_min"] = round(row["mean_wait_min"] / row["jobs"], 3)
+            row["service_min"] = round(row["service_min"], 3)
         return CloudStats(
             jobs=len(finished),
             mean_wait_min=round(sum(waits) / len(waits), 3),
@@ -300,6 +315,7 @@ class CloudPlatform:
             faults=faults,
             failed=failed,
             deadline_misses=deadline_misses,
+            by_user=by_user,
         )
 
     def _trace_job(self, job: CloudJob) -> None:

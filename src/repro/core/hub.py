@@ -41,6 +41,24 @@ class Enrollment:
 
 
 @dataclass
+class CampaignRequest:
+    """One tenant's design submission to :meth:`EnablementHub.run_campaign`.
+
+    ``options`` wins over ``preset`` when both are given, mirroring
+    :meth:`EnablementHub.run_design`.
+    """
+
+    user: str
+    module: Module
+    pdk: str
+    preset: str = "open"
+    options: FlowOptions | None = None
+    priority: int = 0
+    deadline_min: float | None = None
+    est_minutes: float | None = None
+
+
+@dataclass
 class HubJobRecord:
     """Bookkeeping for one flow execution through the hub."""
 
@@ -79,6 +97,9 @@ class EnablementHub:
     checkpoints: CheckpointStore = field(
         default_factory=MemoryCheckpointStore
     )
+    #: Cross-tenant flow memoization store (repro.campaign.cache); built
+    #: lazily in ``__post_init__`` to keep the campaign import one-way.
+    result_cache: object = None
     tracer: object = None
     metrics: MetricsRegistry | None = None
     _users: dict[str, Enrollment] = field(default_factory=dict)
@@ -90,6 +111,10 @@ class EnablementHub:
             self.tracer = get_tracer()
         if self.metrics is None:
             self.metrics = get_metrics()
+        if self.result_cache is None:
+            from ..campaign.cache import MemoryResultCache
+
+            self.result_cache = MemoryResultCache()
 
     # -- enrollment & access -------------------------------------------------
 
@@ -249,6 +274,115 @@ class EnablementHub:
             )
         self.jobs.append(record)
         return record
+
+    def run_campaign(
+        self,
+        requests: list[CampaignRequest],
+        workers: int = 0,
+        seed: int = 1,
+        scheduler=None,
+        submit_minute: float = 0.0,
+    ):
+        """Policy-check, schedule and execute a multi-tenant campaign.
+
+        This is :meth:`run_design` at classroom scale: every request is
+        checked against its user's tier and the PDK's legal gates *up
+        front* (one bad submission rejects the campaign before any
+        compute is spent), then the batch runs through a
+        :class:`~repro.campaign.engine.Campaign` — fair-share scheduled
+        across users, executed serially or on a process pool, and
+        memoized through the hub's cross-tenant ``result_cache`` so a
+        design the hub has already built returns its cached
+        :class:`~repro.core.flow.FlowResult`.
+
+        Each executed job is billed to the hub's cloud simulator at its
+        simulated dispatch minute (cache hits at a nominal service
+        cost), one :class:`HubJobRecord` per request lands on
+        ``self.jobs``, and the method returns ``(report, records)``.
+        """
+        from ..campaign.engine import Campaign
+
+        if not requests:
+            raise HubError("campaign has no requests")
+        prepared = []
+        for request in requests:
+            enrollment = self._enrollment(request.user)
+            options = request.options
+            preset_name = (
+                options.preset.name if options is not None else request.preset
+            )
+            if not tier_allows(enrollment.tier, request.pdk, preset_name):
+                raise HubError(
+                    f"tier {enrollment.tier.value!r} may not run "
+                    f"{preset_name!r} on {request.pdk!r}"
+                )
+            decision = evaluate_access(enrollment.user, get_pdk(request.pdk))
+            if not decision.granted:
+                raise HubError(
+                    f"access to {request.pdk} blocked: {decision.blockers}"
+                )
+            if options is None:
+                options = FlowOptions(preset=preset_name)
+            if options.checkpoints is None:
+                options = options.with_overrides(checkpoints=self.checkpoints)
+            prepared.append((request, options, preset_name))
+
+        campaign = Campaign(
+            scheduler=scheduler,
+            cache=self.result_cache,
+            workers=workers,
+            seed=seed,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        for request, options, _ in prepared:
+            campaign.submit(
+                request.user, request.module, request.pdk, options=options,
+                priority=request.priority, deadline_min=request.deadline_min,
+                est_minutes=request.est_minutes,
+            )
+        report = campaign.run()
+
+        records = []
+        for (request, options, preset_name), job in zip(
+            prepared, campaign.queue.jobs()
+        ):
+            record = HubJobRecord(
+                user=request.user, design=request.module.name,
+                pdk=request.pdk, preset=preset_name,
+                result=job.result, attempts=0 if job.cache_hit else 1,
+                queued_minutes=job.sim_wait_min,
+                deadline_minute=request.deadline_min,
+            )
+            if job.status == "failed":
+                record.failures.append(
+                    FlowFailure("flow", job.error or "campaign job failed",
+                                kind="crash")
+                )
+                self.metrics.counter("hub.flow_failures").inc()
+            else:
+                result = job.result
+                cells = (
+                    len(result.synthesis.mapped.cells)
+                    if result is not None and result.synthesis is not None
+                    else 1
+                )
+                # Hits are billed the nominal cache service cost, not a
+                # flow run — memoization is the campaign's capacity story.
+                minutes = (
+                    campaign.cache_hit_minutes if job.cache_hit
+                    else estimate_job_minutes(cells)
+                )
+                self.cloud.submit(
+                    request.user, max(minutes, 0.01),
+                    submit_minute + job.sim_wait_min,
+                    deadline_min=request.deadline_min,
+                )
+                self.metrics.counter("hub.jobs").inc()
+            records.append(record)
+            self.jobs.append(record)
+        self.metrics.counter("hub.campaigns").inc()
+        return report, records
 
     # -- shuttles ------------------------------------------------------------
 

@@ -21,13 +21,13 @@ Nothing here imports :mod:`repro.core`; the core engines import this
 package, never the other way around.
 """
 
+from .cachekey import canonical, flow_cache_key
 from .checkpoint import (
     CHECKPOINT_STAGES,
     CheckpointStore,
     DirectoryCheckpointStore,
     MemoryCheckpointStore,
     StageCheckpointer,
-    flow_cache_key,
 )
 from .failure import FAILURE_KINDS, FlowFailure, InjectedFault
 from .faults import FaultInjector, FaultModel, FaultSampler
@@ -47,5 +47,6 @@ __all__ = [
     "MemoryCheckpointStore",
     "RetryPolicy",
     "StageCheckpointer",
+    "canonical",
     "flow_cache_key",
 ]

@@ -17,54 +17,21 @@ can never mutate the checkpointed bytes of an earlier one.
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import json
+import itertools
 import os
 import pickle
 from dataclasses import dataclass
+
+# The key implementation is shared with the campaign result cache
+# (repro.campaign.cache) — one function, so the checkpoint and
+# memoization paths can never drift.  Re-exported here for its
+# historical import site.
+from .cachekey import flow_cache_key  # noqa: F401
 
 #: Stage names a full flow run checkpoints, in order.
 CHECKPOINT_STAGES = (
     "synthesis", "floorplan", "placement", "clock_tree", "routing",
 )
-
-
-def _canonical(value):
-    """A JSON-stable view of preset-like values (sorted sets, dataclasses)."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            f.name: _canonical(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
-    if isinstance(value, (set, frozenset)):
-        return sorted(str(v) for v in value)
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
-    return value
-
-
-def flow_cache_key(module, pdk_name: str, preset, seed: int) -> str:
-    """Content hash of one flow request.
-
-    The module contributes its canonical Verilog text (not its object
-    identity), so two builds of the same RTL share checkpoints and any
-    edit — however small — misses.
-    """
-    from ..hdl.verilog import to_verilog
-
-    payload = json.dumps(
-        {
-            "rtl": to_verilog(module),
-            "pdk": pdk_name,
-            "preset": _canonical(preset),
-            "seed": seed,
-        },
-        sort_keys=True,
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
 
 class CheckpointStore:
@@ -124,26 +91,123 @@ class MemoryCheckpointStore(CheckpointStore):
 
 
 class DirectoryCheckpointStore(CheckpointStore):
-    """Filesystem store: ``root/<key>/<stage>.ckpt`` files."""
+    """Filesystem store: ``root/<key>/<stage>.ckpt`` files.
 
-    def __init__(self, root: str):
+    By default the store grows without bound — fine for one run's
+    ``--checkpoint-dir``, wrong for a semester-long shared cache.
+    ``max_entries`` / ``max_bytes`` cap it with least-recently-used
+    eviction: each load or save refreshes a file's recency, and a save
+    that pushes the store over budget deletes the coldest ``.ckpt``
+    files (never the one just written) until it fits again.  Recency is
+    tracked in-process with a monotonic sequence and falls back to file
+    mtime for entries inherited from an earlier process, so eviction
+    order is deterministic within a run.
+    """
+
+    def __init__(self, root: str, max_entries: int | None = None,
+                 max_bytes: int | None = None):
         super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
         self.root = root
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        self._seq = itertools.count()
+        self._recency: dict[str, int] = {}
 
     def _path(self, key: str, stage: str) -> str:
         return os.path.join(self.root, key, f"{stage}.ckpt")
 
-    def _read(self, key, stage):
+    def _touch(self, path: str) -> None:
+        self._recency[path] = next(self._seq)
+
+    def _entries(self) -> list[tuple[str, int]]:
+        """Every ``(path, size)`` currently in the store."""
+        found = []
         try:
-            with open(self._path(key, stage), "rb") as handle:
-                return handle.read()
+            keys = os.listdir(self.root)
+        except OSError:
+            return found
+        for key in keys:
+            key_dir = os.path.join(self.root, key)
+            try:
+                names = os.listdir(key_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".ckpt"):
+                    continue
+                path = os.path.join(key_dir, name)
+                try:
+                    found.append((path, os.path.getsize(path)))
+                except OSError:
+                    continue
+        return found
+
+    def _evict(self, keep: str) -> None:
+        """Delete cold entries until the store fits its budget."""
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        entries = self._entries()
+
+        def coldness(entry):
+            path, _ = entry
+            if path in self._recency:
+                return (1, self._recency[path])
+            # Inherited from an earlier process: colder than anything
+            # this process touched, ordered among themselves by mtime.
+            try:
+                return (0, os.path.getmtime(path))
+            except OSError:
+                return (0, 0.0)
+
+        entries.sort(key=coldness)
+        total = sum(size for _, size in entries)
+        count = len(entries)
+        for path, size in entries:
+            over = (
+                (self.max_entries is not None and count > self.max_entries)
+                or (self.max_bytes is not None and total > self.max_bytes)
+            )
+            if not over:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            self._recency.pop(path, None)
+            self.evictions += 1
+            total -= size
+            count -= 1
+            key_dir = os.path.dirname(path)
+            try:
+                if not os.listdir(key_dir):
+                    os.rmdir(key_dir)
+            except OSError:
+                pass
+
+    def _read(self, key, stage):
+        path = self._path(key, stage)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
         except OSError:
             return None
+        self._touch(path)
+        return data
 
     def _write(self, key, stage, data):
         os.makedirs(os.path.join(self.root, key), exist_ok=True)
-        with open(self._path(key, stage), "wb") as handle:
+        path = self._path(key, stage)
+        with open(path, "wb") as handle:
             handle.write(data)
+        self._touch(path)
+        self._evict(keep=path)
 
     def stages(self, key):
         try:
