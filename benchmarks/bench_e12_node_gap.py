@@ -10,7 +10,7 @@ open nodes cannot satisfy.
 
 from conftest import build_mac_pipe, once, print_table
 
-from repro.core import OPEN, run_flow
+from repro.core import OPEN, FlowOptions, run_flow
 from repro.pdk import get_pdk, list_pdks
 
 
@@ -21,8 +21,9 @@ def test_e12_same_rtl_across_nodes(benchmark):
         results = {}
         for name in list_pdks():
             results[name] = run_flow(
-                module, get_pdk(name), preset=OPEN,
-                clock_period_ps=3_000.0, strict_drc=False,
+                module, get_pdk(name),
+                FlowOptions(preset=OPEN, clock_period_ps=3_000.0,
+                            strict_drc=False),
             )
         return results
 

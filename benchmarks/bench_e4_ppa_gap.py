@@ -9,7 +9,7 @@ and wins on frequency at equal function.
 
 from conftest import build_mac_pipe, once, print_table
 
-from repro.core import COMMERCIAL, OPEN, run_flow
+from repro.core import COMMERCIAL, OPEN, FlowOptions, run_flow
 from repro.pdk import get_pdk
 
 
@@ -19,8 +19,10 @@ def test_e4_open_vs_commercial(benchmark):
 
     def run_both():
         return (
-            run_flow(module, pdk, preset=OPEN, strict_drc=False),
-            run_flow(module, pdk, preset=COMMERCIAL, strict_drc=False),
+            run_flow(module, pdk,
+                     FlowOptions(preset=OPEN, strict_drc=False)),
+            run_flow(module, pdk,
+                     FlowOptions(preset=COMMERCIAL, strict_drc=False)),
         )
 
     open_result, commercial_result = once(benchmark, run_both)

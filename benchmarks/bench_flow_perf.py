@@ -8,7 +8,7 @@ repeated measurement rounds.
 
 from conftest import build_alu_design, build_counter, build_mac_pipe
 
-from repro.core import OPEN, run_flow
+from repro.core import OPEN, FlowOptions, run_flow
 from repro.layout import build_chip_gds, write_gds
 from repro.pdk import get_pdk
 from repro.pnr import implement, make_floorplan, place
@@ -77,7 +77,7 @@ def test_perf_full_flow(benchmark):
     module = build_counter()
     pdk = get_pdk("edu130")
     result = benchmark.pedantic(
-        lambda: run_flow(module, pdk, preset=OPEN),
+        lambda: run_flow(module, pdk, FlowOptions(preset=OPEN)),
         rounds=3, iterations=1,
     )
     assert result.ok

@@ -6,7 +6,7 @@ need: one script from RTL to a signed-off layout on an open PDK.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import OPEN, run_flow
+from repro.core import OPEN, FlowOptions, run_flow
 from repro.hdl import ModuleBuilder, mux, to_verilog
 from repro.pdk import get_pdk
 from repro.sim import Simulator, VcdWriter
@@ -41,7 +41,9 @@ def main() -> None:
 
     # 3. The full flow on the open 130 nm PDK.
     pdk = get_pdk("edu130")
-    result = run_flow(module, pdk, preset=OPEN, clock_period_ps=2_000.0)
+    result = run_flow(
+        module, pdk, FlowOptions(preset=OPEN, clock_period_ps=2_000.0)
+    )
     print("--- flow summary ---")
     print(result.summary())
     for report in result.steps:

@@ -12,6 +12,7 @@ Run:  python examples/research_node_access.py
 from repro.core import (
     COMMERCIAL,
     OPEN,
+    FlowOptions,
     ResidencyStatus,
     User,
     evaluate_access,
@@ -68,8 +69,10 @@ def main() -> None:
     for name in ("edu180", "edu130", "edu045"):
         pdk = get_pdk(name)
         for preset in (OPEN, COMMERCIAL):
-            result = run_flow(module, pdk, preset=preset,
-                              clock_period_ps=3_000.0)
+            result = run_flow(
+                module, pdk,
+                FlowOptions(preset=preset, clock_period_ps=3_000.0),
+            )
             row = result.ppa.as_row()
             print(f"{name:8s} {preset.name:11s} {row['cells']:6d} "
                   f"{row['die_mm2']:9.5f} {row['fmax_mhz']:9.1f} "

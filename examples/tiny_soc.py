@@ -11,7 +11,7 @@ waveforms, Verilog, flow reports, DEF and GDSII.
 Run:  python examples/tiny_soc.py
 """
 
-from repro.core import OPEN, full_report, run_flow
+from repro.core import OPEN, FlowOptions, full_report, run_flow
 from repro.hdl import ModuleBuilder, to_verilog
 from repro.ip import assemble, generate_cpu, make_pwm, make_seven_seg, run_program
 from repro.layout import from_physical, write_def
@@ -73,7 +73,8 @@ def main() -> None:
         handle.write(to_verilog(soc))
 
     pdk = get_pdk("edu130")
-    result = run_flow(soc, pdk, preset=OPEN, clock_period_ps=4_000.0)
+    result = run_flow(soc, pdk,
+                      FlowOptions(preset=OPEN, clock_period_ps=4_000.0))
     print("\n" + result.summary())
 
     with open("tinysoc.rpt", "w") as handle:

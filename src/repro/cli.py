@@ -11,6 +11,7 @@ and run the full RTL→GDSII flow on any catalogue IP:
    $ python -m repro flow --ip counter --pdk edu130 --out build/
    $ python -m repro flow --ip counter --trace build/trace.jsonl
    $ python -m repro flow --ip alu --continue-on-error --checkpoint-dir ckpt/
+   $ python -m repro edit --demo --json build/edit.json
    $ python -m repro cloud --servers 3 --jobs 24 --mtbf-min 120 --seed 7
    $ python -m repro campaign --designs 200 --tenants 4 --seed 7 \\
          --json build/campaign.json
@@ -160,6 +161,106 @@ def _cmd_flow(args) -> int:
                 handle.write(result.gds_bytes)
         print(f"collaterals written to {base}.*")
     return 0 if result.ok else 1
+
+
+def _cmd_edit(args) -> int:
+    """Interactive edit loop: open a Workspace, apply one module edit.
+
+    Stdout is deterministic (no wall-clock times); ``--json`` captures
+    the machine-readable report including millisecond timings.
+    """
+    import json
+    import time
+
+    from .inter import Workspace
+
+    if args.demo:
+        if args.module or args.rtl:
+            print("error: --demo replaces --module/--rtl", file=sys.stderr)
+            return 2
+        if args.ip != "soc":
+            print("error: --demo edits the catalogue 'soc' IP",
+                  file=sys.stderr)
+            return 2
+        from .ip.soc import sevenseg_recode_rtl
+
+        module_name = "sevenseg"
+        new_rtl = sevenseg_recode_rtl()
+    elif args.module and args.rtl:
+        module_name = args.module
+        with open(args.rtl) as handle:
+            new_rtl = handle.read()
+    else:
+        print("error: either --demo or both --module and --rtl are required",
+              file=sys.stderr)
+        return 2
+
+    if args.ip not in GENERATORS:
+        print(f"error: unknown IP {args.ip!r}; try: python -m repro ips",
+              file=sys.stderr)
+        return 2
+    ip = generate(args.ip)
+    pdk = get_pdk(args.pdk)
+    options = FlowOptions(
+        preset=args.preset, clock_period_ps=args.period_ps, seed=args.seed
+    )
+
+    start = time.perf_counter()
+    ws = Workspace.open(ip.module, pdk, options=options)
+    open_ms = (time.perf_counter() - start) * 1e3
+    print(f"opened {ip.module.name} on {args.pdk}: "
+          f"{len(ws.result.synthesis.mapped.cells)} cells")
+
+    start = time.perf_counter()
+    report = ws.edit(module_name, new_rtl)
+    edit_ms = (time.perf_counter() - start) * 1e3
+    if report.clean:
+        print(f"edit {module_name}: clean (no logic change)")
+    else:
+        print(f"edit {module_name}: dirty={sorted(report.dirty)} "
+              f"cones={len(report.cones)} "
+              f"fallback={report.fallback or 'none'}")
+        if report.lec is not None:
+            verdict = "equivalent" if report.lec.equivalent else "DIVERGES"
+            print(f"lec: {verdict}")
+    print(report.result.summary())
+
+    proven = report.lec is None or report.lec.equivalent
+    ok = report.result.ok and proven
+    if args.json:
+        directory = os.path.dirname(args.json)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.json, "w") as handle:
+            json.dump(
+                {
+                    "design": ip.module.name,
+                    "pdk": args.pdk,
+                    "module": module_name,
+                    "clean": report.clean,
+                    "dirty": sorted(report.dirty),
+                    "cones": len(report.cones),
+                    "fallback": report.fallback,
+                    "lec_equivalent": None if report.lec is None
+                    else report.lec.equivalent,
+                    "open_ms": round(open_ms, 3),
+                    "edit_ms": round(edit_ms, 3),
+                    "ok": ok,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        base = os.path.join(args.out, ip.module.name)
+        if report.result.gds_bytes is not None:
+            with open(base + ".gds", "wb") as handle:
+                handle.write(report.result.gds_bytes)
+            print(f"layout written to {base}.gds")
+    return 0 if ok else 1
 
 
 def _cmd_lint(args) -> int:
@@ -547,6 +648,28 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--trace",
                       help="write a JSONL trace of the run to this path")
     flow.set_defaults(fn=_cmd_flow)
+
+    edit = sub.add_parser(
+        "edit",
+        help="open an incremental Workspace and apply one module edit",
+    )
+    edit.add_argument("--ip", default="soc", help="catalogue IP name")
+    edit.add_argument("--pdk", default="edu130", choices=list_pdks())
+    edit.add_argument("--preset", default="open",
+                      choices=("open", "commercial"))
+    edit.add_argument("--period-ps", type=float, default=6_000.0)
+    edit.add_argument("--seed", type=int, default=1,
+                      help="placement/backend seed")
+    edit.add_argument("--module", help="name of the module to replace")
+    edit.add_argument("--rtl", metavar="FILE",
+                      help="Verilog file with the module's new body")
+    edit.add_argument("--demo", action="store_true",
+                      help="apply the built-in seven-segment re-encode "
+                      "edit to the catalogue SoC")
+    edit.add_argument("--json", metavar="FILE",
+                      help="write the edit report (with timings) as JSON")
+    edit.add_argument("--out", help="directory for the edited GDS")
+    edit.set_defaults(fn=_cmd_edit)
 
     cloud = sub.add_parser(
         "cloud",

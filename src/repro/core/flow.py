@@ -30,15 +30,17 @@ Resilience (:mod:`repro.resil`) is threaded through here:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..formal.lec import LecReport, lec_flow
 from ..hdl.ir import Module
 from ..layout.chip import build_chip_gds
 from ..layout.drc import DrcReport, check_drc
 from ..layout.gds import write_gds
-from ..lint import LintReport, lint_mapped, lint_module
+from ..lint import Finding, LintReport, Waiver, lint_mapped, lint_module
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.trace import Span, Tracer, get_tracer
 from ..pdk.pdks import Pdk
@@ -150,6 +152,171 @@ class FlowResult:
             f"{status}: {row['cells']} cells, {row['area_um2']} um2, "
             f"fmax {row['fmax_mhz']} MHz, {row['power_uw']} uW"
         )
+
+    # -- stable serialization ---------------------------------------------
+    #
+    # The JSON snapshot follows the result_signature conventions
+    # (repro.campaign.cache): artifacts and verdicts in, wall clock out.
+    # Heavy objects (netlists, placements, raw GDS) serialize as summary
+    # dicts / digests; steps, PPA, lint and failures round-trip exactly.
+
+    #: Schema version of :meth:`to_json`; bumped on breaking change.
+    JSON_SCHEMA = 1
+
+    def _artifact_snapshot(self) -> dict[str, object]:
+        """Summary dicts for the heavyweight artifacts.
+
+        Live objects win; a result rebuilt by :meth:`from_json` (which
+        cannot resurrect netlists) falls back to the snapshot it was
+        loaded with, keeping ``to_json`` a fixed point.
+        """
+        stash: dict = getattr(self, "_snapshot", {})
+
+        def pick(name: str, value) -> object:
+            return value if value is not None else stash.get(name)
+
+        synthesis = None
+        if self.synthesis is not None:
+            synthesis = {
+                "cells": len(self.synthesis.mapped.cells),
+                "gates_raw": self.synthesis.opt_stats.gates_before,
+                "gates_optimized": self.synthesis.opt_stats.gates_after,
+                "area_um2": round(self.synthesis.mapped.area_um2(), 3),
+                "rtl_lines": self.synthesis.rtl_lines,
+                "equivalent": (
+                    None if self.synthesis.equivalence is None
+                    else self.synthesis.equivalence.passed
+                ),
+            }
+        timing = None
+        if self.timing is not None:
+            timing = {
+                "wns_ps": self.timing.wns_ps,
+                "fmax_mhz": self.timing.fmax_mhz,
+                "met": self.timing.met,
+            }
+        power = None
+        if self.power is not None:
+            power = {"total_uw": self.power.total_uw}
+        drc = None
+        if self.drc is not None:
+            drc = {
+                "clean": self.drc.clean,
+                "violations": len(self.drc.violations),
+            }
+        gds = None
+        if self.gds_bytes is not None:
+            gds = {
+                "sha256": hashlib.sha256(self.gds_bytes).hexdigest(),
+                "n_bytes": len(self.gds_bytes),
+            }
+        lec = None
+        if self.lec is not None:
+            lec = {
+                "design": self.lec.design,
+                "passed": self.lec.passed,
+                "stages": {
+                    stage: result.equivalent
+                    for stage, result in self.lec.checks.items()
+                },
+            }
+        return {
+            "synthesis": pick("synthesis", synthesis),
+            "timing": pick("timing", timing),
+            "power": pick("power", power),
+            "drc": pick("drc", drc),
+            "gds": pick("gds", gds),
+            "lec": pick("lec", lec),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Wall-clock-free JSON form of this result.
+
+        Deterministic for a deterministic flow: step runtimes, spans and
+        every other timing artifact are excluded, so two byte-identical
+        runs serialize byte-identically — the diffable currency for
+        workspaces and campaign caches.
+        """
+        preset = asdict(self.preset)
+        preset["opt_passes"] = sorted(preset["opt_passes"])
+        payload = {
+            "schema": self.JSON_SCHEMA,
+            "design": self.design_name,
+            "pdk": self.pdk_name,
+            "preset": preset,
+            "clock_period_ps": self.clock_period_ps,
+            "ok": self.ok,
+            "partial": self.partial,
+            "steps": [
+                {"step": s.step.value, "ok": s.ok, "metrics": s.metrics}
+                for s in self.steps
+            ],
+            "ppa": None if self.ppa is None else asdict(self.ppa),
+            "lint": None if self.lint is None else {
+                "findings": [f.to_dict() for f in self.lint.findings],
+                "waivers": [w.to_dict() for w in self.lint.waivers],
+            },
+            "failures": [
+                {"stage": f.stage, "message": f.message, "kind": f.kind}
+                for f in self.failures
+            ],
+            **self._artifact_snapshot(),
+        }
+        return json.dumps(payload, sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FlowResult":
+        """Rebuild a summary view of a serialized result.
+
+        Steps, PPA, lint and failures come back as real objects; the
+        heavyweight artifacts (netlists, placements, GDS bytes) cannot be
+        resurrected from summaries and stay ``None``, but their snapshot
+        dicts are retained so ``result.to_json()`` round-trips exactly.
+        """
+        data = json.loads(text)
+        schema = data.get("schema")
+        if schema != cls.JSON_SCHEMA:
+            raise ValueError(
+                f"unsupported FlowResult schema {schema!r} "
+                f"(expected {cls.JSON_SCHEMA})"
+            )
+        preset_data = dict(data["preset"])
+        preset_data["opt_passes"] = frozenset(preset_data["opt_passes"])
+        lint = None
+        if data.get("lint") is not None:
+            lint = LintReport(
+                findings=[
+                    Finding.from_dict(f) for f in data["lint"]["findings"]
+                ],
+                waivers=tuple(
+                    Waiver.from_dict(w) for w in data["lint"]["waivers"]
+                ),
+            )
+        result = cls(
+            design_name=data["design"],
+            pdk_name=data["pdk"],
+            preset=FlowPreset(**preset_data),
+            clock_period_ps=data["clock_period_ps"],
+            steps=[
+                StepReport(
+                    _STEP_BY_VALUE[s["step"]], s["ok"], 0.0,
+                    dict(s["metrics"]),
+                )
+                for s in data["steps"]
+            ],
+            ppa=None if data.get("ppa") is None
+            else PpaSummary(**data["ppa"]),
+            lint=lint,
+            failures=[
+                FlowFailure(f["stage"], f["message"], f["kind"])
+                for f in data.get("failures", ())
+            ],
+        )
+        result._snapshot = {
+            name: data.get(name)
+            for name in ("synthesis", "timing", "power", "drc", "gds", "lec")
+        }
+        return result
 
 
 #: FlowSteps whose spans are opened inside synthesize()/implement().
@@ -296,10 +463,17 @@ def run_flow(
             module.validate()
         record(FlowStep.RTL_DESIGN, sp, **module.stats())
 
-        # Pre-synthesis quality gate: advisory RTL lint.
-        rtl_lint = lint_module(
-            module, waivers=opts.lint_waivers, tracer=tracer
-        )
+        # Pre-synthesis quality gate: advisory RTL lint.  An injected
+        # eco session (repro.inter) lints per module against its memo;
+        # the merged report is a pure function of the design either way.
+        if opts.eco is not None:
+            rtl_lint = opts.eco.lint_rtl(
+                module, opts.lint_waivers, tracer=tracer
+            )
+        else:
+            rtl_lint = lint_module(
+                module, waivers=opts.lint_waivers, tracer=tracer
+            )
 
         # -- synthesis + mapping + equivalence (checkpointable) -------------
         synth: SynthesisResult | None = None
@@ -313,18 +487,27 @@ def run_flow(
         if synth is None:
             try:
                 drill(FlowStep.SYNTHESIS)
-                synth = synthesize(
-                    module,
-                    pdk.library,
-                    objective=preset.mapping_objective,
-                    opt_passes=preset.opt_passes,
-                    sizing=preset.gate_sizing,
-                    max_load_per_drive_ff=preset.max_load_per_drive_ff,
-                    verify=preset.run_equivalence,
-                    verify_cycles=preset.equivalence_cycles,
-                    verify_seed=opts.seed,
-                    tracer=tracer,
-                )
+                if opts.eco is not None:
+                    # Hierarchical memoized synthesis + deterministic
+                    # stitch; a cold session recomputes every shard, so
+                    # warm and cold runs agree byte for byte.
+                    synth = opts.eco.synthesize(
+                        module, pdk.library, preset, opts.seed,
+                        tracer=tracer,
+                    )
+                else:
+                    synth = synthesize(
+                        module,
+                        pdk.library,
+                        objective=preset.mapping_objective,
+                        opt_passes=preset.opt_passes,
+                        sizing=preset.gate_sizing,
+                        max_load_per_drive_ff=preset.max_load_per_drive_ff,
+                        verify=preset.run_equivalence,
+                        verify_cycles=preset.equivalence_cycles,
+                        verify_seed=opts.seed,
+                        tracer=tracer,
+                    )
             except InjectedFault as exc:
                 record(FlowStep.SYNTHESIS, None, _ok=False)
                 fail(exc.stage, str(exc), kind="injected")
@@ -407,6 +590,7 @@ def run_flow(
                     metrics=metrics,
                     checkpoints=ckpt,
                     inject=opts.inject,
+                    eco=opts.eco,
                 )
             except InjectedFault as exc:
                 # Stages that finished before the fault have spans (and

@@ -62,6 +62,13 @@ class FlowOptions:
     inject: FaultInjector | None = field(
         default=None, compare=False, repr=False
     )
+    #: Incremental-compilation engine session (:mod:`repro.inter`).  Like
+    #: ``checkpoints``/``inject`` this is injected machinery, not part of
+    #: the request identity: the flow consults it for memoized per-module
+    #: synthesis/lint and verified-replay routing, and every engine is
+    #: deterministic-modulo-memo, so a warm session and a cold one produce
+    #: byte-identical results for the same design.
+    eco: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if isinstance(self.preset, str):
@@ -72,4 +79,9 @@ class FlowOptions:
 
     def with_overrides(self, **kwargs) -> "FlowOptions":
         """A copy with selected knobs changed."""
+        return replace(self, **kwargs)
+
+    def replace(self, **kwargs) -> "FlowOptions":
+        """A copy with selected knobs changed (alias of
+        :meth:`with_overrides`, mirroring :func:`dataclasses.replace`)."""
         return replace(self, **kwargs)

@@ -406,14 +406,20 @@ def _grow(expr: Expr, width: int) -> Expr:
     return expr
 
 
-def parse_verilog(text: str) -> Module:
+def parse_verilog(
+    text: str, known: dict[str, Module] | None = None
+) -> Module:
     """Parse Verilog text; the last module becomes the top.
 
     Earlier modules in the file may be instantiated by later ones
     (dependency order, which is how :func:`to_verilog` emits hierarchies).
+    ``known`` pre-populates the instantiable-module table — interactive
+    edit sessions pass their current design's modules so a re-authored
+    module can instantiate siblings without re-declaring them in ``text``.
+    The mapping is not mutated.
     """
     tokens = _Tokens(text)
-    known: dict[str, Module] = {}
+    known = dict(known) if known else {}
     last: Module | None = None
     while tokens.peek() is not None:
         module = _ModuleParser(tokens, known).parse()

@@ -26,6 +26,7 @@ from .digital import (
     make_shift_register,
     make_uart_tx,
 )
+from .soc import make_soc
 
 __all__ = [
     "ALU_OPS",
@@ -54,6 +55,7 @@ __all__ = [
     "make_pwm",
     "make_seven_seg",
     "make_shift_register",
+    "make_soc",
     "make_uart_tx",
     "quality_score",
 ]

@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Callable
 
 from .base import IpBlock
+from .soc import make_soc
 from .tinycpu import make_tinycpu
 from .digital import (
     make_alu,
@@ -39,6 +40,7 @@ GENERATORS: dict[str, Callable[..., IpBlock]] = {
     "fir": make_fir,
     "uart_tx": make_uart_tx,
     "tinycpu": make_tinycpu,
+    "soc": make_soc,
 }
 
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..obs.trace import get_tracer
 from ..pdk.layers import LayerStack
 from .gds import GdsLibrary, from_db
@@ -81,6 +83,53 @@ def flatten_rects(
     return dict(rects)
 
 
+def _flatten_coords(
+    library: GdsLibrary, top_name: str
+) -> dict[int, np.ndarray]:
+    """Per-layer ``(n, 4)`` coordinate arrays with SREFs resolved.
+
+    Same DFS emission order as :func:`flatten_rects`, but each struct's
+    local boundaries are converted to one array once and placements
+    merely translate it — the checker never materializes per-rect
+    objects for the (overwhelmingly clean) common case.
+    """
+    by_name = {s.name: s for s in library.structs}
+    local: dict[str, dict[int, np.ndarray]] = {}
+    parts: dict[int, list[np.ndarray]] = defaultdict(list)
+
+    def struct_local(name: str) -> dict[int, np.ndarray]:
+        cached = local.get(name)
+        if cached is None:
+            per_layer: dict[int, list] = defaultdict(list)
+            for boundary in by_name[name].boundaries:
+                xs = [from_db(p[0]) for p in boundary.points]
+                ys = [from_db(p[1]) for p in boundary.points]
+                per_layer[boundary.layer].append(
+                    (min(xs), min(ys), max(xs), max(ys))
+                )
+            cached = local[name] = {
+                layer: np.array(rows, dtype=np.float64)
+                for layer, rows in per_layer.items()
+            }
+        return cached
+
+    def emit(struct_name: str, dx: float, dy: float, depth: int) -> None:
+        if depth > 8:
+            raise ValueError("SREF nesting too deep (cycle?)")
+        for layer, rows in struct_local(struct_name).items():
+            parts[layer].append(rows + np.array((dx, dy, dx, dy)))
+        for sref in by_name[struct_name].srefs:
+            emit(
+                sref.struct_name,
+                dx + from_db(sref.position[0]),
+                dy + from_db(sref.position[1]),
+                depth + 1,
+            )
+
+    emit(top_name, 0.0, 0.0, 0)
+    return {layer: np.concatenate(p) for layer, p in parts.items()}
+
+
 def check_drc(
     library: GdsLibrary,
     layers: LayerStack,
@@ -97,7 +146,7 @@ def check_drc(
     if tracer is None:
         tracer = get_tracer()
     with tracer.span("drc.flatten") as sp:
-        rects_by_gds = flatten_rects(library, top_name)
+        coords_by_gds = _flatten_coords(library, top_name)
         sp.set(structs=len(library.structs))
     names = check_layers or [
         l.name for l in layers.layers if l.purpose in ("routing", "via")
@@ -107,63 +156,114 @@ def check_drc(
     for name in names:
         with tracer.span("drc.layer", layer=name) as sp:
             layer = layers.by_name(name)
-            rects = rects_by_gds.get(layer.gds_layer, [])
-            report.checked_rects += len(rects)
-            _check_layer(report, layer, rects, max_violations)
-            sp.set(rects=len(rects), violations=len(report.violations))
+            coords = coords_by_gds.get(layer.gds_layer)
+            count = 0 if coords is None else len(coords)
+            report.checked_rects += count
+            if count:
+                _check_layer(report, layer, coords, max_violations)
+            sp.set(rects=count, violations=len(report.violations))
         if len(report.violations) >= max_violations:
             break
     return report
 
 
-def _check_layer(report, layer, rects: list[Rect], max_violations: int) -> None:
+def _check_layer(
+    report, layer, coords: np.ndarray, max_violations: int
+) -> None:
     eps = 1e-9
-    for rect in rects:
-        if rect.min_dimension + eps < layer.min_width_um:
-            report.violations.append(
-                DrcViolation(
-                    "min_width",
-                    layer.name,
-                    f"{rect.min_dimension:.4f} < {layer.min_width_um}",
-                    rect,
-                )
+
+    def rect_at(index: int) -> Rect:
+        x0, y0, x1, y1 = coords[index]
+        return Rect(float(x0), float(y0), float(x1), float(y1))
+
+    min_dims = np.minimum(
+        coords[:, 2] - coords[:, 0], coords[:, 3] - coords[:, 1]
+    )
+    for index in np.nonzero(min_dims + eps < layer.min_width_um)[0]:
+        report.violations.append(
+            DrcViolation(
+                "min_width",
+                layer.name,
+                f"{float(min_dims[index]):.4f} < {layer.min_width_um}",
+                rect_at(index),
             )
-            if len(report.violations) >= max_violations:
-                return
+        )
+        if len(report.violations) >= max_violations:
+            return
 
     # Spatial binning for the spacing check.
     spacing = layer.min_spacing_um
-    if spacing <= 0 or len(rects) < 2:
+    if spacing <= 0 or len(coords) < 2:
         return
     bin_size = max(spacing * 8.0, 1e-3)
     bins: dict[tuple[int, int], list[int]] = defaultdict(list)
-    for index, rect in enumerate(rects):
-        grown = rect.grown(spacing)
-        for bx in range(int(grown.x0 // bin_size), int(grown.x1 // bin_size) + 1):
-            for by in range(int(grown.y0 // bin_size), int(grown.y1 // bin_size) + 1):
+    for index, (x0, y0, x1, y1) in enumerate(coords.tolist()):
+        for bx in range(
+            int((x0 - spacing) // bin_size),
+            int((x1 + spacing) // bin_size) + 1,
+        ):
+            for by in range(
+                int((y0 - spacing) // bin_size),
+                int((y1 + spacing) // bin_size) + 1,
+            ):
                 bins[(bx, by)].append(index)
 
-    seen_pairs: set[tuple[int, int]] = set()
+    # Candidate pairs from all bins are evaluated in one vectorized
+    # pass.  Every float op mirrors Rect.distance/.intersects bit for
+    # bit (same operand order, and np.sqrt is correctly rounded exactly
+    # like ``** 0.5``), and violations are emitted in the original scan
+    # order: bins in creation order, then the row-major i<j upper
+    # triangle.  A pair sharing several bins appears several times in
+    # the candidate list but is only *emitted* once (at its first
+    # occurrence); re-evaluating duplicates is output-equivalent to the
+    # old evaluate-once skip because evaluation is pure.
+    triu_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    pair_a: list[np.ndarray] = []
+    pair_b: list[np.ndarray] = []
     for members in bins.values():
-        for i in range(len(members)):
-            for j in range(i + 1, len(members)):
-                a, b = members[i], members[j]
-                pair = (a, b) if a < b else (b, a)
-                if pair in seen_pairs:
-                    continue
-                seen_pairs.add(pair)
-                ra, rb = rects[a], rects[b]
-                if ra.intersects(rb):
-                    continue  # merged geometry: same-net abutment
-                distance = ra.distance(rb)
-                if eps < distance < spacing - eps:
-                    report.violations.append(
-                        DrcViolation(
-                            "min_spacing",
-                            layer.name,
-                            f"{distance:.4f} < {spacing}",
-                            ra,
-                        )
-                    )
-                    if len(report.violations) >= max_violations:
-                        return
+        count = len(members)
+        if count < 2:
+            continue
+        upper = triu_cache.get(count)
+        if upper is None:
+            upper = triu_cache[count] = np.triu_indices(count, 1)
+        idx = np.fromiter(members, dtype=np.int64, count=count)
+        pair_a.append(idx[upper[0]])
+        pair_b.append(idx[upper[1]])
+    if not pair_a:
+        return
+    first = np.concatenate(pair_a)
+    second = np.concatenate(pair_b)
+    ra, rb = coords[first], coords[second]
+    gap_x = np.maximum(
+        0.0, np.maximum(ra[:, 0], rb[:, 0]) - np.minimum(ra[:, 2], rb[:, 2])
+    )
+    gap_y = np.maximum(
+        0.0, np.maximum(ra[:, 1], rb[:, 1]) - np.minimum(ra[:, 3], rb[:, 3])
+    )
+    distance = np.sqrt(gap_x * gap_x + gap_y * gap_y)
+    overlapping = (
+        (ra[:, 0] < rb[:, 2])
+        & (rb[:, 0] < ra[:, 2])
+        & (ra[:, 1] < rb[:, 3])
+        & (rb[:, 1] < ra[:, 3])
+    )
+    violating = ~overlapping & (distance > eps) & (distance < spacing - eps)
+    seen_pairs: set[tuple[int, int]] = set()
+    for hit in np.nonzero(violating)[0]:
+        a = int(first[hit])
+        b = int(second[hit])
+        pair = (a, b) if a < b else (b, a)
+        if pair in seen_pairs:
+            continue
+        seen_pairs.add(pair)
+        report.violations.append(
+            DrcViolation(
+                "min_spacing",
+                layer.name,
+                f"{float(distance[hit]):.4f} < {spacing}",
+                rect_at(a),
+            )
+        )
+        if len(report.violations) >= max_violations:
+            return

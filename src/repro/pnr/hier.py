@@ -1,0 +1,359 @@
+"""Region-stable hierarchical placement for incremental edit loops.
+
+The quadratic placer treats the whole netlist as one elastic system: any
+edit anywhere moves every cell a little, which forfeits all incremental
+reuse downstream.  ``hier_place`` trades a few percent of wirelength for
+*stability*: cells are grouped by the instance path encoded in their
+stitched names (``u_cpu.u_alu.u3_AND2`` → region ``u_cpu.u_alu``), each
+region gets a square-ish rectangular block of the core sized from a
+power-of-two bucket of its cell area (blocks are shelf-packed tallest
+first), and each block is solved and legalized independently.
+Cross-region nets pull against pure-geometry anchors (block centres, IO
+pins) rather than against other regions' cells, so a region whose
+subnetlist did not change re-derives exactly the same positions — the
+property that lets the verified-replay router keep most of its recorded
+paths.
+
+Stability is a performance property, not a correctness one: the placer
+is a deterministic function of the current netlist and floorplan alone,
+so incremental and from-scratch runs agree byte for byte regardless of
+how many regions moved.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import spsolve
+
+from ..obs.trace import get_tracer
+from ..pdk.node import ProcessNode
+from ..synth.mapped import MappedNetlist
+from .floorplan import Floorplan
+from .placement import PlacedCell, Placement, hpwl, net_pin_positions
+
+#: Nets with more members than this use a star model instead of a clique.
+CLIQUE_LIMIT = 8
+
+#: Core-area quantization step, in units of row_height².  Coarse enough
+#: that a one-module edit almost always lands in the same area bucket
+#: (same die, same IO ring, same rows), fine enough not to waste silicon.
+QUANTIZE_ROWS2 = 64.0
+
+#: Fraction of the core handed to region blocks; the rest is headroom
+#: for shelf-packing waste (blocks of unequal heights on one shelf).
+PACK_FILL = 0.9
+
+#: Extra whitespace for hierarchical floorplans.  Region blocks
+#: concentrate their cells' routing demand and the channels between
+#: blocks carry all inter-region nets, so a hier die placed at the flat
+#: preset's utilization congests the router into long rip-up tails —
+#: and wide, congestion-driven searches are exactly what makes edit
+#: -session replay fragile (every explored set grows to cover the hot
+#: spots).  Derating utilization buys convergent routing and compact
+#: explored sets for a modest area premium.
+ROUTABILITY = 0.75
+
+
+def hier_quantize_um2(node: ProcessNode) -> float:
+    """Floorplan area quantization step used with ``placer="hier"``."""
+    return QUANTIZE_ROWS2 * node.row_height_um**2
+
+
+def hier_utilization(
+    mapped: MappedNetlist, node: ProcessNode, utilization: float
+) -> float:
+    """Effective core utilization for the hierarchical placer.
+
+    Sizes the core from the sum of the regions' power-of-two area
+    buckets instead of the raw cell area, so that every region block
+    can be packed at (at most) the preset's utilization internally.
+    Without this, a region whose area sits just under its bucket would
+    be crammed at up to twice the target density — a local congestion
+    hot spot the router pays for on every edit.
+    """
+    if not mapped.cells:
+        return utilization
+    base = node.row_height_um**2
+    areas: dict[str, float] = {}
+    for inst in mapped.cells:
+        key = cell_region(inst.name)
+        areas[key] = areas.get(key, 0.0) + inst.cell.area_um2
+    total_bucket = sum(_bucket(a, base) for a in areas.values())
+    total_area = sum(areas.values())
+    return ROUTABILITY * PACK_FILL * utilization * total_area / total_bucket
+
+
+def cell_region(name: str) -> str:
+    """Region key of a stitched cell name: its instance-path prefix.
+
+    Top-level cells (``u3_NAND2``) map to the root region ``""``.
+    """
+    return name.rpartition(".")[0]
+
+
+def _bucket(value: float, base: float) -> float:
+    """Smallest ``base * 2**k`` that covers ``value`` (k >= 0).
+
+    Power-of-two budget buckets keep every region's strip share — and
+    with it the whole strip layout — fixed under small area changes.
+    """
+    if value <= base:
+        return base
+    return base * 2.0 ** math.ceil(math.log2(value / base))
+
+
+def _solve_region(
+    cells: list,
+    nets: dict[int, tuple[list[int], tuple[float, float] | None]],
+    center: tuple[float, float],
+) -> dict[str, tuple[float, float]]:
+    """Quadratic placement of one region's cells inside its strip.
+
+    ``nets`` maps net id to (member cell indexes, optional fixed anchor
+    point).  Anchors fold IO pins and the strip centres of the other
+    regions on the net into a single fixed pull — pure geometry, never
+    another region's cell positions.
+    """
+    n_cells = len(cells)
+    live = {
+        net: (idxs, anchor)
+        for net, (idxs, anchor) in nets.items()
+        if len(idxs) + (anchor is not None) >= 2
+    }
+    n_star = sum(
+        1
+        for idxs, anchor in live.values()
+        if len(idxs) + (anchor is not None) > CLIQUE_LIMIT
+    )
+    size = n_cells + n_star
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    bx = np.zeros(size)
+    by = np.zeros(size)
+
+    def add_diag(i: int, w: float) -> None:
+        rows.append(i)
+        cols.append(i)
+        vals.append(w)
+
+    def add_edge(u, v, w: float) -> None:
+        u_var = isinstance(u, int)
+        v_var = isinstance(v, int)
+        if u_var and v_var:
+            add_diag(u, w)
+            add_diag(v, w)
+            rows.extend((u, v))
+            cols.extend((v, u))
+            vals.extend((-w, -w))
+        elif u_var:
+            add_diag(u, w)
+            bx[u] += w * v[0]
+            by[u] += w * v[1]
+        elif v_var:
+            add_edge(v, u, w)
+
+    star_cursor = n_cells
+    for net in sorted(live):
+        idxs, anchor = live[net]
+        members: list = list(idxs)
+        if anchor is not None:
+            members.append(anchor)
+        p = len(members)
+        if p <= CLIQUE_LIMIT:
+            w = 2.0 / (p * (p - 1))
+            for i in range(p):
+                for j in range(i + 1, p):
+                    add_edge(members[i], members[j], w)
+        else:
+            star = star_cursor
+            star_cursor += 1
+            w = 1.0 / p
+            for member in members:
+                add_edge(star, member, w)
+
+    # Weak pull to the strip centre keeps isolated cells well-defined.
+    for i in range(size):
+        add_diag(i, 1e-6)
+        bx[i] += 1e-6 * center[0]
+        by[i] += 1e-6 * center[1]
+
+    laplacian = coo_matrix((vals, (rows, cols)), shape=(size, size)).tocsr()
+    xs = spsolve(laplacian, bx)
+    ys = spsolve(laplacian, by)
+    return {
+        inst.name: (float(xs[i]), float(ys[i]))
+        for i, inst in enumerate(cells)
+    }
+
+
+def hier_place(
+    mapped: MappedNetlist,
+    floorplan: Floorplan,
+    seed: int = 1,
+    tracer=None,
+) -> Placement:
+    """Place ``mapped`` with one independent strip per instance region.
+
+    ``seed`` is accepted for placer-interface parity; the algorithm is
+    fully deterministic and never consults it.
+    """
+    if tracer is None:
+        tracer = get_tracer()
+    if not mapped.cells:
+        return Placement({}, floorplan, 0.0)
+
+    groups: dict[str, list] = {}
+    for inst in mapped.cells:
+        groups.setdefault(cell_region(inst.name), []).append(inst)
+    keys = sorted(groups)
+
+    row0 = floorplan.rows[0]
+    row_h = row0.height
+    base = row_h * row_h
+    budget = {
+        key: _bucket(sum(i.cell.area_um2 for i in groups[key]), base)
+        for key in keys
+    }
+    core_w = row0.width
+    n_rows = len(floorplan.rows)
+    core_area = core_w * n_rows * row_h
+
+    # Square-ish blocks, shelf-packed tallest first.  Every dimension
+    # derives from the pow-2 budgets and the (quantized) core alone, so
+    # the whole layout is fixed under edits that stay in-bucket.  The
+    # blocks share PACK_FILL of the core in proportion to their
+    # budgets; with a :func:`hier_utilization` floorplan that caps each
+    # block's internal density at the preset utilization.
+    total_budget = sum(budget.values())
+    dims: dict[str, tuple[float, int]] = {}
+    for key in keys:
+        area = PACK_FILL * core_area * budget[key] / total_budget
+        h_rows = max(1, min(n_rows, round(math.sqrt(area) / row_h)))
+        width = min(core_w, area / (h_rows * row_h))
+        dims[key] = (width, h_rows)
+
+    #: region -> (x0, x1, first row index, one-past-last row index)
+    blocks: dict[str, tuple[float, float, int, int]] = {}
+    shelf_r0, shelf_h, x_cur = 0, 0, row0.x0
+    for key in sorted(keys, key=lambda k: (-dims[k][1], -dims[k][0], k)):
+        width, h_rows = dims[key]
+        if x_cur > row0.x0 and x_cur + width > row0.x0 + core_w + 1e-9:
+            shelf_r0 += shelf_h
+            shelf_h, x_cur = 0, row0.x0
+        if shelf_r0 >= n_rows:  # packing overflow: reuse the last rows
+            shelf_r0 = n_rows - 1
+        h_rows = min(h_rows, n_rows - shelf_r0)
+        shelf_h = max(shelf_h, h_rows)
+        blocks[key] = (
+            x_cur,
+            min(x_cur + width, row0.x0 + core_w),
+            shelf_r0,
+            shelf_r0 + h_rows,
+        )
+        x_cur += width
+    block_center = {
+        key: (
+            (x0 + x1) / 2.0,
+            floorplan.rows[r0].y + (r1 - r0) * row_h / 2.0,
+        )
+        for key, (x0, x1, r0, r1) in blocks.items()
+    }
+
+    # Net membership: cells (by region) plus the fixed IO pin box.
+    driver = mapped.net_driver()
+    loads = mapped.net_loads()
+    io_position = floorplan.pin_positions()
+    net_cells: dict[int, list[str]] = {}
+    for net in set(driver) | set(loads):
+        names: list[str] = []
+        if net in driver:
+            names.append(driver[net].name)
+        for sink, _pin in loads.get(net, ()):
+            names.append(sink.name)
+        net_cells[net] = names
+    region_of = {
+        inst.name: key for key in keys for inst in groups[key]
+    }
+
+    with tracer.span("place.hier") as sp:
+        desired: dict[str, tuple[float, float]] = {}
+        for key in keys:
+            cells = groups[key]
+            index = {inst.name: i for i, inst in enumerate(cells)}
+            region_nets: dict[
+                int, tuple[list[int], tuple[float, float] | None]
+            ] = {}
+            for net, names in net_cells.items():
+                idxs = sorted(index[n] for n in names if n in index)
+                if not idxs:
+                    continue
+                pulls: list[tuple[float, float]] = []
+                if net in io_position:
+                    pulls.append(io_position[net])
+                foreign = sorted(
+                    {
+                        region_of[n]
+                        for n in names
+                        if region_of[n] != key
+                    }
+                )
+                pulls.extend(block_center[r] for r in foreign)
+                anchor = None
+                if pulls:
+                    anchor = (
+                        sum(p[0] for p in pulls) / len(pulls),
+                        sum(p[1] for p in pulls) / len(pulls),
+                    )
+                region_nets[net] = (idxs, anchor)
+            desired.update(
+                _solve_region(cells, region_nets, block_center[key])
+            )
+
+        # Block-by-block Tetris legalization over shared per-row
+        # cursors, so a block that overflows its budget spills rightward
+        # without ever overlapping a neighbour on the same shelf.
+        site = max(row_h / 10.0, 1e-3)
+        next_x = {row.index: row.x0 for row in floorplan.rows}
+        placed: dict[str, PlacedCell] = {}
+        for key in keys:
+            bx0, bx1, r0, r1 = blocks[key]
+            block_rows = floorplan.rows[r0:r1]
+            order = sorted(
+                groups[key],
+                key=lambda inst: (desired[inst.name][0], inst.name),
+            )
+            for inst in order:
+                x_want, y_want = desired[inst.name]
+                width = inst.cell.area_um2 / row_h
+                width = max(site, round(width / site) * site)
+                best: tuple[float, int, float] | None = None
+                for row in block_rows:
+                    start = max(next_x[row.index], bx0)
+                    x = max(start, min(x_want, bx1 - width))
+                    if x + width > bx1 and start > bx0:
+                        continue  # this row's block segment is full
+                    cost = abs(x - x_want) + abs(row.y - y_want)
+                    if best is None or cost < best[0]:
+                        best = (cost, row.index, x)
+                if best is None:  # block full: spill into emptiest row
+                    row_idx = min(
+                        (row.index for row in block_rows),
+                        key=lambda i: (max(next_x[i], bx0), i),
+                    )
+                    best = (0.0, row_idx, max(next_x[row_idx], bx0))
+                _, row_idx, x = best
+                row = floorplan.rows[row_idx]
+                placed[inst.name] = PlacedCell(
+                    inst.name, x, row.y, width, row.height
+                )
+                next_x[row_idx] = x + width
+        if tracer.enabled:
+            sp.set(regions=len(keys), cells=len(placed))
+
+    xy = {n: (c.cx, c.cy) for n, c in placed.items()}
+    total = hpwl(net_pin_positions(mapped, xy, floorplan))
+    return Placement(placed, floorplan, round(total, 3))

@@ -24,6 +24,7 @@ from ..resil.faults import FaultInjector
 from ..synth.mapped import MappedNetlist
 from .cts import ClockTree, synthesize_clock_tree
 from .floorplan import Floorplan, make_floorplan
+from .hier import hier_place, hier_quantize_um2, hier_utilization
 from .placement import Placement, place, random_place
 from .route import RoutingResult, grid_capacity, route
 
@@ -76,6 +77,7 @@ def implement(
     metrics: MetricsRegistry | None = None,
     checkpoints: StageCheckpointer | None = None,
     inject: FaultInjector | None = None,
+    eco: object | None = None,
 ) -> PhysicalDesign:
     """Run the full backend on ``mapped`` with the given knobs.
 
@@ -89,6 +91,15 @@ def implement(
     effectively no time.  ``inject`` fails named stages on purpose
     (resilience drills) by raising
     :class:`~repro.resil.failure.InjectedFault`.
+
+    ``placer="hier"`` selects the region-stable hierarchical placer
+    (:mod:`repro.pnr.hier`): the floorplan is quantized so small netlist
+    edits keep the die, and each instance subtree places inside its own
+    region, so untouched logic keeps seed-stable positions across edits.
+    ``eco`` (an :class:`repro.inter.EcoSession`) replaces the routing
+    call with its verified-replay router — byte-identical to a cold
+    route, but substituting recorded paths whose cost landscape provably
+    did not change.
     """
     if tracer is None:
         tracer = get_tracer()
@@ -118,8 +129,15 @@ def implement(
         floorplan = restore("floorplan")
         if floorplan is None:
             floorplan = make_floorplan(
-                mapped, pdk.node, utilization=utilization,
+                mapped, pdk.node,
+                utilization=(
+                    hier_utilization(mapped, pdk.node, utilization)
+                    if placer == "hier" else utilization
+                ),
                 aspect_ratio=aspect_ratio,
+                quantize_um2=(
+                    hier_quantize_um2(pdk.node) if placer == "hier" else None
+                ),
             )
             preserve("floorplan", floorplan)
         else:
@@ -134,6 +152,10 @@ def implement(
                     mapped, floorplan,
                     detailed_passes=detailed_placement_passes, seed=seed,
                     tracer=tracer,
+                )
+            elif placer == "hier":
+                placement = hier_place(
+                    mapped, floorplan, seed=seed, tracer=tracer
                 )
             elif placer == "random":
                 placement = random_place(mapped, floorplan, seed=seed)
@@ -160,10 +182,16 @@ def implement(
         routing = restore("routing")
         if routing is None:
             capacity = grid_capacity(pdk.node, pdk.layers)
-            routing = route(
-                mapped, placement, pdk.node, rip_up=router_rip_up,
-                capacity=capacity, max_iterations=8, tracer=tracer,
-            )
+            if eco is not None:
+                routing = eco.route(
+                    mapped, placement, pdk.node, rip_up=router_rip_up,
+                    capacity=capacity, max_iterations=8, tracer=tracer,
+                )
+            else:
+                routing = route(
+                    mapped, placement, pdk.node, rip_up=router_rip_up,
+                    capacity=capacity, max_iterations=8, tracer=tracer,
+                )
             preserve("routing", routing)
         else:
             sp.set(cached=True)

@@ -68,9 +68,13 @@ class MappedNetlist:
         self.index_version = 0
 
     def add_cell(self, cell: StandardCell, pins: dict[str, int],
-                 reset_value: int = 0, tag: str = "") -> CellInst:
-        inst = CellInst(f"u{len(self.cells)}_{cell.kind}", cell, dict(pins),
-                        reset_value, tag)
+                 reset_value: int = 0, tag: str = "",
+                 name: str | None = None) -> CellInst:
+        """Append a cell.  ``name`` defaults to ``u{index}_{kind}``;
+        callers that stitch netlists from pre-mapped shards pass explicit
+        names so cell identity survives edits elsewhere in the design."""
+        inst = CellInst(name or f"u{len(self.cells)}_{cell.kind}", cell,
+                        dict(pins), reset_value, tag)
         self.cells.append(inst)
         self.invalidate()
         return inst

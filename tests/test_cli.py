@@ -185,3 +185,46 @@ class TestLintCommand:
         assert main(["lint", "--ip", "counter", "--rtl-only"]) == 0
         out = capsys.readouterr().out
         assert "net." not in out
+
+
+class TestEditCommand:
+    def test_edit_with_rtl_file(self, capsys, tmp_path):
+        import json
+
+        from repro.hdl import to_verilog
+        from repro.ip import make_counter
+
+        rtl = tmp_path / "counter8.v"
+        rtl.write_text(to_verilog(make_counter(width=8, step=3).module))
+        report = tmp_path / "edit.json"
+        code = main([
+            "edit", "--ip", "counter", "--module", "counter8",
+            "--rtl", str(rtl), "--json", str(report),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "opened counter8 on edu130" in out
+        assert "dirty=['counter8']" in out
+        assert "lec: equivalent" in out
+        # Wall-clock timings live in the JSON report, never on stdout.
+        assert "ms" not in out
+        payload = json.loads(report.read_text())
+        assert payload["ok"]
+        assert payload["fallback"] is None
+        assert payload["edit_ms"] > 0
+
+    def test_edit_requires_a_source(self, capsys):
+        assert main(["edit", "--ip", "counter"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_edit_demo_conflicts_with_rtl(self, capsys, tmp_path):
+        rtl = tmp_path / "x.v"
+        rtl.write_text("module x(); endmodule")
+        code = main(["edit", "--demo", "--module", "sevenseg",
+                     "--rtl", str(rtl)])
+        assert code == 2
+        assert "replaces" in capsys.readouterr().err
+
+    def test_edit_unknown_ip(self, capsys):
+        assert main(["edit", "--ip", "gpu", "--demo"]) == 2
+        assert "--demo edits the catalogue" in capsys.readouterr().err

@@ -6,6 +6,7 @@ from repro.core import (
     COMMERCIAL,
     OPEN,
     FlowError,
+    FlowOptions,
     FlowStep,
     get_preset,
     run_flow,
@@ -36,7 +37,8 @@ def build_datapath():
 
 @pytest.fixture(scope="module")
 def counter_flow():
-    return run_flow(build_counter(), get_pdk("edu130"), preset=OPEN)
+    return run_flow(build_counter(), get_pdk("edu130"),
+                    FlowOptions(preset=OPEN))
 
 
 class TestRunFlow:
@@ -95,8 +97,10 @@ class TestPresets:
     def test_commercial_beats_open_on_fmax(self):
         module = build_datapath()
         pdk = get_pdk("edu130")
-        open_result = run_flow(module, pdk, preset=OPEN)
-        commercial_result = run_flow(module, pdk, preset=COMMERCIAL)
+        open_result = run_flow(module, pdk, FlowOptions(preset=OPEN))
+        commercial_result = run_flow(
+            module, pdk, FlowOptions(preset=COMMERCIAL)
+        )
         assert commercial_result.ppa.fmax_mhz >= open_result.ppa.fmax_mhz
 
     def test_presets_produce_equivalent_logic(self):
@@ -104,5 +108,51 @@ class TestPresets:
         module = build_datapath()
         pdk = get_pdk("edu130")
         for preset in (OPEN, COMMERCIAL):
-            result = run_flow(module, pdk, preset=preset)
+            result = run_flow(module, pdk, FlowOptions(preset=preset))
             assert result.synthesis.equivalence.passed
+
+
+class TestFlowResultJson:
+    def test_round_trip_is_fixed_point(self, counter_flow):
+        text = counter_flow.to_json()
+        clone = type(counter_flow).from_json(text)
+        assert clone.to_json() == text
+        assert clone.design_name == counter_flow.design_name
+        assert clone.ok and not clone.partial
+        assert clone.ppa == counter_flow.ppa
+        assert [r.step for r in clone.steps] == [
+            r.step for r in counter_flow.steps
+        ]
+        # Heavy artifacts are summaries, not resurrected objects.
+        assert clone.synthesis is None
+        assert clone.gds_bytes is None
+
+    def test_schema_is_pinned(self, counter_flow):
+        import json
+
+        payload = json.loads(counter_flow.to_json())
+        assert payload["schema"] == 1
+        assert type(counter_flow).JSON_SCHEMA == 1
+        # The v1 key set is a compatibility contract: additions or
+        # removals must bump JSON_SCHEMA.
+        assert set(payload) == {
+            "schema", "design", "pdk", "preset", "clock_period_ps",
+            "ok", "partial", "steps", "ppa", "lint", "failures",
+            "synthesis", "timing", "power", "drc", "gds", "lec",
+        }
+        assert payload["gds"]["n_bytes"] == len(counter_flow.gds_bytes)
+
+    def test_wall_clock_free(self, counter_flow):
+        # Serializing twice (and through a round trip) is byte-stable;
+        # no runtimes or timestamps may leak into the payload.
+        text = counter_flow.to_json()
+        assert text == counter_flow.to_json()
+        assert "runtime" not in text
+
+    def test_unknown_schema_rejected(self, counter_flow):
+        import json
+
+        payload = json.loads(counter_flow.to_json())
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            type(counter_flow).from_json(json.dumps(payload))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import OPEN, run_flow
+from repro.core import OPEN, FlowOptions, run_flow
 from repro.core.signoff import run_signoff
 from repro.hdl import ModuleBuilder, mux
 from repro.pdk import get_pdk
@@ -35,8 +35,8 @@ def counter_flow():
     count = b.register("count", 6)
     count.next = mux(en, count + 1, count)
     b.output("q", count)
-    return run_flow(b.build(), get_pdk("edu130"), preset=OPEN,
-                    clock_period_ps=5_000.0)
+    return run_flow(b.build(), get_pdk("edu130"),
+                    FlowOptions(preset=OPEN, clock_period_ps=5_000.0))
 
 
 class TestCorners:
@@ -113,8 +113,11 @@ class TestSignoff:
         acc = b.register("acc", 16)
         acc.next = (acc + a * c).trunc(16)
         b.output("y", acc)
-        result = run_flow(b.build(), get_pdk("edu130"), preset=OPEN,
-                          clock_period_ps=100.0, strict_drc=False)
+        result = run_flow(
+            b.build(), get_pdk("edu130"),
+            FlowOptions(preset=OPEN, clock_period_ps=100.0,
+                        strict_drc=False),
+        )
         report = run_signoff(result)
         assert not report.ready_for_tapeout
         failing = {item.name for item in report.failures}
@@ -127,8 +130,11 @@ class TestSignoff:
         acc = b.register("acc", 16)
         acc.next = (acc + a * c).trunc(16)
         b.output("y", acc)
-        result = run_flow(b.build(), get_pdk("edu130"), preset=OPEN,
-                          clock_period_ps=100.0, strict_drc=False)
+        result = run_flow(
+            b.build(), get_pdk("edu130"),
+            FlowOptions(preset=OPEN, clock_period_ps=100.0,
+                        strict_drc=False),
+        )
         report = run_signoff(
             result,
             waivers={"setup_timing", "multi_corner_timing"},

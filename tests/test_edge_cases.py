@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.core import COMMERCIAL, OPEN, FlowError, run_flow, timing_report
+from repro.core import (
+    COMMERCIAL,
+    OPEN,
+    FlowError,
+    FlowOptions,
+    run_flow,
+    timing_report,
+)
 from repro.hdl import ModuleBuilder, cat, mux, to_verilog
 from repro.layout import GdsLibrary, GdsStruct, read_gds, write_gds
 from repro.pdk import get_pdk
@@ -78,8 +85,10 @@ class TestFlowCorners:
         acc.next = (acc + a * c).trunc(16)
         b.output("y", acc)
         # 1 ps period: guaranteed violation, flow must not raise.
-        result = run_flow(b.build(), get_pdk("edu130"), preset=OPEN,
-                          clock_period_ps=1.0, strict_drc=False)
+        result = run_flow(
+            b.build(), get_pdk("edu130"),
+            FlowOptions(preset=OPEN, clock_period_ps=1.0, strict_drc=False),
+        )
         assert not result.timing.met
         assert result.ppa.wns_ps < 0
         text = timing_report(result)
@@ -89,7 +98,8 @@ class TestFlowCorners:
         b = ModuleBuilder("combo")
         a = b.input("a", 8)
         b.output("y", ~a)
-        result = run_flow(b.build(), get_pdk("edu180"), preset=OPEN)
+        result = run_flow(b.build(), get_pdk("edu180"),
+                          FlowOptions(preset=OPEN))
         assert result.ok
         assert result.physical.clock_tree.stats()["sinks"] == 0
 
@@ -97,7 +107,8 @@ class TestFlowCorners:
         b = ModuleBuilder("one")
         a = b.input("a", 1)
         b.output("y", ~a)
-        result = run_flow(b.build(), get_pdk("edu130"), preset=OPEN)
+        result = run_flow(b.build(), get_pdk("edu130"),
+                          FlowOptions(preset=OPEN))
         assert result.ok
         assert result.ppa.cell_count >= 1
 
@@ -105,7 +116,8 @@ class TestFlowCorners:
         b = ModuleBuilder("tiny")
         a = b.input("a", 2)
         b.output("y", a ^ 0b11)
-        result = run_flow(b.build(), get_pdk("edu130"), preset=COMMERCIAL)
+        result = run_flow(b.build(), get_pdk("edu130"),
+                          FlowOptions(preset=COMMERCIAL))
         assert result.ok
 
     def test_failing_equivalence_raises(self, monkeypatch):
@@ -125,7 +137,7 @@ class TestFlowCorners:
             lambda *args, **kwargs: _fake_synth(module, FakeResult()),
         )
         with pytest.raises(FlowError, match="equivalence"):
-            run_flow(module, get_pdk("edu130"), preset=OPEN)
+            run_flow(module, get_pdk("edu130"), FlowOptions(preset=OPEN))
 
 
 def _fake_synth(module, equivalence):

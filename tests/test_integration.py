@@ -6,6 +6,7 @@ from repro.core import (
     AccessTier,
     CloudPlatform,
     EnablementHub,
+    FlowOptions,
     OPEN,
     ResidencyStatus,
     User,
@@ -53,7 +54,8 @@ class TestDeepHierarchy:
 
     def test_three_level_flow(self):
         result = run_flow(
-            self.build_three_levels(), get_pdk("edu130"), preset=OPEN
+            self.build_three_levels(), get_pdk("edu130"),
+            FlowOptions(preset=OPEN),
         )
         assert result.ok
         assert len(result.synthesis.mapped.seq_cells) == 16
@@ -65,8 +67,9 @@ class TestHlsToSilicon:
             return a * b + c
 
         hls = compile_function(mac, width=8)
-        result = run_flow(hls.module, get_pdk("edu130"), preset=OPEN,
-                          clock_period_ps=4_000.0)
+        result = run_flow(hls.module, get_pdk("edu130"),
+                          FlowOptions(preset=OPEN,
+                                      clock_period_ps=4_000.0))
         assert result.ok
         assert result.synthesis.equivalence.passed
 
@@ -89,8 +92,9 @@ class TestCpuSocStory:
     def test_cpu_program_to_gds(self):
         program = assemble("LDI 5\nADD 5\nOUT\nHALT")
         module = generate_cpu(program)
-        result = run_flow(module, get_pdk("edu180"), preset=OPEN,
-                          clock_period_ps=10_000.0)
+        result = run_flow(module, get_pdk("edu180"),
+                          FlowOptions(preset=OPEN,
+                                      clock_period_ps=10_000.0))
         assert result.ok
         library = read_gds(result.gds_bytes)
         top = library.struct("tinycpu")

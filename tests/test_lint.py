@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.core import run_flow
+from repro.core import FlowOptions, run_flow
 from repro.core.flow import FlowError
 from repro.hdl import ModuleBuilder, mux
 from repro.hdl.ir import BinOp, Const, Module, Mux, Ref, Slice
@@ -547,12 +547,12 @@ class TestFlowIntegration:
     def test_flow_waivers_reach_the_report(self):
         waiver = Waiver("net.high-fanout", reason="edu PDK budget")
         result = run_flow(_flow_module(), get_pdk("edu130"),
-                          lint_waivers=(waiver,))
+                          FlowOptions(lint_waivers=(waiver,)))
         assert waiver in result.lint.waivers
 
     def test_strict_lint_passes_clean_design(self):
         result = run_flow(_flow_module(), get_pdk("edu130"),
-                          strict_lint=True)
+                          FlowOptions(strict_lint=True))
         assert result.lint.clean
 
     def test_strict_lint_raises_on_error_finding(self, monkeypatch):
@@ -565,7 +565,8 @@ class TestFlowIntegration:
 
         monkeypatch.setattr(flow_mod, "lint_module", failing_lint)
         with pytest.raises(FlowError, match="lint failed"):
-            run_flow(_flow_module(), get_pdk("edu130"), strict_lint=True)
+            run_flow(_flow_module(), get_pdk("edu130"),
+                     FlowOptions(strict_lint=True))
 
     def test_strict_lint_respects_waivers(self, monkeypatch):
         import repro.core.flow as flow_mod
@@ -577,8 +578,11 @@ class TestFlowIntegration:
 
         monkeypatch.setattr(flow_mod, "lint_module", failing_lint)
         result = run_flow(
-            _flow_module(), get_pdk("edu130"), strict_lint=True,
-            lint_waivers=(Waiver("rtl.undriven", reason="known"),),
+            _flow_module(), get_pdk("edu130"),
+            FlowOptions(
+                strict_lint=True,
+                lint_waivers=(Waiver("rtl.undriven", reason="known"),),
+            ),
         )
         assert result.lint.clean
         assert result.lint.waived

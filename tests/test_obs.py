@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core import OPEN, CloudPlatform, FlowStep, run_flow
+from repro.core import OPEN, CloudPlatform, FlowOptions, FlowStep, run_flow
 from repro.hdl import ModuleBuilder, mux
 from repro.obs import (
     DEFAULT_TIME_BUCKETS,
@@ -265,8 +265,8 @@ class TestFlowIntegration:
     @pytest.fixture(scope="class")
     def traced(self):
         tracer = Tracer()
-        result = run_flow(build_counter(), get_pdk("edu130"), preset=OPEN,
-                          tracer=tracer)
+        result = run_flow(build_counter(), get_pdk("edu130"),
+                          FlowOptions(preset=OPEN), tracer=tracer)
         return tracer, result
 
     def test_every_recorded_step_has_a_span(self, traced):
@@ -313,7 +313,8 @@ class TestFlowIntegration:
         assert result.trace == tracer.spans
 
     def test_untraced_flow_still_reports_runtimes(self):
-        result = run_flow(build_counter(), get_pdk("edu130"), preset=OPEN)
+        result = run_flow(build_counter(), get_pdk("edu130"),
+                          FlowOptions(preset=OPEN))
         assert sum(r.runtime_s for r in result.steps) > 0.0
         assert len(result.trace) > 0
         # Nothing leaked into the process-wide (no-op) tracer.

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import (
     OPEN,
+    FlowOptions,
     full_report,
     physical_report,
     power_report,
@@ -23,7 +24,7 @@ def flow_result():
     count = b.register("count", 6)
     count.next = mux(en, count + 1, count)
     b.output("q", count)
-    return run_flow(b.build(), get_pdk("edu130"), preset=OPEN)
+    return run_flow(b.build(), get_pdk("edu130"), FlowOptions(preset=OPEN))
 
 
 class TestReports:
