@@ -431,6 +431,79 @@ def _cmd_prove(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_lvs(args) -> int:
+    """GDS-in signoff: extract a netlist from stream bytes and LVS it.
+
+    Implements the design, streams out GDSII, then treats those *bytes*
+    as the only source of truth: the netlist is re-extracted from
+    geometry alone, compared net-by-net against the mapped netlist and
+    LEC-proved equivalent.  ``--trojan`` plants one seeded layout
+    mutation first — the run must then fail, which makes this the
+    self-test of the whole extraction stack.  Exit codes follow lint:
+    0 clean, 1 mismatches found, 2 usage errors.
+    """
+    from .extract import TROJAN_KINDS, mutate_gds, run_lvs
+    from .layout.chip import build_chip_gds
+    from .layout.gds import write_gds
+    from .pnr.physical import implement
+
+    if args.verilog:
+        from .hdl.verilog_parser import parse_verilog
+
+        with open(args.verilog) as handle:
+            module = parse_verilog(handle.read())
+    elif args.ip:
+        if args.ip not in GENERATORS:
+            print(f"error: unknown IP {args.ip!r}; try: python -m repro ips",
+                  file=sys.stderr)
+            return 2
+        module = generate(args.ip).module
+    else:
+        print("error: one of --ip or --verilog is required", file=sys.stderr)
+        return 2
+    if args.trojan is not None and args.trojan not in TROJAN_KINDS:
+        print(f"error: unknown trojan kind {args.trojan!r}; "
+              f"known: {', '.join(TROJAN_KINDS)}", file=sys.stderr)
+        return 2
+
+    try:
+        module.validate()
+    except HdlError as exc:
+        print(f"error: RTL does not elaborate: {exc}", file=sys.stderr)
+        return 2
+
+    pdk = get_pdk(args.pdk)
+    mapped = synthesize(module, pdk.library).mapped
+    design = implement(mapped, pdk)
+    data = write_gds(build_chip_gds(design))
+    print(f"streamed {len(data)} bytes of GDSII for {mapped.name}")
+    if args.trojan is not None:
+        try:
+            data, description = mutate_gds(
+                data, seed=args.seed, kind=args.trojan
+            )
+        except ValueError as exc:
+            print(f"error: trojan not applicable: {exc}", file=sys.stderr)
+            return 2
+        print(f"planted {description}")
+
+    report = run_lvs(data, mapped, pdk)
+    if args.json == "-":
+        print(report.to_json())
+        return 0 if report.clean else 1
+    print(report.summary())
+    for mismatch in report.mismatches:
+        print(f"  {mismatch}")
+    if args.json:
+        directory = os.path.dirname(args.json)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"LVS report written to {args.json}")
+    return 0 if report.clean else 1
+
+
 def _cmd_cloud(args) -> int:
     """Fault-injected cloud capacity simulation (deterministic per seed).
 
@@ -738,6 +811,25 @@ def build_parser() -> argparse.ArgumentParser:
     prove.add_argument("--json", nargs="?", const="-", metavar="PATH",
                        help="write the JSON report to PATH (or stdout)")
     prove.set_defaults(fn=_cmd_prove)
+
+    lvs = sub.add_parser(
+        "lvs",
+        help="GDS-in signoff: extract a netlist from the stream bytes, "
+        "LVS it against the mapped netlist and prove equivalence",
+    )
+    lvs.add_argument("--ip", help="catalogue IP name")
+    lvs.add_argument("--verilog", help="path to a Verilog file to check")
+    lvs.add_argument("--pdk", default="edu130", choices=list_pdks(),
+                     help="PDK to implement on")
+    lvs.add_argument("--trojan", metavar="KIND",
+                     help="plant one seeded layout trojan first "
+                     "(rogue_gate, reroute, delete_via, swap_cells); "
+                     "the check must then fail")
+    lvs.add_argument("--seed", type=int, default=0,
+                     help="trojan seed (with --trojan)")
+    lvs.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                     help="write the JSON report to PATH (or stdout)")
+    lvs.set_defaults(fn=_cmd_lvs)
 
     campaign = sub.add_parser(
         "campaign",

@@ -40,6 +40,7 @@ from ..hdl.ir import Module
 from ..layout.chip import build_chip_gds
 from ..layout.drc import DrcReport, check_drc
 from ..layout.gds import write_gds
+from ..layout.lvs import LvsReport
 from ..lint import Finding, LintReport, Waiver, lint_mapped, lint_module
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.trace import Span, Tracer, get_tracer
@@ -120,6 +121,10 @@ class FlowResult:
     #: SAT-based equivalence verdicts (``options.formal_lec``): RTL vs
     #: lowered, optimized and mapped netlists.
     lec: LecReport | None = None
+    #: GDS-in signoff verdict (``options.extract_lvs``): connectivity
+    #: LVS of the netlist re-extracted from the exported stream bytes,
+    #: including the extracted-vs-mapped LEC proof.
+    lvs: LvsReport | None = None
     #: Structured failures swallowed by ``continue_on_error``.
     failures: list[FlowFailure] = field(default_factory=list)
 
@@ -161,7 +166,12 @@ class FlowResult:
     # dicts / digests; steps, PPA, lint and failures round-trip exactly.
 
     #: Schema version of :meth:`to_json`; bumped on breaking change.
-    JSON_SCHEMA = 1
+    #: v2 added the ``lvs`` artifact (GDS-in signoff verdict).
+    JSON_SCHEMA = 2
+
+    #: Older schemas :meth:`from_json` still reads (purely-additive
+    #: predecessors of the current version).
+    _COMPAT_SCHEMAS = frozenset({1})
 
     def _artifact_snapshot(self) -> dict[str, object]:
         """Summary dicts for the heavyweight artifacts.
@@ -220,6 +230,9 @@ class FlowResult:
                     for stage, result in self.lec.checks.items()
                 },
             }
+        lvs = None
+        if self.lvs is not None:
+            lvs = self.lvs.to_dict()
         return {
             "synthesis": pick("synthesis", synthesis),
             "timing": pick("timing", timing),
@@ -227,6 +240,7 @@ class FlowResult:
             "drc": pick("drc", drc),
             "gds": pick("gds", gds),
             "lec": pick("lec", lec),
+            "lvs": pick("lvs", lvs),
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -275,7 +289,7 @@ class FlowResult:
         """
         data = json.loads(text)
         schema = data.get("schema")
-        if schema != cls.JSON_SCHEMA:
+        if schema != cls.JSON_SCHEMA and schema not in cls._COMPAT_SCHEMAS:
             raise ValueError(
                 f"unsupported FlowResult schema {schema!r} "
                 f"(expected {cls.JSON_SCHEMA})"
@@ -314,7 +328,9 @@ class FlowResult:
         )
         result._snapshot = {
             name: data.get(name)
-            for name in ("synthesis", "timing", "power", "drc", "gds", "lec")
+            for name in (
+                "synthesis", "timing", "power", "drc", "gds", "lec", "lvs",
+            )
         }
         return result
 
@@ -517,6 +533,7 @@ def run_flow(
 
         lint_report = rtl_lint
         lec_report: LecReport | None = None
+        lvs_report: LvsReport | None = None
         if synth is not None:
             record(
                 FlowStep.SYNTHESIS,
@@ -703,6 +720,24 @@ def run_flow(
             else:
                 record(FlowStep.GDS_EXPORT, sp, bytes=len(gds_bytes))
 
+        # GDS-in signoff: the exported *bytes* are re-parsed, the
+        # netlist re-extracted from geometry alone, and the result
+        # compared (and LEC-proved) against the mapped netlist.  Spans
+        # open under ``extract.*``, not a FlowStep — the mask never
+        # leaves the flow, so this is a gate, not a pipeline stage.
+        if opts.extract_lvs and gds_bytes is not None and synth is not None:
+            from ..extract import run_lvs
+
+            lvs_report = run_lvs(
+                gds_bytes, synth.mapped, pdk,
+                expected_pins={
+                    pin.name for pin in physical.floorplan.io_pins
+                },
+                tracer=tracer, metrics=metrics,
+            )
+            if not lvs_report.clean:
+                fail("extract_lvs", f"LVS failed: {lvs_report.summary()}")
+
         flow_span.set(
             ok=not failures and all(step.ok for step in steps),
             failures=len(failures),
@@ -742,5 +777,6 @@ def run_flow(
         trace=tracer.since(mark),
         lint=lint_report,
         lec=lec_report,
+        lvs=lvs_report,
         failures=failures,
     )

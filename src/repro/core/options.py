@@ -53,6 +53,11 @@ class FlowOptions:
     #: synthesis: RTL vs lowered, optimized and mapped netlists.  A
     #: counterexample fails the flow at stage ``formal_lec``.
     formal_lec: bool = False
+    #: Run GDS-in signoff (repro.extract) after GDS export: re-extract
+    #: the netlist from the stream bytes, compare connectivity against
+    #: the mapped netlist and prove equivalence with the LEC miter.  Any
+    #: mismatch fails the flow at stage ``extract_lvs``.
+    extract_lvs: bool = False
     # -- resilience ---------------------------------------------------------
     continue_on_error: bool = False
     checkpoints: CheckpointStore | None = field(

@@ -214,10 +214,16 @@ def run_signoff(
         waivable=False,
     ))
 
-    from ..layout.gds import read_gds
-    from ..layout.lvs import check_lvs
+    # LVS: prefer the connectivity-grade verdict when the flow ran the
+    # extract-LVS gate (options.extract_lvs); fall back to the census
+    # check otherwise.  Either way, not waivable.
+    if result.lvs is not None:
+        lvs = result.lvs
+    else:
+        from ..layout.gds import read_gds
+        from ..layout.lvs import check_lvs
 
-    lvs = check_lvs(read_gds(result.gds_bytes), result.physical)
+        lvs = check_lvs(read_gds(result.gds_bytes), result.physical)
     add(SignoffItem(
         "lvs_clean",
         lvs.clean,

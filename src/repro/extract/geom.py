@@ -1,0 +1,100 @@
+"""Geometric primitives for netlist extraction.
+
+Everything operates on axis-aligned integer rectangles in database units
+(nm), as ``(x0, y0, x1, y1)`` with ``x0 <= x1``, ``y0 <= y1``.  Touch is
+the **closed-interval** test: rectangles sharing only an edge or corner
+count as connected — the same convention the fabric generator
+(:mod:`repro.layout.fabric`) uses when it guarantees foreign nets stay
+>= 2 nm apart.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+Rect = tuple[int, int, int, int]
+
+
+def touches(a: Rect, b: Rect) -> bool:
+    """Closed-interval intersection (edge/corner contact connects)."""
+    return (
+        a[0] <= b[2] and b[0] <= a[2] and a[1] <= b[3] and b[1] <= a[3]
+    )
+
+
+def contains_point(rect: Rect, x: int, y: int) -> bool:
+    return rect[0] <= x <= rect[2] and rect[1] <= y <= rect[3]
+
+
+class UnionFind:
+    """Disjoint sets over ``range(n)`` with path halving."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, a: int) -> int:
+        parent = self.parent
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+class RectIndex:
+    """Spatial grid over rectangles for near-linear touch queries."""
+
+    def __init__(self, bucket: int = 4096):
+        self.bucket = bucket
+        self.cells: dict[tuple[int, int], list[int]] = defaultdict(list)
+        self.rects: list[Rect] = []
+        self.ids: list[int] = []
+
+    def add(self, shape_id: int, rect: Rect) -> None:
+        index = len(self.rects)
+        self.rects.append(rect)
+        self.ids.append(shape_id)
+        b = self.bucket
+        for bx in range(rect[0] // b, rect[2] // b + 1):
+            for by in range(rect[1] // b, rect[3] // b + 1):
+                self.cells[(bx, by)].append(index)
+
+    def touching(self, rect: Rect):
+        """Yield ``(shape_id, rect)`` of every indexed rect touching
+        ``rect`` (deduplicated)."""
+        b = self.bucket
+        seen: set[int] = set()
+        for bx in range(rect[0] // b, rect[2] // b + 1):
+            for by in range(rect[1] // b, rect[3] // b + 1):
+                for index in self.cells.get((bx, by), ()):
+                    if index in seen:
+                        continue
+                    seen.add(index)
+                    other = self.rects[index]
+                    if touches(rect, other):
+                        yield self.ids[index], other
+
+    def at_point(self, x: int, y: int):
+        """Yield shape ids of rects containing the point."""
+        for index in self.cells.get((x // self.bucket, y // self.bucket), ()):
+            if contains_point(self.rects[index], x, y):
+                yield self.ids[index]
+
+
+def connect_touching(
+    uf: UnionFind,
+    shapes_a: list[tuple[int, Rect]],
+    index_b: RectIndex,
+) -> None:
+    """Union every shape in ``shapes_a`` with every touching shape of
+    ``index_b`` (shape ids are union-find element ids)."""
+    for sid, rect in shapes_a:
+        for other_id, _ in index_b.touching(rect):
+            if other_id != sid:
+                uf.union(sid, other_id)

@@ -1,25 +1,87 @@
 """Chip layout assembly: physical design → GDSII library.
 
 Builds the final mask database: one abstract structure per standard-cell
-variant (outline on ``active``, gate stripe on ``poly``, label), SREF
-placements for every cell, merged routing wires on ``met1``/``met2`` with
-vias, pin labels, and the die outline.  Nets sharing a routing grid cell
-are drawn on distinct tracks at DRC-legal spacing (the router's capacity
-is pre-capped by :func:`repro.pnr.route.drc_clean_capacity`).
+variant (outline on ``active``, gate stripes on ``poly``, per-pin li
+geometry, pin labels), SREF placements for every cell, merged routing
+wires on ``met1``/``met2`` with vias, pin labels, and the die outline.
+Nets sharing a routing grid cell are drawn on distinct tracks at
+DRC-legal spacing (the router's capacity is pre-capped by
+:func:`repro.pnr.route.drc_clean_capacity`).
+
+Two mask purposes coexist per layer (see
+:data:`repro.pdk.layers.NET_DATATYPE`):
+
+* **drawing** (datatype 0) — the DRC-checked wire picture above;
+* **net** (datatype 1) — an electrically exact per-net fabric drawn by
+  :func:`repro.layout.fabric.draw_net_fabric`, which netlist extraction
+  (:mod:`repro.extract`) reads back without any knowledge of how the
+  layout was produced.
+
+Cell masters are self-describing: every pin has a li pad on the net
+purpose plus a ``met1``-layer text label, and each cell variant carries
+an identifying poly stripe so geometric fingerprinting can tell apart
+variants with identical footprints even when struct names are stripped.
 """
 
 from __future__ import annotations
 
+from ..pdk.cells import StandardCell
+from ..pdk.layers import NET_DATATYPE
+from ..pdk.node import ProcessNode
 from ..pdk.pdks import Pdk
 from ..pnr.physical import PhysicalDesign
-from .gds import GdsLibrary, GdsSRef, GdsStruct, GdsText, to_db
+from .gds import GdsBoundary, GdsLibrary, GdsSRef, GdsStruct, GdsText, to_db
 
 
-def _cell_struct(cell_name: str, width: float, height: float, pdk: Pdk) -> GdsStruct:
-    """Abstract layout for one standard-cell variant."""
-    struct = GdsStruct(name=cell_name)
+def master_footprint(cell: StandardCell, node: ProcessNode) -> tuple[float, float]:
+    """(width, height) in um of a cell master — the legalizers' formula.
+
+    Both placers size cells as ``area / row_height`` rounded to whole
+    placement sites, so masters built here line up exactly with placed
+    instances.
+    """
+    row_h = node.row_height_um
+    site = max(row_h / 10.0, 1e-3)
+    width = cell.area_um2 / row_h
+    width = max(site, round(width / site) * site)
+    return width, row_h
+
+
+def master_pin_offsets(
+    cell: StandardCell, node: ProcessNode
+) -> dict[str, tuple[int, int]]:
+    """Pin-pad centre offsets within the master, in database units (nm).
+
+    Pins (inputs then output) are spread evenly across the cell width at
+    mid row height.
+    """
+    width, height = master_footprint(cell, node)
+    pins = list(cell.inputs) + ([cell.output] if cell.output else [])
+    width_nm = to_db(width)
+    y_nm = to_db(height) // 2
+    count = len(pins)
+    return {
+        pin: (round(width_nm * (i + 1) / (count + 1)), y_nm)
+        for i, pin in enumerate(pins)
+    }
+
+
+#: Half-size (nm) of the square li pin pads inside cell masters.
+PIN_PAD_HALF_NM = 7
+
+
+def cell_master_struct(cell: StandardCell, pdk: Pdk) -> GdsStruct:
+    """Self-describing abstract layout for one standard-cell variant.
+
+    Reconstructible from the PDK alone, which is what lets extraction
+    fingerprint-match master structures that were renamed in the stream.
+    """
+    struct = GdsStruct(name=cell.name)
+    width, height = master_footprint(cell, pdk.node)
     active = pdk.layers.by_name("active")
     poly = pdk.layers.by_name("poly")
+    li = pdk.layers.by_name("li")
+    met1 = pdk.layers.by_name("met1")
     f_um = pdk.node.feature_nm / 1000.0
     struct.add_rect_um(active.gds_layer, active.gds_datatype,
                        0.0, 0.0, width, height)
@@ -29,9 +91,31 @@ def _cell_struct(cell_name: str, width: float, height: float, pdk: Pdk) -> GdsSt
         struct.add_rect_um(poly.gds_layer, poly.gds_datatype,
                            x - f_um / 2.0, f_um, x + f_um / 2.0,
                            height - f_um)
+    # Identity stripe: a second poly stripe at a per-variant x position,
+    # so cell variants sharing a footprint (NAND2/NOR2/AND2...) remain
+    # geometrically distinguishable after struct names are stripped.
+    names = sorted(pdk.library.cells)
+    idx = names.index(cell.name)
+    x_id = width * (0.1 + 0.8 * (idx + 1) / (len(names) + 1))
+    struct.add_rect_um(poly.gds_layer, poly.gds_datatype,
+                       x_id - f_um / 4.0, f_um, x_id + f_um / 4.0,
+                       height - f_um)
+    # Pin geometry: one li pad (net purpose) + met1-layer name label per
+    # pin.  The net fabric lands li stubs on these pads at the top level.
+    half = PIN_PAD_HALF_NM
+    for pin, (px, py) in master_pin_offsets(cell, pdk.node).items():
+        struct.boundaries.append(
+            GdsBoundary(li.gds_layer, NET_DATATYPE, [
+                (px - half, py - half), (px + half, py - half),
+                (px + half, py + half), (px - half, py + half),
+                (px - half, py - half),
+            ])
+        )
+        struct.texts.append(GdsText(met1.gds_layer, pin, (px, py)))
     label = pdk.layers.by_name("label")
     struct.texts.append(
-        GdsText(label.gds_layer, cell_name, (to_db(width / 2), to_db(height / 2)))
+        GdsText(label.gds_layer, cell.name,
+                (to_db(width / 2), to_db(height / 2)))
     )
     return struct
 
@@ -42,16 +126,14 @@ def build_chip_gds(design: PhysicalDesign, top_name: str | None = None) -> GdsLi
     library = GdsLibrary(name=f"{design.mapped.name}_{pdk.name}")
     top = GdsStruct(name=top_name or design.mapped.name)
 
-    # Cell masters, one per (cell variant, width) actually used.
+    # Cell masters, one per cell variant actually used.
     masters: dict[str, GdsStruct] = {}
     cell_of = {inst.name: inst.cell for inst in design.mapped.cells}
     for name, placed in design.placement.cells.items():
         cell = cell_of[name]
         key = cell.name
         if key not in masters:
-            masters[key] = library.add(
-                _cell_struct(key, placed.width, placed.height, pdk)
-            )
+            masters[key] = library.add(cell_master_struct(cell, pdk))
         top.srefs.append(
             GdsSRef(key, (to_db(placed.x), to_db(placed.y)))
         )
@@ -110,6 +192,11 @@ def build_chip_gds(design: PhysicalDesign, top_name: str | None = None) -> GdsLi
                         met2.gds_layer, met2.gds_datatype,
                         xc - half, y, xc + half, y + pitch,
                     )
+
+    # The electrically exact net-purpose fabric extraction reads back.
+    from .fabric import draw_net_fabric
+
+    draw_net_fabric(top, design)
 
     # Pin labels and the die outline.
     label = pdk.layers.by_name("label")

@@ -85,39 +85,42 @@ def flatten_rects(
 
 def _flatten_coords(
     library: GdsLibrary, top_name: str
-) -> dict[int, np.ndarray]:
-    """Per-layer ``(n, 4)`` coordinate arrays with SREFs resolved.
+) -> dict[tuple[int, int], np.ndarray]:
+    """Per-(layer, datatype) ``(n, 4)`` coordinate arrays with SREFs
+    resolved.
 
     Same DFS emission order as :func:`flatten_rects`, but each struct's
     local boundaries are converted to one array once and placements
     merely translate it — the checker never materializes per-rect
-    objects for the (overwhelmingly clean) common case.
+    objects for the (overwhelmingly clean) common case.  Keying by
+    datatype keeps mask purposes apart: DRC checks a layer's drawing
+    purpose without mixing in net-purpose fabric shapes.
     """
     by_name = {s.name: s for s in library.structs}
-    local: dict[str, dict[int, np.ndarray]] = {}
-    parts: dict[int, list[np.ndarray]] = defaultdict(list)
+    local: dict[str, dict[tuple[int, int], np.ndarray]] = {}
+    parts: dict[tuple[int, int], list[np.ndarray]] = defaultdict(list)
 
-    def struct_local(name: str) -> dict[int, np.ndarray]:
+    def struct_local(name: str) -> dict[tuple[int, int], np.ndarray]:
         cached = local.get(name)
         if cached is None:
-            per_layer: dict[int, list] = defaultdict(list)
+            per_layer: dict[tuple[int, int], list] = defaultdict(list)
             for boundary in by_name[name].boundaries:
                 xs = [from_db(p[0]) for p in boundary.points]
                 ys = [from_db(p[1]) for p in boundary.points]
-                per_layer[boundary.layer].append(
+                per_layer[(boundary.layer, boundary.datatype)].append(
                     (min(xs), min(ys), max(xs), max(ys))
                 )
             cached = local[name] = {
-                layer: np.array(rows, dtype=np.float64)
-                for layer, rows in per_layer.items()
+                key: np.array(rows, dtype=np.float64)
+                for key, rows in per_layer.items()
             }
         return cached
 
     def emit(struct_name: str, dx: float, dy: float, depth: int) -> None:
         if depth > 8:
             raise ValueError("SREF nesting too deep (cycle?)")
-        for layer, rows in struct_local(struct_name).items():
-            parts[layer].append(rows + np.array((dx, dy, dx, dy)))
+        for key, rows in struct_local(struct_name).items():
+            parts[key].append(rows + np.array((dx, dy, dx, dy)))
         for sref in by_name[struct_name].srefs:
             emit(
                 sref.struct_name,
@@ -127,7 +130,7 @@ def _flatten_coords(
             )
 
     emit(top_name, 0.0, 0.0, 0)
-    return {layer: np.concatenate(p) for layer, p in parts.items()}
+    return {key: np.concatenate(p) for key, p in parts.items()}
 
 
 def check_drc(
@@ -156,7 +159,7 @@ def check_drc(
     for name in names:
         with tracer.span("drc.layer", layer=name) as sp:
             layer = layers.by_name(name)
-            coords = coords_by_gds.get(layer.gds_layer)
+            coords = coords_by_gds.get((layer.gds_layer, layer.gds_datatype))
             count = 0 if coords is None else len(coords)
             report.checked_rects += count
             if count:

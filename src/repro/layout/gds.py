@@ -210,46 +210,94 @@ def write_gds(library: GdsLibrary) -> bytes:
 
 
 def read_gds(data: bytes) -> GdsLibrary:
-    """Parse GDSII stream bytes (records written by :func:`write_gds`)."""
+    """Parse GDSII stream bytes (records written by :func:`write_gds`).
+
+    Malformed input raises :class:`ValueError` carrying the byte offset
+    of the offending record — never :class:`IndexError` or
+    :class:`struct.error` — so callers can treat any non-``ValueError``
+    as a parser bug rather than a bad file.
+    """
     offset = 0
     library = GdsLibrary(name="")
     current: GdsStruct | None = None
     element: dict | None = None
 
+    def short(record: int, payload: bytes, expected: int, name: str) -> bytes:
+        if len(payload) < expected:
+            raise ValueError(
+                f"{name} record at offset {record} truncated: "
+                f"{len(payload)} payload bytes, need {expected}"
+            )
+        return payload
+
     while offset < len(data):
+        record_offset = offset
         if offset + 4 > len(data):
-            raise ValueError("truncated GDSII record header")
+            raise ValueError(
+                f"truncated GDSII record header at offset {offset}"
+            )
         length, rtype, dtype = struct.unpack_from(">HBB", data, offset)
         if length < 4:
-            raise ValueError(f"invalid record length {length}")
+            raise ValueError(
+                f"invalid record length {length} at offset {offset}"
+            )
+        if offset + length > len(data):
+            raise ValueError(
+                f"record at offset {offset} overruns the stream "
+                f"({length} bytes declared, {len(data) - offset} left)"
+            )
         payload = data[offset + 4 : offset + length]
         offset += length
 
         if rtype == LIBNAME:
             library.name = payload.rstrip(b"\x00").decode("ascii")
+        elif rtype == UNITS:
+            short(record_offset, payload, 16, "UNITS")
+            db_in_user = _parse_real8(payload[0:8])
+            db_in_m = _parse_real8(payload[8:16])
+            if (
+                abs(db_in_user - DB_UNIT_IN_UM) > 1e-9 * DB_UNIT_IN_UM
+                or abs(db_in_m - DB_UNIT_IN_M) > 1e-9 * DB_UNIT_IN_M
+            ):
+                raise ValueError(
+                    f"unsupported UNITS at offset {record_offset}: "
+                    f"db unit {db_in_user} user / {db_in_m} m "
+                    f"(expected {DB_UNIT_IN_UM} / {DB_UNIT_IN_M})"
+                )
         elif rtype == BGNSTR:
             current = GdsStruct(name="")
         elif rtype == STRNAME and current is not None:
             current.name = payload.rstrip(b"\x00").decode("ascii")
         elif rtype == ENDSTR:
-            library.structs.append(current)
+            # A bare ENDSTR (no preceding BGNSTR) closes nothing; skip it
+            # rather than recording a phantom structure.
+            if current is not None:
+                library.structs.append(current)
             current = None
         elif rtype in (BOUNDARY, SREF, TEXT):
             element = {"kind": rtype, "layer": 0, "datatype": 0,
                        "points": [], "name": "", "text": ""}
         elif rtype == LAYER and element is not None:
-            element["layer"] = struct.unpack(">h", payload)[0]
+            short(record_offset, payload, 2, "LAYER")
+            element["layer"] = struct.unpack_from(">h", payload)[0]
         elif rtype == DATATYPE and element is not None:
-            element["datatype"] = struct.unpack(">h", payload)[0]
+            short(record_offset, payload, 2, "DATATYPE")
+            element["datatype"] = struct.unpack_from(">h", payload)[0]
         elif rtype == SNAME and element is not None:
             element["name"] = payload.rstrip(b"\x00").decode("ascii")
         elif rtype == STRING and element is not None:
             element["text"] = payload.rstrip(b"\x00").decode("ascii")
         elif rtype == XY and element is not None:
+            if len(payload) % 8:
+                raise ValueError(
+                    f"XY record at offset {record_offset} has "
+                    f"{len(payload)} payload bytes (not a multiple of 8)"
+                )
             count = len(payload) // 8
             element["points"] = [
                 struct.unpack_from(">ii", payload, i * 8) for i in range(count)
             ]
+            element["xy_offset"] = record_offset
         elif rtype == ENDEL and element is not None and current is not None:
             kind = element["kind"]
             if kind == BOUNDARY:
@@ -258,10 +306,20 @@ def read_gds(data: bytes) -> GdsLibrary:
                                 [tuple(p) for p in element["points"]])
                 )
             elif kind == SREF:
+                if not element["points"]:
+                    raise ValueError(
+                        f"SREF element ending at offset {record_offset} "
+                        "has no XY coordinates"
+                    )
                 current.srefs.append(
                     GdsSRef(element["name"], tuple(element["points"][0]))
                 )
             elif kind == TEXT:
+                if not element["points"]:
+                    raise ValueError(
+                        f"TEXT element ending at offset {record_offset} "
+                        "has no XY coordinates"
+                    )
                 current.texts.append(
                     GdsText(element["layer"], element["text"],
                             tuple(element["points"][0]))

@@ -11,6 +11,13 @@ from dataclasses import dataclass
 
 from .node import ProcessNode
 
+#: GDSII datatype of the electrical "net purpose" fabric.  Drawing-purpose
+#: shapes (datatype 0) are what DRC checks; net-purpose shapes carry the
+#: exact per-net connectivity geometry (thin backbones, pin pads, contact
+#: cuts) that netlist extraction reads back.  Real decks separate mask
+#: purposes the same way (drawing/pin/net datatypes per layer).
+NET_DATATYPE = 1
+
 
 @dataclass(frozen=True)
 class Layer:
@@ -56,6 +63,11 @@ def make_layer_stack(node: ProcessNode) -> LayerStack:
         Layer("active", 1, 0, "base", 2 * f_um, 2 * f_um),
         Layer("poly", 2, 0, "base", f_um, 2 * f_um),
         Layer("li", 3, 0, "routing", 1.5 * f_um, 1.5 * f_um),
+        # Local-interconnect contact: the cut layer joining li to met1.
+        # Electrically a via level; li crossing met1 without a lic cut
+        # does not connect, which is what makes pin-stub geometry safe
+        # to draw under foreign met1 wires.
+        Layer("lic", 4, 0, "via", 1.5 * f_um, 1.5 * f_um),
     ]
     for i in range(node.metal_layers):
         fat = 1.0 + 0.4 * i

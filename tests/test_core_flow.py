@@ -131,16 +131,26 @@ class TestFlowResultJson:
         import json
 
         payload = json.loads(counter_flow.to_json())
-        assert payload["schema"] == 1
-        assert type(counter_flow).JSON_SCHEMA == 1
-        # The v1 key set is a compatibility contract: additions or
+        assert payload["schema"] == 2
+        assert type(counter_flow).JSON_SCHEMA == 2
+        # The v2 key set is a compatibility contract: additions or
         # removals must bump JSON_SCHEMA.
         assert set(payload) == {
             "schema", "design", "pdk", "preset", "clock_period_ps",
             "ok", "partial", "steps", "ppa", "lint", "failures",
-            "synthesis", "timing", "power", "drc", "gds", "lec",
+            "synthesis", "timing", "power", "drc", "gds", "lec", "lvs",
         }
         assert payload["gds"]["n_bytes"] == len(counter_flow.gds_bytes)
+
+    def test_schema_v1_still_readable(self, counter_flow):
+        # v2 is purely additive over v1; old payloads must load.
+        import json
+
+        payload = json.loads(counter_flow.to_json())
+        payload["schema"] = 1
+        del payload["lvs"]
+        clone = type(counter_flow).from_json(json.dumps(payload))
+        assert clone.design_name == counter_flow.design_name
 
     def test_wall_clock_free(self, counter_flow):
         # Serializing twice (and through a round trip) is byte-stable;
